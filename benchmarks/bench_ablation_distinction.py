@@ -1,0 +1,37 @@
+"""Ablation abl2: distinction strategies.
+
+The paper's distinction finds one witness row per distinct key value by
+taking the first set bit of each compressed bitmap.  The alternative is
+to decode the column into a row-ordered vid array and take first
+occurrences.  The bitmap path wins when the key column is wide (many
+rows) but its per-value bitmaps are shallow.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import EvolutionStatus
+from repro.core.distinction import distinction_bitmap, distinction_scan
+from repro.workload import EmployeeWorkload
+
+from conftest import bench_rows
+
+_ROWS = bench_rows()
+_DISTINCT = max(_ROWS // 100, 2)
+_TABLE = EmployeeWorkload(_ROWS, _DISTINCT, seed=12).build()
+
+
+def test_abl2_distinction_bitmap(benchmark):
+    benchmark.group = "abl2 distinction"
+    benchmark.name = "first-set-bit (compressed)"
+    column = _TABLE.column("Employee")
+    benchmark(lambda: distinction_bitmap(column, EvolutionStatus()))
+
+
+def test_abl2_distinction_scan(benchmark):
+    benchmark.group = "abl2 distinction"
+    benchmark.name = "decode + unique (scan)"
+    benchmark(
+        lambda: distinction_scan(_TABLE, ["Employee"], EvolutionStatus())
+    )

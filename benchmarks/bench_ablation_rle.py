@@ -1,0 +1,58 @@
+"""Ablation abl4 (paper future work): RLE for sorted columns.
+
+Section 2.2 notes that run-length encoding suits sorted columns and
+defers support to future work; we implemented it.  This benchmark
+filters a sorted key column through both representations: the RLE
+vector's run arithmetic vs per-value WAH bitmaps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bitmap import RLEVector
+from repro.storage import BitmapColumn, DataType
+
+from conftest import bench_rows
+
+_ROWS = bench_rows()
+_DISTINCT = max(_ROWS // 100, 2)
+
+_sorted_vids = np.sort(
+    np.random.default_rng(14).integers(0, _DISTINCT, _ROWS)
+)
+_positions = np.sort(
+    np.random.default_rng(15).choice(_ROWS, _ROWS // 10, replace=False)
+)
+
+_rle = RLEVector.from_values(_sorted_vids)
+_column = BitmapColumn.from_values(
+    "k", DataType.INT, _sorted_vids, codec_name="wah"
+)
+
+
+def test_abl4_rle_select(benchmark):
+    benchmark.group = "abl4 sorted-column filtering"
+    benchmark.name = "RLE vector"
+    benchmark(lambda: _rle.select(_positions))
+
+
+def test_abl4_wah_select(benchmark):
+    benchmark.group = "abl4 sorted-column filtering"
+    benchmark.name = "WAH bitmaps"
+    benchmark(lambda: _column.select(_positions))
+
+
+def test_abl4_rle_distinct(benchmark):
+    benchmark.group = "abl4 sorted-column distinction"
+    benchmark.name = "RLE vector"
+    benchmark(_rle.distinct_first_positions)
+
+
+def test_abl4_wah_distinct(benchmark):
+    benchmark.group = "abl4 sorted-column distinction"
+    benchmark.name = "WAH bitmaps"
+    from repro.bitmap.batch import batch_first_set
+
+    benchmark(lambda: batch_first_set(_column.bitmaps))

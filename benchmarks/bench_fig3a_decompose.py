@@ -1,0 +1,52 @@
+"""Figure 3(a): decomposition time vs number of distinct values.
+
+Paper setup: R(Employee, Skill, Address) with 10 M tuples is decomposed
+into S(Employee, Skill) and T(Employee, Address); the x-axis sweeps the
+number of distinct Employee values (100 … 1 M); series are D (CODS,
+data-level), C / C+I (commercial-style row store without/with index
+rebuilds), S (SQLite), M (column store at query level).
+
+Here the sweep is scaled to ``CODS_BENCH_ROWS`` keeping the paper's
+distinct/rows ratios.  Expected shape: D beats every query-level series
+by 1–2 orders of magnitude and grows with the number of distinct values
+rather than with the table size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.systems import SERIES
+from repro.bench.harness import FIG3A_SERIES, scaled_distinct_sweep
+from repro.workload import EmployeeWorkload
+
+from conftest import bench_rows
+
+_ROWS = bench_rows()
+_SWEEP = scaled_distinct_sweep(_ROWS)
+
+
+def _setup(label: str, distinct: int):
+    workload = EmployeeWorkload(_ROWS, distinct, seed=2010)
+    system = SERIES[label]()
+    if label == "D":
+        system.engine.extra_fds = (workload.fd,)
+    system.load(workload.build())
+    return (system, workload.decompose_op()), {}
+
+
+def _apply(system, op):
+    system.apply(op)
+
+
+@pytest.mark.parametrize("distinct", _SWEEP)
+@pytest.mark.parametrize("label", FIG3A_SERIES)
+def test_fig3a_decomposition(benchmark, label, distinct):
+    benchmark.group = f"fig3a distinct={distinct}"
+    benchmark.name = label
+    benchmark.pedantic(
+        _apply,
+        setup=lambda: _setup(label, distinct),
+        rounds=1,
+        iterations=1,
+    )

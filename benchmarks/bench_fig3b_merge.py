@@ -1,0 +1,53 @@
+"""Figure 3(b): mergence time vs number of distinct values.
+
+Paper setup: the S and T produced by the Figure 3(a) decomposition are
+merged back into R (a key–foreign-key mergence: Employee is the key of
+T).  Series are D, C, C+I and M — the paper omits SQLite here.
+
+Expected shape: D reuses all of S's columns and only rebuilds T's
+non-key attribute, so it beats the query-level joins by an order of
+magnitude or more.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.systems import SERIES
+from repro.bench.harness import FIG3B_SERIES, scaled_distinct_sweep
+from repro.workload import EmployeeWorkload
+
+from conftest import bench_rows
+
+_ROWS = bench_rows()
+_SWEEP = scaled_distinct_sweep(_ROWS)
+_PAIRS = {
+    distinct: EmployeeWorkload(_ROWS, distinct, seed=2010).build_decomposed()
+    for distinct in _SWEEP
+}
+
+
+def _setup(label: str, distinct: int):
+    workload = EmployeeWorkload(_ROWS, distinct, seed=2010)
+    left, right = _PAIRS[distinct]
+    system = SERIES[label]()
+    system.load(left)
+    system.load(right)
+    return (system, workload.merge_op()), {}
+
+
+def _apply(system, op):
+    system.apply(op)
+
+
+@pytest.mark.parametrize("distinct", _SWEEP)
+@pytest.mark.parametrize("label", FIG3B_SERIES)
+def test_fig3b_mergence(benchmark, label, distinct):
+    benchmark.group = f"fig3b distinct={distinct}"
+    benchmark.name = label
+    benchmark.pedantic(
+        _apply,
+        setup=lambda: _setup(label, distinct),
+        rounds=1,
+        iterations=1,
+    )

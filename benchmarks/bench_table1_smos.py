@@ -1,0 +1,48 @@
+"""Table 1: per-operator cost of all 11 Schema Modification Operators.
+
+The paper's Table 1 catalogues the SMOs and Section 2.3 argues which are
+cheap (CREATE/DROP/RENAME: schema-level; COPY/UNION/PARTITION: data
+movement without change; ADD/DROP COLUMN: column-local) and which are
+the hard ones (DECOMPOSE, MERGE).  This benchmark regenerates that cost
+profile, comparing the data-level engine (D) against the column store
+at query level (M) — same storage, different pipeline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.systems import SERIES
+from repro.bench.harness import table1_operator_stream
+
+from conftest import bench_rows
+
+_ROWS = max(bench_rows() // 4, 1_000)
+_STREAM = table1_operator_stream(_ROWS)
+_LABELS = ("D", "M")
+
+
+def _setup(label: str, index: int):
+    _name, setup_fn, op = _STREAM[index]
+    system = SERIES[label]()
+    setup_fn(system)
+    return (system, op), {}
+
+
+def _apply(system, op):
+    system.apply(op)
+
+
+@pytest.mark.parametrize(
+    "index", range(len(_STREAM)), ids=[name for name, _s, _o in _STREAM]
+)
+@pytest.mark.parametrize("label", _LABELS)
+def test_table1_operator(benchmark, label, index):
+    benchmark.group = f"table1 {_STREAM[index][0]}"
+    benchmark.name = label
+    benchmark.pedantic(
+        _apply,
+        setup=lambda: _setup(label, index),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,13 @@
+#!/usr/bin/env python3
+"""Standalone runner for the paper's figures at full configured scale.
+
+    python benchmarks/run_figures.py --figure 3a --rows 200000
+    python benchmarks/run_figures.py --figure all --out figures.txt
+
+Equivalent to the installed ``cods-figures`` entry point.
+"""
+
+from repro.bench.figures import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Scenario 1 of the paper's introduction: new information about the data.
+
+A growing HR table starts as R(Employee, Skill).  Later, addresses
+emerge (ADD COLUMN), and once it becomes clear employees have multiple
+skills, the table is decomposed to remove redundancy and update
+anomalies — then workload changes pull it back together (MERGE).
+
+This example runs at a realistic scale (100 000 rows by default) and
+prints data-level vs query-level timings for each evolution step.
+
+Run:  python examples/employee_skills.py [rows]
+"""
+
+import sys
+import time
+
+from repro import (
+    EvolutionEngine,
+    MergeTables,
+    make_system,
+    parse_smo,
+)
+from repro.workload import EmployeeWorkload
+
+
+def main() -> None:
+    nrows = int(sys.argv[1]) if len(sys.argv) > 1 else 100_000
+    n_employees = max(nrows // 100, 2)
+    workload = EmployeeWorkload(nrows, n_employees, seed=42)
+
+    print(f"Building R(Employee, Skill, Address): {nrows:,} rows, "
+          f"{n_employees:,} distinct employees …")
+    table = workload.build()
+
+    # --- data level ------------------------------------------------------
+    engine = EvolutionEngine(extra_fds=[workload.fd])
+    engine.load_table(table)
+
+    print("\n[data level] DECOMPOSE R -> S(Employee, Skill), "
+          "T(Employee, Address)")
+    started = time.perf_counter()
+    status = engine.apply(workload.decompose_op())
+    decompose_seconds = time.perf_counter() - started
+    print(f"    {decompose_seconds * 1e3:8.1f} ms   "
+          f"counters: {status.summary()}")
+    print(f"    S: {engine.table('S').nrows:,} rows (columns reused), "
+          f"T: {engine.table('T').nrows:,} rows (deduplicated)")
+
+    print("\n[data level] MERGE S, T -> R (workload became query-heavy)")
+    started = time.perf_counter()
+    status = engine.apply(MergeTables("S", "T", "R", ("Employee",)))
+    merge_seconds = time.perf_counter() - started
+    print(f"    {merge_seconds * 1e3:8.1f} ms   "
+          f"counters: {status.summary()}")
+
+    # --- query level (for contrast) ---------------------------------------
+    print("\n[query level] the same two evolutions on a row store "
+          "with indexes (C+I):")
+    system = make_system("C+I")
+    system.load(workload.build())
+    ql_decompose = system.timed_apply(workload.decompose_op())
+    print(f"    DECOMPOSE: {ql_decompose:8.2f} s "
+          f"({ql_decompose / decompose_seconds:,.0f}x slower)")
+    ql_merge = system.timed_apply(workload.merge_op())
+    print(f"    MERGE:     {ql_merge:8.2f} s "
+          f"({ql_merge / merge_seconds:,.0f}x slower)")
+
+    # --- verify ------------------------------------------------------------
+    assert engine.table("R").same_content(table.renamed("R"), ordered=True)
+    assert system.extract("R").same_content(table.renamed("R"))
+    print("\nBoth pipelines produced identical tables — the data-level "
+          "one never materialized a tuple.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Quickstart: data-level schema evolution in five minutes.
+
+Builds a small table, decomposes it (the paper's headline operation),
+merges it back, and contrasts the data-level pipeline with the
+query-level pipeline of Figure 2 — printing the stage log of both.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    DataType,
+    EvolutionEngine,
+    MergeTables,
+    make_system,
+    parse_smo,
+    table_from_python,
+)
+
+
+def build_r():
+    """The paper's Figure 1 table R(Employee, Skill, Address)."""
+    return table_from_python(
+        "R",
+        {
+            "Employee": (
+                DataType.STRING,
+                ["Jones", "Jones", "Roberts", "Ellis", "Jones", "Ellis",
+                 "Harrison"],
+            ),
+            "Skill": (
+                DataType.STRING,
+                ["Typing", "Shorthand", "Light Cleaning", "Alchemy",
+                 "Whittling", "Juggling", "Light Cleaning"],
+            ),
+            "Address": (
+                DataType.STRING,
+                ["425 Grant Ave", "425 Grant Ave", "747 Industrial Way",
+                 "747 Industrial Way", "425 Grant Ave",
+                 "747 Industrial Way", "425 Grant Ave"],
+            ),
+        },
+    )
+
+
+def main() -> None:
+    print("=" * 64)
+    print("CODS quickstart — data-level data evolution")
+    print("=" * 64)
+
+    # 1. Load a table into the CODS engine (a bitmap-encoded column store).
+    engine = EvolutionEngine()
+    engine.load_table(build_r())
+    print("\nLoaded R:")
+    for row in engine.table("R").head():
+        print("   ", row)
+
+    # 2. Watch each data-level step as it happens (the demo's status pane).
+    engine.subscribe(
+        lambda event: print(
+            f"    [data-level] {event.step}: {event.detail}"
+        )
+    )
+
+    # 3. Decompose: one SMO statement, no SQL, no tuple materialization.
+    print("\nDECOMPOSE TABLE R INTO S (Employee, Skill), "
+          "T (Employee, Address)")
+    status = engine.apply(
+        parse_smo(
+            "DECOMPOSE TABLE R INTO S (Employee, Skill), "
+            "T (Employee, Address)"
+        )
+    )
+    print(f"    counters: {status.summary()}")
+    print("\nT (the changed side, deduplicated via distinction + "
+          "bitmap filtering):")
+    for row in engine.table("T").sorted_rows():
+        print("   ", row)
+
+    # 4. Merge back (key–foreign-key mergence reuses all of S's columns).
+    print("\nMERGE TABLES S, T INTO R")
+    engine.apply(MergeTables("S", "T", "R"))
+    print(f"    R restored with {engine.table('R').nrows} rows")
+
+    # 5. The same evolution at query level (Figure 2, right side) for
+    #    contrast: SQL through a row store, materializing everything.
+    print("\n" + "-" * 64)
+    print("The same DECOMPOSE at query level (commercial-style row store):")
+    query_level = make_system("C")
+    query_level.load(build_r())
+    seconds = query_level.timed_apply(
+        parse_smo(
+            "DECOMPOSE TABLE R INTO S (Employee, Skill), "
+            "T (Employee, Address)"
+        )
+    )
+    print(f"    executed INSERT INTO … SELECT [DISTINCT] … "
+          f"({seconds * 1e3:.1f} ms, all tuples materialized)")
+    print("    -> same result, different cost model; see "
+          "benchmarks/run_figures.py for the scaling curves")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""Legacy setup shim.
+
+The target environment is offline and lacks the ``wheel`` package, so
+``pip install -e .`` cannot use PEP 660 editable wheels.  This file lets
+pip fall back to ``setup.py develop``.  All real metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of CODS: Evolving Data Efficiently and Scalably in "
+        "Column Oriented Databases (VLDB 2010)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+    entry_points={
+        "console_scripts": [
+            "cods-demo = repro.demo.cli:main",
+            "cods-figures = repro.bench.figures:main",
+        ]
+    },
+)

@@ -1,0 +1,145 @@
+"""repro — a reproduction of *CODS: Evolving Data Efficiently and
+Scalably in Column Oriented Databases* (Liu, Natarajan, He, Hsiao, Chen;
+PVLDB 3(2), 2010).
+
+The package implements the paper's platform end to end:
+
+* :mod:`repro.bitmap` — WAH-compressed bitmaps (the storage encoding);
+* :mod:`repro.storage` — a bitmap-encoded column store with catalog,
+  CSV and binary persistence;
+* :mod:`repro.fd` — functional-dependency theory (lossless-join checks);
+* :mod:`repro.smo` — the 11 Schema Modification Operators of Table 1,
+  with a textual language, plans and history;
+* :mod:`repro.core` — the CODS contribution: data-level data evolution
+  (distinction, bitmap filtering, key–foreign-key and general two-pass
+  mergence) on compressed columns;
+* :mod:`repro.rowstore` / :mod:`repro.sql` — a row-store engine and a
+  SQL subset powering the query-level baselines;
+* :mod:`repro.baselines` — the comparators of Figure 3 (commercial-style
+  row store, SQLite, column store at query level);
+* :mod:`repro.workload` / :mod:`repro.bench` — evaluation workloads and
+  the harness regenerating the paper's figures;
+* :mod:`repro.demo` — the demonstration platform as a CLI.
+
+Quickstart::
+
+    from repro import EvolutionEngine, table_from_python, DataType
+
+    engine = EvolutionEngine()
+    engine.load_table(table_from_python("R", {
+        "Employee": (DataType.STRING, ["Jones", "Jones", "Ellis"]),
+        "Skill":    (DataType.STRING, ["Typing", "Whittling", "Alchemy"]),
+        "Address":  (DataType.STRING, ["425 Grant", "425 Grant", "747 Ind"]),
+    }))
+    engine.apply_sql_like(
+        "DECOMPOSE TABLE R INTO S (Employee, Skill), T (Employee, Address)"
+    )
+    print(engine.table("T").to_rows())
+"""
+
+from repro.baselines import (
+    CodsSystem,
+    EvolutionSystem,
+    QueryLevelEvolution,
+    SqliteEvolution,
+    make_system,
+)
+from repro.bitmap import PlainBitmap, RLEVector, WAHBitmap
+from repro.core import EvolutionEngine, EvolutionStatus
+from repro.errors import (
+    BitmapError,
+    CodsError,
+    EvolutionError,
+    LosslessJoinError,
+    SchemaError,
+    SmoValidationError,
+    SqlError,
+    StorageError,
+)
+from repro.fd import FunctionalDependency
+from repro.smo import (
+    AddColumn,
+    CopyTable,
+    CreateTable,
+    DecomposeTable,
+    DropColumn,
+    DropTable,
+    EvolutionPlan,
+    MergeTables,
+    PartitionTable,
+    RenameColumn,
+    RenameTable,
+    UnionTables,
+    parse_script,
+    parse_smo,
+)
+from repro.sql import SqlExecutor
+from repro.storage import (
+    Catalog,
+    ColumnSchema,
+    DataType,
+    Table,
+    TableSchema,
+    load_csv,
+    load_table,
+    save_csv,
+    save_table,
+    table_from_python,
+)
+from repro.workload import (
+    EmployeeWorkload,
+    GeneralMergeWorkload,
+    SalesStarWorkload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AddColumn",
+    "BitmapError",
+    "Catalog",
+    "CodsError",
+    "CodsSystem",
+    "ColumnSchema",
+    "CopyTable",
+    "CreateTable",
+    "DataType",
+    "DecomposeTable",
+    "DropColumn",
+    "DropTable",
+    "EmployeeWorkload",
+    "EvolutionEngine",
+    "EvolutionError",
+    "EvolutionPlan",
+    "EvolutionStatus",
+    "EvolutionSystem",
+    "FunctionalDependency",
+    "GeneralMergeWorkload",
+    "LosslessJoinError",
+    "MergeTables",
+    "PartitionTable",
+    "PlainBitmap",
+    "QueryLevelEvolution",
+    "RLEVector",
+    "RenameColumn",
+    "RenameTable",
+    "SalesStarWorkload",
+    "SchemaError",
+    "SmoValidationError",
+    "SqlError",
+    "SqlExecutor",
+    "SqliteEvolution",
+    "StorageError",
+    "Table",
+    "TableSchema",
+    "UnionTables",
+    "WAHBitmap",
+    "load_csv",
+    "load_table",
+    "make_system",
+    "parse_script",
+    "parse_smo",
+    "save_csv",
+    "save_table",
+    "table_from_python",
+]

@@ -1,0 +1,29 @@
+"""Comparator systems: CODS plus the query-level baselines of Figure 3."""
+
+from repro.baselines.base import CodsSystem, EvolutionSystem
+from repro.baselines.query_level import QueryLevelEvolution, render_create_table
+from repro.baselines.row_sqlite import SqliteEvolution
+from repro.baselines.systems import (
+    SERIES,
+    cods_system,
+    column_query_level_system,
+    commercial_row_indexed_system,
+    commercial_row_system,
+    make_system,
+    sqlite_system,
+)
+
+__all__ = [
+    "SERIES",
+    "CodsSystem",
+    "EvolutionSystem",
+    "QueryLevelEvolution",
+    "SqliteEvolution",
+    "cods_system",
+    "column_query_level_system",
+    "commercial_row_indexed_system",
+    "commercial_row_system",
+    "make_system",
+    "render_create_table",
+    "sqlite_system",
+]

@@ -1,0 +1,75 @@
+"""The common interface all evolution systems implement.
+
+The benchmark harness compares CODS against the query-level baselines
+through this interface: load tables, apply an SMO stream, extract
+results for verification.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.engine import EvolutionEngine
+from repro.smo.ops import SchemaModificationOperator
+from repro.storage.table import Table
+
+
+class EvolutionSystem:
+    """A database system capable of executing schema evolutions."""
+
+    name: str = "abstract"
+
+    def load(self, table: Table) -> None:
+        """Ingest a table (not part of timed evolution)."""
+        raise NotImplementedError
+
+    def apply(self, op: SchemaModificationOperator) -> None:
+        """Execute one SMO (the timed operation)."""
+        raise NotImplementedError
+
+    def extract(self, name: str) -> Table:
+        """Return a table's current contents in the common format."""
+        raise NotImplementedError
+
+    def table_names(self) -> list[str]:
+        raise NotImplementedError
+
+    def declare_fd(self, fd) -> None:
+        """Declare a known functional dependency (schema-level metadata).
+
+        A DBA requesting a decomposition knows which side carries the
+        key; declaring the FD lets every system validate losslessness
+        from metadata instead of scanning the data inside the timed
+        evolution.
+        """
+        raise NotImplementedError
+
+    def timed_apply(self, op: SchemaModificationOperator) -> float:
+        """Apply and return wall-clock seconds."""
+        started = time.perf_counter()
+        self.apply(op)
+        return time.perf_counter() - started
+
+
+class CodsSystem(EvolutionSystem):
+    """The data-level system of the paper ("D" in Figure 3)."""
+
+    name = "CODS (data-level)"
+
+    def __init__(self, verify_with_data: bool = True):
+        self.engine = EvolutionEngine(verify_with_data=verify_with_data)
+
+    def declare_fd(self, fd) -> None:
+        self.engine.extra_fds = tuple(self.engine.extra_fds) + (fd,)
+
+    def load(self, table: Table) -> None:
+        self.engine.load_table(table)
+
+    def apply(self, op: SchemaModificationOperator) -> None:
+        self.engine.apply(op)
+
+    def extract(self, name: str) -> Table:
+        return self.engine.table(name)
+
+    def table_names(self) -> list[str]:
+        return self.engine.catalog.table_names()

@@ -1,0 +1,62 @@
+"""Concrete comparator systems matching the Figure 3 series labels."""
+
+from __future__ import annotations
+
+from repro.baselines.base import CodsSystem, EvolutionSystem
+from repro.baselines.query_level import QueryLevelEvolution
+from repro.baselines.row_sqlite import SqliteEvolution
+from repro.sql.adapter import ColumnStoreAdapter, RowEngineAdapter
+
+
+def cods_system() -> CodsSystem:
+    """D — the data-level approach (CODS)."""
+    return CodsSystem()
+
+
+def commercial_row_system() -> QueryLevelEvolution:
+    """C — commercial-style row store, query-level, no indexes."""
+    return QueryLevelEvolution(
+        RowEngineAdapter(), name="Commercial row store (query-level)"
+    )
+
+
+def commercial_row_indexed_system() -> QueryLevelEvolution:
+    """C+I — commercial-style row store with index rebuilds."""
+    return QueryLevelEvolution(
+        RowEngineAdapter(),
+        name="Commercial row store + indexes (query-level)",
+        with_indexes=True,
+    )
+
+
+def sqlite_system() -> SqliteEvolution:
+    """S — SQLite executing the same evolution SQL."""
+    return SqliteEvolution()
+
+
+def column_query_level_system() -> QueryLevelEvolution:
+    """M — a column store evolving at the *query* level (MonetDB-style).
+
+    Same storage substrate as CODS; the only difference is the pipeline:
+    decompress -> tuples -> query -> split -> re-compress.  This isolates
+    the paper's claim that the win comes from data-level execution, not
+    from column orientation alone.
+    """
+    return QueryLevelEvolution(
+        ColumnStoreAdapter(), name="Column store (query-level)"
+    )
+
+
+SERIES = {
+    "D": cods_system,
+    "C": commercial_row_system,
+    "C+I": commercial_row_indexed_system,
+    "S": sqlite_system,
+    "M": column_query_level_system,
+}
+"""Factories keyed by the paper's Figure 3 legend labels."""
+
+
+def make_system(label: str) -> EvolutionSystem:
+    """Instantiate a comparator by its Figure 3 label."""
+    return SERIES[label]()

@@ -1,0 +1,31 @@
+"""Benchmark harness and reporting for the paper's evaluation."""
+
+from repro.bench.harness import (
+    BenchResult,
+    bench_rows,
+    run_decomposition_point,
+    run_figure,
+    run_mergence_point,
+    run_table1,
+    scaled_distinct_sweep,
+)
+from repro.bench.report import (
+    ascii_chart,
+    series_table,
+    speedup_summary,
+    table1_report,
+)
+
+__all__ = [
+    "BenchResult",
+    "ascii_chart",
+    "bench_rows",
+    "run_decomposition_point",
+    "run_figure",
+    "run_mergence_point",
+    "run_table1",
+    "scaled_distinct_sweep",
+    "series_table",
+    "speedup_summary",
+    "table1_report",
+]

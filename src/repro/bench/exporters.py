@@ -1,0 +1,52 @@
+"""Exporting benchmark results for external plotting.
+
+`series_csv` writes Figure 3-style results in long form (one row per
+measured point); `table1_csv` writes the per-operator grid.  Both are
+plain CSV so any plotting tool can regenerate the paper's charts.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+
+def series_csv(results, path) -> None:
+    """Write BenchResult records as long-form CSV."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(
+            handle,
+            fieldnames=[
+                "figure", "series", "system", "rows", "distinct", "seconds",
+            ],
+        )
+        writer.writeheader()
+        for result in results:
+            writer.writerow(result.as_row())
+
+
+def table1_csv(rows, path, series=("D", "C+I", "M")) -> None:
+    """Write run_table1 output as CSV (operator × system grid)."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["operator", "rows", *series])
+        for record in rows:
+            writer.writerow(
+                [record["operator"], record["rows"]]
+                + [record[label] for label in series]
+            )
+
+
+def load_series_csv(path) -> list[dict]:
+    """Read back a series CSV (values re-typed)."""
+    path = Path(path)
+    out = []
+    with path.open(newline="") as handle:
+        for row in csv.DictReader(handle):
+            row["rows"] = int(row["rows"])
+            row["distinct"] = int(row["distinct"])
+            row["seconds"] = float(row["seconds"])
+            out.append(row)
+    return out

@@ -1,0 +1,104 @@
+"""CLI entry point regenerating the paper's figures and table.
+
+Usage::
+
+    cods-figures --figure 3a            # Figure 3(a), default scale
+    cods-figures --figure 3b --rows 1000000
+    cods-figures --figure tab1
+    cods-figures --figure all --out results.txt
+
+Absolute times depend on this substrate (pure-Python/NumPy engines);
+the claim under reproduction is the *shape*: data-level evolution (D)
+beats every query-level series by orders of magnitude.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.harness import bench_rows, run_figure, run_table1
+from repro.bench.report import (
+    ascii_chart,
+    series_table,
+    speedup_summary,
+    table1_report,
+)
+
+
+def _progress(message: str) -> None:
+    print(f"  … {message}", file=sys.stderr, flush=True)
+
+
+def figure_text(figure: str, nrows: int) -> str:
+    """Run one artifact and render its report."""
+    if figure == "3a":
+        results = run_figure("3a", nrows, progress=_progress)
+        title = (
+            f"Figure 3(a) Decomposition — {nrows:,} rows, time vs "
+            "#distinct values"
+        )
+        return "\n\n".join(
+            [
+                series_table(results, title),
+                ascii_chart(results),
+                speedup_summary(results),
+            ]
+        )
+    if figure == "3b":
+        results = run_figure("3b", nrows, progress=_progress)
+        title = (
+            f"Figure 3(b) Mergence — {nrows:,} rows, time vs "
+            "#distinct values"
+        )
+        return "\n\n".join(
+            [
+                series_table(results, title),
+                ascii_chart(results),
+                speedup_summary(results, baseline_series=("C", "C+I", "M")),
+            ]
+        )
+    if figure == "tab1":
+        rows = run_table1(progress=_progress)
+        return table1_report(rows)
+    raise ValueError(f"unknown figure {figure!r}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="cods-figures",
+        description="Regenerate the CODS paper's evaluation artifacts.",
+    )
+    parser.add_argument(
+        "--figure",
+        choices=["3a", "3b", "tab1", "all"],
+        default="all",
+        help="which artifact to regenerate",
+    )
+    parser.add_argument(
+        "--rows",
+        type=int,
+        default=None,
+        help=f"table size (default {bench_rows():,}; paper used 10,000,000)",
+    )
+    parser.add_argument(
+        "--out",
+        type=str,
+        default=None,
+        help="also write the report to this file",
+    )
+    args = parser.parse_args(argv)
+
+    nrows = args.rows or bench_rows()
+    figures = ["3a", "3b", "tab1"] if args.figure == "all" else [args.figure]
+    sections = [figure_text(figure, nrows) for figure in figures]
+    report = ("\n\n" + "=" * 72 + "\n\n").join(sections)
+    print(report)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(report + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,366 @@
+"""Batched (column-level) kernels over many WAH bitmaps.
+
+A bitmap-encoded column holds one compressed bitmap per distinct value —
+up to hundreds of thousands of them.  Per-bitmap Python calls would
+dominate runtime at high cardinality, so the operations the evolution
+algorithms perform across *all* value bitmaps of a column (distinction's
+first-set-bit, cardinality counts, full position decode) are implemented
+here as single vectorized passes over the concatenation of all word
+arrays.  The semantics are identical to looping over
+:class:`~repro.bitmap.wah.WAHBitmap` methods; tests assert equivalence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bitmap.wah import (
+    FILL_FLAG,
+    FILL_LEN_MASK,
+    GROUP_BITS,
+    MAX_FILL_GROUPS,
+    WAHBitmap,
+)
+
+_BIT_INDEX = np.arange(GROUP_BITS, dtype=np.uint32)
+
+
+class WordDirectory:
+    """The concatenated word arrays of many bitmaps, with segment maps.
+
+    Precomputes, for every word: its owning segment (bitmap index), fill
+    flags, groups spanned, and its group offset *within its segment*.
+    """
+
+    __slots__ = (
+        "words", "seg_of_word", "seg_word_start", "is_fill", "fill_value",
+        "groups", "group_offset", "nbitmaps",
+    )
+
+    def __init__(self, bitmaps):
+        arrays = [bm.words for bm in bitmaps]
+        counts = np.array([len(a) for a in arrays], dtype=np.int64)
+        self.nbitmaps = len(arrays)
+        self.words = (
+            np.concatenate(arrays) if arrays else np.empty(0, dtype=np.uint32)
+        )
+        self.seg_word_start = np.concatenate(([0], np.cumsum(counts)))
+        self.seg_of_word = np.repeat(
+            np.arange(self.nbitmaps, dtype=np.int64), counts
+        )
+        words = self.words
+        self.is_fill = (words & FILL_FLAG) != 0
+        self.fill_value = (words & np.uint32(0x40000000)) != 0
+        self.groups = np.where(
+            self.is_fill, words & FILL_LEN_MASK, 1
+        ).astype(np.int64)
+        # Group offset within each bitmap: global running sum minus the
+        # segment's base.
+        global_offset = np.concatenate(
+            ([0], np.cumsum(self.groups)[:-1])
+        ).astype(np.int64)
+        seg_base = np.zeros(self.nbitmaps, dtype=np.int64)
+        nonempty = counts > 0
+        seg_base[nonempty] = global_offset[
+            self.seg_word_start[:-1][nonempty]
+        ]
+        self.group_offset = global_offset - seg_base[self.seg_of_word]
+
+
+def batch_count(bitmaps) -> np.ndarray:
+    """Set-bit count of each bitmap, in one vectorized pass."""
+    if not _all_wah(bitmaps):
+        return np.array([bm.count() for bm in bitmaps], dtype=np.int64)
+    directory = WordDirectory(bitmaps)
+    per_word = np.zeros(len(directory.words), dtype=np.int64)
+    one_fill = directory.is_fill & directory.fill_value
+    per_word[one_fill] = directory.groups[one_fill] * GROUP_BITS
+    literal = ~directory.is_fill
+    per_word[literal] = np.bitwise_count(directory.words[literal])
+    counts = np.zeros(directory.nbitmaps, dtype=np.int64)
+    np.add.at(counts, directory.seg_of_word, per_word)
+    return counts
+
+
+def batch_first_set(bitmaps) -> np.ndarray:
+    """First set bit of each bitmap (-1 when empty), one pass."""
+    if not _all_wah(bitmaps):
+        return np.array([bm.first_set() for bm in bitmaps], dtype=np.int64)
+    directory = WordDirectory(bitmaps)
+    interesting = (directory.is_fill & directory.fill_value) | (
+        ~directory.is_fill & (directory.words != 0)
+    )
+    result = np.full(directory.nbitmaps, -1, dtype=np.int64)
+    hits = np.flatnonzero(interesting)
+    if len(hits) == 0:
+        return result
+    seg_of_hit = directory.seg_of_word[hits]
+    first_per_seg_mask = np.concatenate(
+        ([True], seg_of_hit[1:] != seg_of_hit[:-1])
+    )
+    first_hits = hits[first_per_seg_mask]
+    segs = seg_of_hit[first_per_seg_mask]
+    base = directory.group_offset[first_hits] * GROUP_BITS
+    words = directory.words[first_hits].astype(np.int64)
+    lowest = words & -words
+    bit = np.bitwise_count((lowest - 1).astype(np.uint32)).astype(np.int64)
+    positions = np.where(directory.is_fill[first_hits], base, base + bit)
+    result[segs] = positions
+    return result
+
+
+def batch_positions(bitmaps) -> tuple[np.ndarray, np.ndarray]:
+    """All set-bit positions of all bitmaps, one vectorized pass.
+
+    Returns ``(positions, boundaries)`` where positions of bitmap ``i``
+    are ``positions[boundaries[i]:boundaries[i+1]]``, sorted.
+    """
+    if not _all_wah(bitmaps):
+        parts = [bm.positions() for bm in bitmaps]
+        boundaries = np.concatenate(
+            ([0], np.cumsum([len(p) for p in parts]))
+        ).astype(np.int64)
+        positions = (
+            np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+        )
+        return positions, boundaries
+
+    directory = WordDirectory(bitmaps)
+    one_fill = directory.is_fill & directory.fill_value
+    literal = ~directory.is_fill
+    lit_words = directory.words[literal]
+    lit_pop = np.bitwise_count(lit_words).astype(np.int64)
+
+    out_per_word = np.zeros(len(directory.words), dtype=np.int64)
+    out_per_word[one_fill] = directory.groups[one_fill] * GROUP_BITS
+    out_per_word[literal] = lit_pop
+    out_offsets = np.concatenate(([0], np.cumsum(out_per_word)))
+    positions = np.empty(out_offsets[-1], dtype=np.int64)
+
+    fill_idx = np.flatnonzero(one_fill)
+    if len(fill_idx):
+        lengths = out_per_word[fill_idx]
+        starts = directory.group_offset[fill_idx] * GROUP_BITS
+        total = int(lengths.sum())
+        base = np.repeat(starts, lengths)
+        run_start = np.repeat(np.cumsum(lengths) - lengths, lengths)
+        within = np.arange(total, dtype=np.int64) - run_start
+        positions[np.repeat(out_offsets[fill_idx], lengths) + within] = (
+            base + within
+        )
+
+    lit_idx = np.flatnonzero(literal)
+    if len(lit_idx):
+        matrix = (lit_words[:, None] >> _BIT_INDEX) & np.uint32(1)
+        row, bit = np.nonzero(matrix)
+        word_of = lit_idx[row]
+        rank_in_word = np.arange(len(row)) - np.repeat(
+            np.cumsum(lit_pop) - lit_pop, lit_pop
+        )
+        positions[out_offsets[word_of] + rank_in_word] = (
+            directory.group_offset[word_of] * GROUP_BITS + bit
+        )
+
+    # Per-bitmap boundaries in the flat positions array.
+    boundaries = np.empty(directory.nbitmaps + 1, dtype=np.int64)
+    boundaries[0] = 0
+    boundaries[1:] = out_offsets[directory.seg_word_start[1:]]
+    return positions, boundaries
+
+
+def batch_decode_vids(bitmaps, nrows: int) -> np.ndarray:
+    """Row-order vid array of a whole column, one pass.
+
+    Equivalent to scattering ``positions()`` of every bitmap; this is
+    the column "sequential scan" (decompression) primitive.
+    """
+    positions, boundaries = batch_positions(bitmaps)
+    vids = np.empty(nrows, dtype=np.int64)
+    counts = np.diff(boundaries)
+    vid_per_position = np.repeat(
+        np.arange(len(bitmaps), dtype=np.int64), counts
+    )
+    if len(positions) != nrows:
+        from repro.errors import StorageError
+
+        raise StorageError(
+            f"bitmaps cover {len(positions)} rows of {nrows}"
+        )
+    vids[positions] = vid_per_position
+    return vids
+
+
+def batch_select(bitmaps, sorted_positions: np.ndarray) -> list:
+    """Bitmap-filter every bitmap of a column in one vectorized pass.
+
+    Equivalent to ``[bm.select(sorted_positions) for bm in bitmaps]``:
+    all set positions are extracted once (:func:`batch_positions`), their
+    survival and rank under ``sorted_positions`` is computed with a
+    single ``searchsorted``, and only the final per-value construction
+    touches Python.
+    """
+    if not _all_wah(bitmaps):
+        return [bm.select(sorted_positions) for bm in bitmaps]
+    picks = np.asarray(sorted_positions, dtype=np.int64)
+    new_len = len(picks)
+    flat, bounds = batch_positions(bitmaps)
+    if new_len == 0 or len(flat) == 0:
+        return [WAHBitmap.zeros(new_len) for _ in bitmaps]
+    index = np.searchsorted(picks, flat)
+    clamped = np.minimum(index, new_len - 1)
+    keep = (index < new_len) & (picks[clamped] == flat)
+    new_positions = index[keep]
+    counts = np.diff(bounds)
+    seg_of_position = np.repeat(
+        np.arange(len(bitmaps), dtype=np.int64), counts
+    )
+    kept_per_segment = np.bincount(
+        seg_of_position[keep], minlength=len(bitmaps)
+    )
+    new_bounds = np.concatenate(([0], np.cumsum(kept_per_segment)))
+    return [
+        WAHBitmap.from_positions(
+            new_positions[new_bounds[i] : new_bounds[i + 1]], new_len
+        )
+        for i in range(len(bitmaps))
+    ]
+
+
+def batch_concat_positions(
+    left_bitmaps, right_bitmaps, pairing, left_nbits: int, right_nbits: int
+) -> list:
+    """Concatenate column bitmaps (UNION) in one vectorized pass.
+
+    ``pairing`` is a list of ``(left_vid | None, right_vid | None)``
+    describing each output value.  Positions from both sides are
+    extracted once; each output bitmap is built from the merged
+    (left, shifted-right) position list.
+    """
+    total = left_nbits + right_nbits
+    if not _all_wah(list(left_bitmaps) + list(right_bitmaps)):
+        results = []
+        for left_vid, right_vid in pairing:
+            codec = type(
+                left_bitmaps[left_vid]
+                if left_vid is not None
+                else right_bitmaps[right_vid]
+            )
+            left_bm = (
+                left_bitmaps[left_vid]
+                if left_vid is not None
+                else codec.zeros(left_nbits)
+            )
+            right_bm = (
+                right_bitmaps[right_vid]
+                if right_vid is not None
+                else codec.zeros(right_nbits)
+            )
+            results.append(left_bm.concat(right_bm))
+        return results
+
+    left_flat, left_bounds = batch_positions(list(left_bitmaps))
+    right_flat, right_bounds = batch_positions(list(right_bitmaps))
+    right_flat = right_flat + left_nbits
+    results = []
+    empty = np.empty(0, dtype=np.int64)
+    for left_vid, right_vid in pairing:
+        left_part = (
+            left_flat[left_bounds[left_vid] : left_bounds[left_vid + 1]]
+            if left_vid is not None
+            else empty
+        )
+        right_part = (
+            right_flat[
+                right_bounds[right_vid] : right_bounds[right_vid + 1]
+            ]
+            if right_vid is not None
+            else empty
+        )
+        positions = (
+            np.concatenate((left_part, right_part))
+            if len(left_part) and len(right_part)
+            else (left_part if len(left_part) else right_part)
+        )
+        results.append(WAHBitmap.from_positions(positions, total))
+    return results
+
+
+def unit_bitmap(position: int, nbits: int) -> WAHBitmap:
+    """A bitmap with exactly one set bit — direct word assembly.
+
+    Decomposition's changed-side key column consists entirely of these
+    (one row per distinct key), so this constructor is on the hot path.
+    """
+    group = position // GROUP_BITS
+    bit = position % GROUP_BITS
+    ngroups = (nbits + GROUP_BITS - 1) // GROUP_BITS
+    partial = nbits % GROUP_BITS != 0
+    words = []
+    if group > 0:
+        remaining = group
+        while remaining > 0:  # fills over MAX_FILL_GROUPS never occur here
+            chunk = min(remaining, MAX_FILL_GROUPS)
+            words.append(int(FILL_FLAG) | chunk)
+            remaining -= chunk
+    words.append(1 << bit)
+    tail = ngroups - group - 1
+    if tail > 0:
+        if partial:
+            if tail > 1:
+                words.append(int(FILL_FLAG) | (tail - 1))
+            words.append(0)  # the partial trailing group stays a literal
+        else:
+            words.append(int(FILL_FLAG) | tail)
+    return WAHBitmap(np.array(words, dtype=np.uint32), nbits, _count=1)
+
+
+def batch_unit_bitmaps(positions: np.ndarray, nbits: int) -> list:
+    """One unit bitmap per entry of ``positions``, built in one pass.
+
+    Equivalent to ``[unit_bitmap(int(p), nbits) for p in positions]``;
+    all word arrays are assembled into a single buffer and sliced, so
+    the per-bitmap Python work is just object creation.  This is the
+    decompose hot path: the changed table's key column is exactly one
+    unit bitmap per distinct key value.
+    """
+    pos = np.asarray(positions, dtype=np.int64)
+    n = len(pos)
+    if n == 0:
+        return []
+    ngroups = (nbits + GROUP_BITS - 1) // GROUP_BITS
+    partial = nbits % GROUP_BITS != 0
+    group = pos // GROUP_BITS
+    bit = (pos % GROUP_BITS).astype(np.uint32)
+    tail = ngroups - group - 1
+
+    lead = group > 0
+    if partial:
+        tail_fill = tail > 1
+        tail_lit = tail > 0
+        tail_fill_len = tail - 1
+    else:
+        tail_fill = tail > 0
+        tail_lit = np.zeros(n, dtype=bool)
+        tail_fill_len = tail
+    counts = 1 + lead.astype(np.int64) + tail_fill + tail_lit
+    offsets = np.concatenate(([0], np.cumsum(counts)))
+    buffer = np.zeros(int(offsets[-1]), dtype=np.uint32)
+
+    lead_at = offsets[:-1][lead]
+    buffer[lead_at] = FILL_FLAG | group[lead].astype(np.uint32)
+    lit_at = offsets[:-1] + lead
+    buffer[lit_at] = (np.uint32(1) << bit).astype(np.uint32)
+    fill_at = (lit_at + 1)[tail_fill]
+    buffer[fill_at] = FILL_FLAG | tail_fill_len[tail_fill].astype(np.uint32)
+    # Tail literals are zero words; the buffer is zero-initialized.
+
+    return [
+        WAHBitmap(
+            buffer[offsets[i] : offsets[i + 1]], nbits, _count=1
+        )
+        for i in range(n)
+    ]
+
+
+def _all_wah(bitmaps) -> bool:
+    return all(isinstance(bm, WAHBitmap) for bm in bitmaps)

@@ -1,0 +1,81 @@
+"""Streaming construction of WAH bitmaps.
+
+:class:`WAHBuilder` accumulates bits (individually, as runs, or as dense
+chunks) and produces a canonical :class:`~repro.bitmap.wah.WAHBitmap`
+without ever materializing the full dense array.  The CSV loader and the
+UNION operator use it to build per-value bitmaps incrementally.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bitmap.wah import WAHBitmap
+from repro.errors import BitmapError
+
+
+class WAHBuilder:
+    """Accumulates set-intervals and finalizes into a WAH bitmap."""
+
+    def __init__(self):
+        self._starts: list[int] = []
+        self._ends: list[int] = []
+        self._cursor = 0
+
+    @property
+    def nbits(self) -> int:
+        """Bits appended so far."""
+        return self._cursor
+
+    def append_bit(self, value) -> None:
+        """Append a single bit."""
+        self.append_run(1 if value else 0, 1)
+
+    def append_run(self, value: int, length: int) -> None:
+        """Append ``length`` copies of ``value`` (0 or 1)."""
+        if length < 0:
+            raise BitmapError("run length must be non-negative")
+        if length == 0:
+            return
+        if value:
+            if self._ends and self._ends[-1] == self._cursor:
+                self._ends[-1] = self._cursor + length
+            else:
+                self._starts.append(self._cursor)
+                self._ends.append(self._cursor + length)
+        self._cursor += length
+
+    def append_dense(self, bits) -> None:
+        """Append a dense 0/1 chunk."""
+        array = np.asarray(bits, dtype=bool)
+        if len(array) == 0:
+            return
+        padded = np.zeros(len(array) + 2, dtype=bool)
+        padded[1:-1] = array
+        starts = np.flatnonzero(padded[1:] & ~padded[:-1])
+        ends = np.flatnonzero(~padded[1:] & padded[:-1])
+        for lo, hi in zip(starts.tolist(), ends.tolist()):
+            if self._ends and self._ends[-1] == self._cursor + lo:
+                self._ends[-1] = self._cursor + hi
+            else:
+                self._starts.append(self._cursor + lo)
+                self._ends.append(self._cursor + hi)
+        self._cursor += len(array)
+
+    def append_positions(self, positions, length: int) -> None:
+        """Append a chunk of ``length`` bits set at ``positions`` (chunk-relative)."""
+        pos = np.asarray(positions, dtype=np.int64)
+        if len(pos):
+            if pos[0] < 0 or pos[-1] >= length:
+                raise BitmapError("position out of chunk range")
+            for p in pos.tolist():
+                if self._ends and self._ends[-1] == self._cursor + p:
+                    self._ends[-1] = self._cursor + p + 1
+                else:
+                    self._starts.append(self._cursor + p)
+                    self._ends.append(self._cursor + p + 1)
+        self._cursor += length
+
+    def build(self) -> WAHBitmap:
+        """Finalize into a canonical WAH bitmap."""
+        return WAHBitmap.from_intervals(self._starts, self._ends, self._cursor)

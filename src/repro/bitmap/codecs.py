@@ -1,0 +1,43 @@
+"""Bitmap codec registry.
+
+Columns are parameterized by a codec name so the ablation benchmarks can
+swap WAH for an uncompressed representation without touching any
+algorithm.  Both codecs expose the same interface (constructors
+``zeros/ones/from_dense/from_positions/from_intervals``, queries
+``count/first_set/positions/one_intervals``, structural ops
+``select/concat`` and the logical operators).
+"""
+
+from __future__ import annotations
+
+from repro.bitmap.plain import PlainBitmap
+from repro.bitmap.wah import WAHBitmap
+from repro.errors import BitmapError
+
+WAH = "wah"
+PLAIN = "plain"
+
+_CODECS = {
+    WAH: WAHBitmap,
+    PLAIN: PlainBitmap,
+}
+
+
+def get_codec(name: str):
+    """Return the bitmap class registered under ``name``."""
+    try:
+        return _CODECS[name]
+    except KeyError:
+        raise BitmapError(
+            f"unknown bitmap codec {name!r}; available: {sorted(_CODECS)}"
+        ) from None
+
+
+def codec_names() -> list[str]:
+    """Names of all registered codecs."""
+    return sorted(_CODECS)
+
+
+def register_codec(name: str, cls) -> None:
+    """Register a custom codec class (used by tests and extensions)."""
+    _CODECS[name] = cls

@@ -1,0 +1,57 @@
+"""Multi-bitmap operations.
+
+Per-value bitmaps of one column are pairwise disjoint, which makes
+unions cheap: concatenating their position lists already yields a sorted
+set after one merge.  Predicates over many values (PARTITION conditions,
+SQL WHERE) use these helpers instead of folding pairwise ORs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def union_disjoint(bitmaps, nbits: int, codec=None):
+    """OR of pairwise-disjoint bitmaps (e.g. several values of one column).
+
+    ``O(total set bits)`` — each bitmap contributes its positions once.
+    """
+    bitmaps = list(bitmaps)
+    if codec is None:
+        if not bitmaps:
+            raise ValueError("need a codec for an empty union")
+        codec = type(bitmaps[0])
+    if not bitmaps:
+        return codec.zeros(nbits)
+    parts = [bm.positions() for bm in bitmaps]
+    positions = np.sort(np.concatenate(parts))
+    return codec.from_positions(positions, nbits)
+
+
+def union(bitmaps, nbits: int, codec=None):
+    """OR of arbitrary (possibly overlapping) bitmaps."""
+    bitmaps = list(bitmaps)
+    if codec is None:
+        if not bitmaps:
+            raise ValueError("need a codec for an empty union")
+        codec = type(bitmaps[0])
+    if not bitmaps:
+        return codec.zeros(nbits)
+    parts = [bm.positions() for bm in bitmaps]
+    positions = np.unique(np.concatenate(parts))
+    return codec.from_positions(positions, nbits)
+
+
+def intersection(bitmaps, nbits: int, codec=None):
+    """AND of bitmaps, folded pairwise (few operands expected)."""
+    bitmaps = list(bitmaps)
+    if codec is None:
+        if not bitmaps:
+            raise ValueError("need a codec for an empty intersection")
+        codec = type(bitmaps[0])
+    if not bitmaps:
+        return codec.ones(nbits)
+    result = bitmaps[0]
+    for bitmap in bitmaps[1:]:
+        result = result & bitmap
+    return result

@@ -1,0 +1,190 @@
+"""Run-length encoded value vectors for sorted columns.
+
+The paper notes (Section 2.2) that "other compression schemes are
+sometimes used for special columns, such as run length encoding for
+sorted columns" and defers support to future work.  We implement that
+extension here: an :class:`RLEVector` stores a column as ``(value id,
+run length)`` pairs and supports the same structural operations the
+evolution algorithms need — per-value position lookup, filtering by a
+sorted position list, and concatenation — each in time proportional to
+the number of runs.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.errors import BitmapError, SerializationError
+
+_MAGIC = b"RLE1"
+
+
+class RLEVector:
+    """A sequence of integer value ids, run-length encoded.
+
+    Unlike a bitmap (one structure per distinct value), a single
+    :class:`RLEVector` encodes the whole column; it is the natural codec
+    when the column is sorted or heavily clustered.
+    """
+
+    __slots__ = ("_values", "_lengths", "_offsets")
+
+    def __init__(self, values: np.ndarray, lengths: np.ndarray):
+        self._values = np.ascontiguousarray(values, dtype=np.int64)
+        self._lengths = np.ascontiguousarray(lengths, dtype=np.int64)
+        if len(self._values) != len(self._lengths):
+            raise BitmapError("values and lengths must have equal length")
+        if np.any(self._lengths <= 0):
+            raise BitmapError("run lengths must be positive")
+        self._offsets = np.concatenate(
+            ([0], np.cumsum(self._lengths))
+        ).astype(np.int64)
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def from_values(cls, values) -> "RLEVector":
+        """Run-length encode a row-ordered array of value ids."""
+        array = np.asarray(values, dtype=np.int64)
+        if len(array) == 0:
+            return cls(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        change = np.concatenate(([True], array[1:] != array[:-1]))
+        starts = np.flatnonzero(change)
+        lengths = np.diff(np.concatenate((starts, [len(array)])))
+        return cls(array[starts], lengths)
+
+    # -- properties ---------------------------------------------------------
+
+    @property
+    def run_count(self) -> int:
+        return len(self._values)
+
+    @property
+    def nrows(self) -> int:
+        return int(self._offsets[-1])
+
+    @property
+    def nbytes(self) -> int:
+        return self._values.nbytes + self._lengths.nbytes
+
+    def __len__(self) -> int:
+        return self.nrows
+
+    def __repr__(self) -> str:
+        return f"RLEVector(nrows={self.nrows}, runs={self.run_count})"
+
+    # -- decoding -----------------------------------------------------------
+
+    def decode(self) -> np.ndarray:
+        """Materialize the row-ordered value-id array."""
+        return np.repeat(self._values, self._lengths)
+
+    def runs(self) -> tuple[np.ndarray, np.ndarray]:
+        """The ``(values, lengths)`` arrays (read-only views)."""
+        values = self._values.view()
+        lengths = self._lengths.view()
+        values.flags.writeable = False
+        lengths.flags.writeable = False
+        return values, lengths
+
+    # -- queries --------------------------------------------------------------
+
+    def get(self, position: int) -> int:
+        """Value id at a row position."""
+        if position < 0 or position >= self.nrows:
+            raise BitmapError(f"row {position} out of range")
+        run = int(np.searchsorted(self._offsets, position, side="right")) - 1
+        return int(self._values[run])
+
+    def positions_of(self, value: int) -> np.ndarray:
+        """Sorted row positions holding ``value``; O(runs + output)."""
+        hits = np.flatnonzero(self._values == value)
+        if len(hits) == 0:
+            return np.empty(0, dtype=np.int64)
+        starts = self._offsets[hits]
+        lengths = self._lengths[hits]
+        total = int(lengths.sum())
+        base = np.repeat(starts, lengths)
+        run_start = np.repeat(np.cumsum(lengths) - lengths, lengths)
+        return base + (np.arange(total, dtype=np.int64) - run_start)
+
+    def distinct_first_positions(self) -> tuple[np.ndarray, np.ndarray]:
+        """For each distinct value, the first row where it occurs.
+
+        Returns ``(values, first_positions)`` sorted by value.  This is
+        the RLE analogue of the paper's *distinction* step and costs
+        ``O(runs)``.
+        """
+        order = np.argsort(self._values, kind="stable")
+        sorted_values = self._values[order]
+        sorted_offsets = self._offsets[:-1][order]
+        first = np.concatenate(
+            ([True], sorted_values[1:] != sorted_values[:-1])
+        )
+        # Stable sort keeps row order within equal values, so the first
+        # run of each value is its earliest occurrence.
+        return sorted_values[first], sorted_offsets[first]
+
+    # -- structural ops ---------------------------------------------------------
+
+    def select(self, sorted_positions) -> "RLEVector":
+        """Filter to the rows at ``sorted_positions`` (the RLE analogue of
+        bitmap filtering); O(runs + len(positions))."""
+        pos = np.asarray(sorted_positions, dtype=np.int64)
+        if len(pos) == 0:
+            return RLEVector.from_values(np.empty(0, dtype=np.int64))
+        run = np.searchsorted(self._offsets, pos, side="right") - 1
+        if pos[0] < 0 or pos[-1] >= self.nrows:
+            raise BitmapError("position out of range")
+        return RLEVector.from_values(self._values[run])
+
+    def concat(self, other: "RLEVector") -> "RLEVector":
+        """Concatenate two vectors, merging the boundary run if equal."""
+        if self.run_count == 0:
+            return other
+        if other.run_count == 0:
+            return self
+        if self._values[-1] == other._values[0]:
+            values = np.concatenate((self._values, other._values[1:]))
+            lengths = np.concatenate(
+                (
+                    self._lengths[:-1],
+                    [self._lengths[-1] + other._lengths[0]],
+                    other._lengths[1:],
+                )
+            )
+        else:
+            values = np.concatenate((self._values, other._values))
+            lengths = np.concatenate((self._lengths, other._lengths))
+        return RLEVector(values, lengths)
+
+    # -- equality -----------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RLEVector):
+            return NotImplemented
+        return np.array_equal(self._values, other._values) and np.array_equal(
+            self._lengths, other._lengths
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._values.tobytes(), self._lengths.tobytes()))
+
+    # -- serialization ----------------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        header = _MAGIC + struct.pack("<Q", self.run_count)
+        return header + self._values.tobytes() + self._lengths.tobytes()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "RLEVector":
+        if data[:4] != _MAGIC:
+            raise SerializationError("not an RLE vector: bad magic")
+        (runs,) = struct.unpack_from("<Q", data, 4)
+        offset = 12
+        values = np.frombuffer(data, dtype=np.int64, count=runs, offset=offset)
+        offset += runs * 8
+        lengths = np.frombuffer(data, dtype=np.int64, count=runs, offset=offset)
+        return cls(values.copy(), lengths.copy())

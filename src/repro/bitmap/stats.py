@@ -1,0 +1,40 @@
+"""Compression statistics for bitmaps and columns."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CompressionStats:
+    """Size accounting for one compressed structure.
+
+    ``logical_bits`` is the uncompressed bitmap size (rows), and
+    ``compressed_bytes`` the bytes actually stored.  ``ratio`` > 1 means
+    the compression is effective.
+    """
+
+    logical_bits: int
+    compressed_bytes: int
+
+    @property
+    def logical_bytes(self) -> float:
+        return self.logical_bits / 8.0
+
+    @property
+    def ratio(self) -> float:
+        """Uncompressed-to-compressed size ratio (higher is better)."""
+        if self.compressed_bytes == 0:
+            return float("inf") if self.logical_bits else 1.0
+        return self.logical_bytes / self.compressed_bytes
+
+    def __add__(self, other: "CompressionStats") -> "CompressionStats":
+        return CompressionStats(
+            self.logical_bits + other.logical_bits,
+            self.compressed_bytes + other.compressed_bytes,
+        )
+
+
+def bitmap_stats(bitmap) -> CompressionStats:
+    """Stats for any object exposing ``nbits`` and ``nbytes``."""
+    return CompressionStats(bitmap.nbits, bitmap.nbytes)

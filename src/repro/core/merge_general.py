@@ -1,0 +1,393 @@
+"""General mergence: the two-pass equi-join algorithm (Section 2.5.2).
+
+Neither input is reusable.  The algorithm never materializes the output
+tuples; it computes, for every value of every output column, *where* its
+bits land, from arithmetic on occurrence counts:
+
+**Pass 1** — count the occurrences ``n1(v)``, ``n2(v)`` of each distinct
+join value in ``S`` and ``T``.  A value appearing in both sides occupies
+``n1·n2`` rows of ``R``; clustering ``R`` by join value makes every join
+attribute's bitmap a single one-fill interval, derived purely from the
+counts (for single-attribute joins the counts come straight from the
+compressed bitmaps — no decompression).
+
+**Pass 2** — place the non-join values.  Within value ``v``'s block
+(offset ``o``, sized ``n1·n2``), the pairing of ``S``-occurrence ``p``
+with ``T``-occurrence ``q`` sits at row ``o + p·n2 + q``.  Hence:
+
+* ``S``'s non-join value at occurrence ``p`` covers the *consecutive*
+  run ``[o + p·n2, o + (p+1)·n2)`` — an interval per source row;
+* ``T``'s non-join value at occurrence ``q`` covers the *strided* set
+  ``{o + p·n2 + q : 0 <= p < n1}`` — "non-consecutive but with the same
+  distance" in the paper's words.
+
+Both position sets are generated arithmetically and fed to the
+compressed-bitmap constructors; building ``R``'s S-side columns costs
+``O(|S| log |S|)`` regardless of ``|R|``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.status import EvolutionStatus
+from repro.smo.ops import MergeTables
+from repro.storage.column import BitmapColumn
+from repro.storage.dictionary import Dictionary
+from repro.storage.schema import TableSchema
+from repro.storage.table import Table
+
+
+@dataclass
+class _JoinGroups:
+    """Output of pass 1: the aligned join-value groups.
+
+    ``C`` common join values (groups), each with counts ``n1``/``n2``
+    and a block ``[offsets[c], offsets[c] + n1[c] * n2[c])`` in ``R``.
+    ``s_cid``/``t_cid`` give each input row's group (or -1 if dropped).
+    ``group_value_vids[attr]`` maps group -> vid *in S's dictionary*.
+    """
+
+    n1: np.ndarray
+    n2: np.ndarray
+    offsets: np.ndarray
+    s_cid: np.ndarray
+    t_cid: np.ndarray
+    group_value_vids: dict
+    total_rows: int
+
+
+def _pass1_single(left: Table, right: Table, attr: str,
+                  status: EvolutionStatus) -> _JoinGroups:
+    """Pass 1 for a single join attribute.
+
+    Counts come from the compressed bitmaps (``value_counts``); only the
+    row->group assignment needed by pass 2 decodes the join columns.
+    """
+    s_col = left.column(attr)
+    t_col = right.column(attr)
+    s_counts = s_col.value_counts()
+    t_counts = t_col.value_counts()
+
+    svid_to_cid = np.full(s_col.distinct_count, -1, dtype=np.int64)
+    tvid_to_cid = np.full(t_col.distinct_count, -1, dtype=np.int64)
+    group_svids = []
+    n1_list = []
+    n2_list = []
+    for svid, value in enumerate(s_col.dictionary.values()):
+        tvid = t_col.dictionary.vid_or_none(value)
+        if tvid is None:
+            continue
+        cid = len(group_svids)
+        svid_to_cid[svid] = cid
+        tvid_to_cid[tvid] = cid
+        group_svids.append(svid)
+        n1_list.append(int(s_counts[svid]))
+        n2_list.append(int(t_counts[tvid]))
+    n1 = np.array(n1_list, dtype=np.int64)
+    n2 = np.array(n2_list, dtype=np.int64)
+    sizes = n1 * n2
+    offsets = np.concatenate(([0], np.cumsum(sizes)))[:-1]
+    status.emit(
+        "merge pass 1",
+        f"{len(n1)} common join values counted on compressed bitmaps "
+        f"({attr}); output has {int(sizes.sum())} rows",
+    )
+
+    s_cid = svid_to_cid[s_col.decode_vids()]
+    t_cid = tvid_to_cid[t_col.decode_vids()]
+    status.decompressed_column(2)
+    return _JoinGroups(
+        n1, n2, offsets, s_cid, t_cid,
+        {attr: np.array(group_svids, dtype=np.int64)},
+        int(sizes.sum()),
+    )
+
+
+def _pass1_composite(left: Table, right: Table, join_attrs,
+                     status: EvolutionStatus) -> _JoinGroups:
+    """Pass 1 for composite join attributes, via a shared vid space."""
+    k = len(join_attrs)
+    s_matrix = np.empty((left.nrows, k), dtype=np.int64)
+    t_matrix = np.empty((right.nrows, k), dtype=np.int64)
+    for index, attr in enumerate(join_attrs):
+        s_col = left.column(attr)
+        t_col = right.column(attr)
+        s_matrix[:, index] = s_col.decode_vids()
+        remap = np.array(
+            [
+                -1 if (v := s_col.dictionary.vid_or_none(value)) is None
+                else v
+                for value in t_col.dictionary.values()
+            ],
+            dtype=np.int64,
+        )
+        t_matrix[:, index] = remap[t_col.decode_vids()]
+        status.decompressed_column(2)
+    t_valid = ~np.any(t_matrix < 0, axis=1)
+
+    stacked = np.vstack((s_matrix, t_matrix[t_valid]))
+    uniques, inverse = np.unique(stacked, axis=0, return_inverse=True)
+    s_group = inverse[: left.nrows]
+    t_group_valid = inverse[left.nrows :]
+    n_groups = len(uniques)
+    n1_all = np.bincount(s_group, minlength=n_groups)
+    n2_all = np.bincount(t_group_valid, minlength=n_groups)
+    common = (n1_all > 0) & (n2_all > 0)
+    cid_of_group = np.full(n_groups, -1, dtype=np.int64)
+    cid_of_group[common] = np.arange(int(common.sum()), dtype=np.int64)
+
+    n1 = n1_all[common].astype(np.int64)
+    n2 = n2_all[common].astype(np.int64)
+    sizes = n1 * n2
+    offsets = np.concatenate(([0], np.cumsum(sizes)))[:-1]
+    status.emit(
+        "merge pass 1",
+        f"{int(common.sum())} common join combinations of "
+        f"({', '.join(join_attrs)}); output has {int(sizes.sum())} rows",
+    )
+
+    s_cid = cid_of_group[s_group]
+    t_cid = np.full(right.nrows, -1, dtype=np.int64)
+    t_cid[t_valid] = cid_of_group[t_group_valid]
+    group_value_vids = {
+        attr: uniques[common, index].astype(np.int64)
+        for index, attr in enumerate(join_attrs)
+    }
+    return _JoinGroups(
+        n1, n2, offsets, s_cid, t_cid, group_value_vids, int(sizes.sum())
+    )
+
+
+def _grouped_rank(cids: np.ndarray, n_groups: int) -> np.ndarray:
+    """Occurrence rank of each row within its group, in row order.
+
+    Rows with ``cid == -1`` get rank -1.
+    """
+    ranks = np.full(len(cids), -1, dtype=np.int64)
+    kept = cids >= 0
+    if not np.any(kept):
+        return ranks
+    kept_idx = np.flatnonzero(kept)
+    kept_cids = cids[kept_idx]
+    order = np.argsort(kept_cids, kind="stable")
+    sorted_cids = kept_cids[order]
+    group_start = np.concatenate(
+        ([0], np.flatnonzero(sorted_cids[1:] != sorted_cids[:-1]) + 1)
+    )
+    starts_per_row = np.repeat(
+        group_start,
+        np.diff(np.concatenate((group_start, [len(sorted_cids)]))),
+    )
+    rank_sorted = np.arange(len(sorted_cids), dtype=np.int64) - starts_per_row
+    kept_ranks = np.empty(len(sorted_cids), dtype=np.int64)
+    kept_ranks[order] = rank_sorted
+    ranks[kept_idx] = kept_ranks
+    return ranks
+
+
+def _build_join_column(
+    column: BitmapColumn,
+    groups: _JoinGroups,
+    attr: str,
+    total: int,
+) -> BitmapColumn:
+    """R's join-attribute column: per group one pure interval fill."""
+    codec = type(column.bitmaps[0]) if column.bitmaps else None
+    group_vids = groups.group_value_vids[attr]
+    sizes = groups.n1 * groups.n2
+    ends = groups.offsets + sizes
+    # Group intervals are consecutive in group order; collect per vid.
+    order = np.lexsort((groups.offsets, group_vids))
+    dictionary = Dictionary()
+    bitmaps = []
+    boundaries = np.concatenate(
+        (
+            [0],
+            np.flatnonzero(np.diff(group_vids[order])) + 1,
+            [len(order)],
+        )
+    )
+    from repro.bitmap.codecs import get_codec
+
+    codec = get_codec(column.codec_name)
+    for b in range(len(boundaries) - 1):
+        lo, hi = int(boundaries[b]), int(boundaries[b + 1])
+        if lo == hi:
+            continue
+        chunk = order[lo:hi]
+        vid = int(group_vids[chunk[0]])
+        dictionary.add(column.dictionary.value(vid))
+        bitmaps.append(
+            codec.from_intervals(groups.offsets[chunk], ends[chunk], total)
+        )
+    return BitmapColumn(
+        column.name, column.dtype, dictionary, bitmaps, total,
+        column.codec_name,
+    )
+
+
+def _build_s_side_column(
+    column: BitmapColumn,
+    groups: _JoinGroups,
+    s_rank: np.ndarray,
+    total: int,
+    status: EvolutionStatus,
+) -> BitmapColumn:
+    """R's S-side non-join column: one interval per source row."""
+    vids = column.decode_vids()
+    status.decompressed_column()
+    kept = groups.s_cid >= 0
+    cids = groups.s_cid[kept]
+    ranks = s_rank[kept]
+    starts = groups.offsets[cids] + ranks * groups.n2[cids]
+    ends = starts + groups.n2[cids]
+    kept_vids = vids[kept]
+
+    order = np.lexsort((starts, kept_vids))
+    sorted_vids = kept_vids[order]
+    sorted_starts = starts[order]
+    sorted_ends = ends[order]
+    from repro.bitmap.codecs import get_codec
+
+    codec = get_codec(column.codec_name)
+    dictionary = Dictionary()
+    bitmaps = []
+    if len(order):
+        boundaries = np.concatenate(
+            (
+                [0],
+                np.flatnonzero(np.diff(sorted_vids)) + 1,
+                [len(order)],
+            )
+        )
+        for b in range(len(boundaries) - 1):
+            lo, hi = int(boundaries[b]), int(boundaries[b + 1])
+            vid = int(sorted_vids[lo])
+            dictionary.add(column.dictionary.value(vid))
+            bitmaps.append(
+                codec.from_intervals(
+                    sorted_starts[lo:hi], sorted_ends[lo:hi], total
+                )
+            )
+    status.created_bitmaps(len(bitmaps))
+    return BitmapColumn(
+        column.name, column.dtype, dictionary, bitmaps, total,
+        column.codec_name,
+    )
+
+
+def _build_t_side_column(
+    column: BitmapColumn,
+    groups: _JoinGroups,
+    t_rank: np.ndarray,
+    total: int,
+    status: EvolutionStatus,
+) -> BitmapColumn:
+    """R's T-side non-join column: a stride-``n2`` progression per source
+    row ("non-consecutive but with the same distance")."""
+    vids = column.decode_vids()
+    status.decompressed_column()
+    kept = groups.t_cid >= 0
+    cids = groups.t_cid[kept]
+    ranks = t_rank[kept]
+    kept_vids = vids[kept]
+
+    repeats = groups.n1[cids]            # each T row pairs with n1 S rows
+    strides = groups.n2[cids]
+    bases = groups.offsets[cids] + ranks
+    total_positions = int(repeats.sum())
+    row_of_position = np.repeat(np.arange(len(cids)), repeats)
+    first_of_row = np.concatenate(([0], np.cumsum(repeats)))[:-1]
+    p_index = (
+        np.arange(total_positions, dtype=np.int64)
+        - np.repeat(first_of_row, repeats)
+    )
+    positions = (
+        np.repeat(bases, repeats) + p_index * np.repeat(strides, repeats)
+    )
+    vid_per_position = kept_vids[row_of_position]
+
+    order = np.lexsort((positions, vid_per_position))
+    sorted_vids = vid_per_position[order]
+    sorted_positions = positions[order]
+    from repro.bitmap.codecs import get_codec
+
+    codec = get_codec(column.codec_name)
+    dictionary = Dictionary()
+    bitmaps = []
+    if len(order):
+        boundaries = np.concatenate(
+            (
+                [0],
+                np.flatnonzero(np.diff(sorted_vids)) + 1,
+                [len(order)],
+            )
+        )
+        for b in range(len(boundaries) - 1):
+            lo, hi = int(boundaries[b]), int(boundaries[b + 1])
+            vid = int(sorted_vids[lo])
+            dictionary.add(column.dictionary.value(vid))
+            bitmaps.append(
+                codec.from_positions(sorted_positions[lo:hi], total)
+            )
+    status.created_bitmaps(len(bitmaps))
+    return BitmapColumn(
+        column.name, column.dtype, dictionary, bitmaps, total,
+        column.codec_name,
+    )
+
+
+def merge_general(
+    left: Table,
+    right: Table,
+    op: MergeTables,
+    join_attrs,
+    status: EvolutionStatus,
+) -> Table:
+    """Execute the two-pass general mergence; returns the joined table.
+
+    The output is clustered by join value (deterministic group order),
+    with ``S``-occurrences consecutive and ``T``-occurrences strided
+    inside each block.
+    """
+    join = tuple(join_attrs)
+    if len(join) == 1:
+        groups = _pass1_single(left, right, join[0], status)
+    else:
+        groups = _pass1_composite(left, right, join, status)
+    total = groups.total_rows
+
+    s_rank = _grouped_rank(groups.s_cid, len(groups.n1))
+    t_rank = _grouped_rank(groups.t_cid, len(groups.n1))
+
+    columns = {}
+    with status.step(
+        "merge pass 2",
+        f"placing values into {total} clustered output rows",
+    ):
+        for attr in join:
+            columns[attr] = _build_join_column(
+                left.column(attr), groups, attr, total
+            )
+            status.created_bitmaps(columns[attr].distinct_count)
+        for column_schema in left.schema.columns:
+            if column_schema.name in join:
+                continue
+            columns[column_schema.name] = _build_s_side_column(
+                left.column(column_schema.name), groups, s_rank, total, status
+            )
+        for column_schema in right.schema.columns:
+            if column_schema.name in join:
+                continue
+            columns[column_schema.name] = _build_t_side_column(
+                right.column(column_schema.name), groups, t_rank, total, status
+            )
+
+    out_columns = left.schema.columns + tuple(
+        c for c in right.schema.columns if c.name not in join
+    )
+    schema = TableSchema(op.out_name, out_columns)
+    return Table(schema, columns, total)

@@ -1,0 +1,182 @@
+"""Key–foreign-key mergence (paper Section 2.5.1).
+
+``S ⋈ T -> R`` where the join attributes form the key of ``T``: the
+output has exactly ``S``'s rows, so every column of ``S`` is **reused**
+by reference, and only ``T``'s non-key columns are generated.
+
+The paper first sketches a per-value algorithm (for each value ``u`` of
+a ``T`` attribute, OR together the ``S``-bitmaps of the key values
+co-occurring with ``u``) and then observes that a single *sequential
+scan* of ``S``'s key column produces the same result with better
+locality.  We implement the sequential-scan variant, vectorized: decode
+``S``'s key column once, map each row's key to its (unique) ``T`` row,
+and gather ``T``'s attribute values — then rebuild compressed bitmaps
+per value.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.status import EvolutionStatus
+from repro.errors import EvolutionError
+from repro.smo.ops import MergeTables
+from repro.storage.column import BitmapColumn
+from repro.storage.schema import TableSchema
+from repro.storage.table import Table
+
+
+def keys_all_present(s_col: BitmapColumn, t_col: BitmapColumn) -> bool:
+    """Cheap referential-integrity probe on dictionaries only: every join
+    value of ``S`` appears in ``T``."""
+    t_dict = t_col.dictionary
+    return all(value in t_dict for value in s_col.dictionary.values())
+
+
+def _t_row_of_svid_single(s_col: BitmapColumn, t_col: BitmapColumn
+                          ) -> np.ndarray:
+    """Map each S-vid of the join attribute to its unique T row.
+
+    Uses only compressed-domain operations on ``T``: the key property
+    means each value's bitmap in ``T`` has exactly one set bit, located
+    with ``first_set``.
+    """
+    from repro.bitmap.batch import batch_count, batch_first_set
+
+    counts = batch_count(t_col.bitmaps)
+    if np.any(counts != 1):
+        bad_vid = int(np.flatnonzero(counts != 1)[0])
+        raise EvolutionError(
+            f"join attribute {t_col.name!r} is not a key of the right "
+            f"table: value {t_col.dictionary.value(bad_vid)!r} occurs "
+            f"{int(counts[bad_vid])} times"
+        )
+    t_first = batch_first_set(t_col.bitmaps)
+    rows = np.full(s_col.distinct_count, -1, dtype=np.int64)
+    t_dict = t_col.dictionary
+    for svid, value in enumerate(s_col.dictionary.values()):
+        tvid = t_dict.vid_or_none(value)
+        if tvid is not None:
+            rows[svid] = t_first[tvid]
+    return rows
+
+
+def _t_row_per_s_row(
+    left: Table, right: Table, join_attrs, status: EvolutionStatus
+) -> np.ndarray:
+    """For every row of ``left``, the matching (unique) row of ``right``.
+
+    Returns -1 where the key has no match (caller decides policy).
+    """
+    if len(join_attrs) == 1:
+        attr = join_attrs[0]
+        s_col = left.column(attr)
+        t_col = right.column(attr)
+        t_row_of_svid = _t_row_of_svid_single(s_col, t_col)
+        s_vids = s_col.decode_vids()
+        status.decompressed_column()
+        return t_row_of_svid[s_vids]
+
+    # Composite key: match vid tuples through a shared value space.
+    s_matrix = np.empty((left.nrows, len(join_attrs)), dtype=np.int64)
+    t_matrix = np.empty((right.nrows, len(join_attrs)), dtype=np.int64)
+    for k, attr in enumerate(join_attrs):
+        s_col = left.column(attr)
+        t_col = right.column(attr)
+        s_matrix[:, k] = s_col.decode_vids()
+        status.decompressed_column()
+        remap = np.array(
+            [
+                -1 if (v := s_col.dictionary.vid_or_none(value)) is None else v
+                for value in t_col.dictionary.values()
+            ],
+            dtype=np.int64,
+        )
+        t_matrix[:, k] = remap[t_col.decode_vids()]
+        status.decompressed_column()
+    # T rows holding values never seen in S cannot match any S row; give
+    # each a unique sentinel key so they form singleton groups instead of
+    # colliding with one another.
+    unmatched = np.any(t_matrix < 0, axis=1)
+    if np.any(unmatched):
+        rows = np.flatnonzero(unmatched)
+        t_matrix[rows, 0] = -(rows + 2)
+    stacked = np.vstack((t_matrix, s_matrix))
+    _, inverse = np.unique(stacked, axis=0, return_inverse=True)
+    t_group = inverse[: right.nrows]
+    s_group = inverse[right.nrows :]
+    group_row = np.full(int(inverse.max()) + 1, -1, dtype=np.int64)
+    seen = np.zeros(len(group_row), dtype=np.int64)
+    np.add.at(seen, t_group, 1)
+    if np.any(seen > 1):
+        raise EvolutionError(
+            f"join attributes {list(join_attrs)} are not a key of the "
+            "right table (duplicate combinations found)"
+        )
+    group_row[t_group] = np.arange(right.nrows, dtype=np.int64)
+    return group_row[s_group]
+
+
+def merge_key_fk(
+    left: Table,
+    right: Table,
+    op: MergeTables,
+    join_attrs,
+    status: EvolutionStatus,
+) -> Table:
+    """Merge where ``join_attrs`` is a key of ``right``.
+
+    ``left``'s columns are reused; one new column is generated per
+    non-key attribute of ``right``.
+    """
+    join = tuple(join_attrs)
+    t_rows = _t_row_per_s_row(left, right, join, status)
+    if np.any(t_rows < 0):
+        missing = int(np.count_nonzero(t_rows < 0))
+        raise EvolutionError(
+            f"key–foreign-key mergence requires every key of {left.name!r} "
+            f"to exist in {right.name!r}; {missing} rows dangle"
+        )
+
+    with status.step(
+        "column reuse",
+        f"{op.out_name} adopts all {len(left.schema.columns)} columns of "
+        f"{left.name} unchanged",
+    ):
+        status.reuse_columns(len(left.schema.columns))
+        status.reuse_bitmaps(
+            sum(left.column(a).distinct_count for a in left.column_names)
+        )
+        columns = {name: left.column(name) for name in left.column_names}
+
+    new_schemas = []
+    for column_schema in right.schema.columns:
+        if column_schema.name in join:
+            continue
+        t_col = right.column(column_schema.name)
+        with status.step(
+            "sequential scan",
+            f"generating {column_schema.name!r} by scanning "
+            f"{left.name}'s key column against {right.name}",
+        ):
+            t_vids = t_col.decode_vids()
+            status.decompressed_column()
+            out_vids = t_vids[t_rows]
+            new_column = BitmapColumn.from_vids(
+                column_schema.name,
+                column_schema.dtype,
+                t_col.dictionary,
+                out_vids,
+                t_col.codec_name,
+            )
+            status.created_bitmaps(new_column.distinct_count)
+        columns[column_schema.name] = new_column
+        new_schemas.append(column_schema)
+
+    schema = TableSchema(
+        op.out_name,
+        left.schema.columns + tuple(new_schemas),
+        left.schema.primary_key,
+        left.schema.candidate_keys,
+    )
+    return Table(schema, columns, left.nrows)

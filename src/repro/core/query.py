@@ -1,0 +1,74 @@
+"""Querying bitmap-encoded tables in the compressed domain.
+
+Section 2.2 of the paper adopts WAH precisely because it "supports query
+processing on compressed data directly".  This module provides that
+capability over our column store: predicates evaluate to bitmaps
+(:meth:`Predicate.bitmap`), and these helpers turn the bitmaps into
+counts, row sets or aggregated views — without decompressing unaffected
+columns.  The demo and the examples use them; they also show why keeping
+bitmaps live across evolutions matters (query-level evolution would have
+to rebuild them first).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.smo.predicate import Predicate
+from repro.storage.table import Table
+
+
+def count_where(table: Table, predicate: Predicate) -> int:
+    """Number of rows satisfying ``predicate`` — bitmap count only."""
+    predicate.validate(table.schema)
+    return predicate.bitmap(table).count()
+
+
+def select_where(
+    table: Table, predicate: Predicate, attrs=None
+) -> list[tuple]:
+    """Rows satisfying ``predicate`` (optionally projected to ``attrs``).
+
+    Only the *selected* rows of the projected columns are materialized:
+    the predicate bitmap gives positions, and each projected column is
+    bitmap-filtered to those positions.
+    """
+    predicate.validate(table.schema)
+    positions = predicate.bitmap(table).positions()
+    attrs = list(attrs) if attrs is not None else list(table.column_names)
+    columns = [
+        table.column(attr).select(positions, compact=True).to_values()
+        for attr in attrs
+    ]
+    return list(zip(*columns)) if columns and len(positions) else []
+
+
+def positions_where(table: Table, predicate: Predicate) -> np.ndarray:
+    """Sorted row positions satisfying ``predicate``."""
+    predicate.validate(table.schema)
+    return predicate.bitmap(table).positions()
+
+
+def group_count(table: Table, attr: str) -> dict:
+    """``value -> occurrence count`` for one column, from bitmap counts.
+
+    Equivalent to ``SELECT attr, COUNT(*) … GROUP BY attr`` with zero
+    decompression: each value's cardinality is its bitmap's count.
+    """
+    column = table.column(attr)
+    counts = column.value_counts()
+    return {
+        column.dictionary.value(vid): int(counts[vid])
+        for vid in range(column.distinct_count)
+    }
+
+
+def value_exists(table: Table, attr: str, value) -> bool:
+    """Point-lookup membership via the dictionary (no data access)."""
+    from repro.storage.types import coerce
+
+    column = table.column(attr)
+    vid = column.dictionary.vid_or_none(coerce(value, column.dtype))
+    if vid is None:
+        return False
+    return column.bitmap_for_vid(vid).count() > 0

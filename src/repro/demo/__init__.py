@@ -1,0 +1,5 @@
+"""The CODS demonstration platform (CLI version of paper Figure 4)."""
+
+from repro.demo.cli import DemoSession, figure1_table, main
+
+__all__ = ["DemoSession", "figure1_table", "main"]

@@ -1,0 +1,6 @@
+"""``python -m repro.demo`` entry point."""
+
+from repro.demo.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

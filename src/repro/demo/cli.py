@@ -1,0 +1,255 @@
+"""Interactive demo mirroring the paper's Figure 4 workflow.
+
+The original demonstration is a GUI with buttons for *create/drop
+table*, *load data*, *display table*, adding schema modification
+operators, *execution*, and a live "Data Evolution Status" pane.  This
+CLI provides the same workflow (plus a scripted mode for automation):
+
+    $ cods-demo                 # interactive session
+    $ cods-demo --example       # run the built-in Figure 1 walkthrough
+    $ cods-demo --script f.smo  # execute an SMO script with status output
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.engine import EvolutionEngine
+from repro.errors import CodsError
+from repro.smo.parser import parse_smo
+from repro.storage.csvio import load_csv
+from repro.storage.table import Table, table_from_python
+from repro.storage.types import DataType
+
+_HELP = """\
+Commands (mirroring the Figure 4 buttons):
+  create <SMO>        e.g. create CREATE TABLE R (A INT, B STRING)
+  load <csv> [name]   load a CSV file into a table
+  display <table>     show a table's rows (first 20)
+  tables              list tables (the schema pane)
+  add <SMO>           queue a schema modification operator
+  queue               show queued operators
+  execute             run the queued operators (with live status)
+  history             show the evolution history
+  example             load the paper's Figure 1 table R
+  help                this text
+  quit                exit\
+"""
+
+
+def figure1_table() -> Table:
+    """The exact 7-row table R of the paper's Figure 1."""
+    return table_from_python(
+        "R",
+        {
+            "Employee": (
+                DataType.STRING,
+                ["Jones", "Jones", "Roberts", "Ellis", "Jones", "Ellis",
+                 "Harrison"],
+            ),
+            "Skill": (
+                DataType.STRING,
+                ["Typing", "Shorthand", "Light Cleaning", "Alchemy",
+                 "Whittling", "Juggling", "Light Cleaning"],
+            ),
+            "Address": (
+                DataType.STRING,
+                ["425 Grant Ave", "425 Grant Ave", "747 Industrial Way",
+                 "747 Industrial Way", "425 Grant Ave",
+                 "747 Industrial Way", "425 Grant Ave"],
+            ),
+        },
+    )
+
+
+class DemoSession:
+    """One interactive session: an engine, a queue, and an output stream."""
+
+    def __init__(self, out=sys.stdout):
+        self.engine = EvolutionEngine()
+        self.queue: list = []
+        self.out = out
+        self.engine.subscribe(self._on_status)
+
+    def _print(self, text: str = "") -> None:
+        print(text, file=self.out)
+
+    def _on_status(self, event) -> None:
+        millis = event.seconds * 1e3
+        self._print(f"    [status] {event.step}: {event.detail} "
+                    f"({millis:.2f} ms)")
+
+    # -- commands ----------------------------------------------------------
+
+    def cmd_tables(self) -> None:
+        self._print(self.engine.catalog.describe())
+
+    def cmd_display(self, name: str) -> None:
+        table = self.engine.table(name)
+        names = table.schema.column_names
+        widths = [
+            max(len(str(n)), *(len(str(v)) for v in col.to_values()), 1)
+            if table.nrows
+            else len(str(n))
+            for n, col in zip(names, table.columns())
+        ]
+        header = " | ".join(n.ljust(w) for n, w in zip(names, widths))
+        self._print(header)
+        self._print("-+-".join("-" * w for w in widths))
+        for row in table.head(20):
+            self._print(
+                " | ".join(str(v).ljust(w) for v, w in zip(row, widths))
+            )
+        if table.nrows > 20:
+            self._print(f"… ({table.nrows} rows total)")
+
+    def cmd_load(self, path: str, name: str | None = None) -> None:
+        table = load_csv(path, name)
+        self.engine.load_table(table)
+        self._print(
+            f"loaded {table.nrows} rows into {table.schema.name} "
+            f"({', '.join(table.schema.column_names)})"
+        )
+
+    def cmd_add(self, smo_text: str) -> None:
+        op = parse_smo(smo_text)
+        op.validate(self.engine.catalog)
+        self.queue.append(op)
+        self._print(f"queued [{len(self.queue)}]: {op.describe()}")
+
+    def cmd_queue(self) -> None:
+        if not self.queue:
+            self._print("(no queued operators)")
+        for index, op in enumerate(self.queue):
+            self._print(f"  {index + 1}. {op.describe()}")
+
+    def cmd_execute(self) -> None:
+        if not self.queue:
+            self._print("(nothing to execute)")
+            return
+        self._print("Data Evolution Status:")
+        for op in self.queue:
+            self._print(f"  executing: {op.describe()}")
+            status = self.engine.apply(op)
+            counters = status.summary()
+            interesting = {k: v for k, v in counters.items() if v}
+            self._print(f"  done. counters: {interesting or '{}'}")
+        self.queue.clear()
+
+    def cmd_history(self) -> None:
+        text = self.engine.history.describe()
+        self._print(text if text else "(no evolution history)")
+
+    def cmd_example(self) -> None:
+        self.engine.load_table(figure1_table())
+        self._print("loaded Figure 1 table R (7 rows); try:")
+        self._print(
+            "  add DECOMPOSE TABLE R INTO S (Employee, Skill), "
+            "T (Employee, Address)"
+        )
+        self._print("  execute")
+
+    # -- loop ---------------------------------------------------------------
+
+    def handle(self, line: str) -> bool:
+        """Process one command line; returns False to quit."""
+        line = line.strip()
+        if not line:
+            return True
+        verb, _, rest = line.partition(" ")
+        verb = verb.lower()
+        try:
+            if verb in ("quit", "exit"):
+                return False
+            if verb == "help":
+                self._print(_HELP)
+            elif verb == "tables":
+                self.cmd_tables()
+            elif verb == "display":
+                self.cmd_display(rest.strip())
+            elif verb == "load":
+                parts = rest.split()
+                self.cmd_load(parts[0], parts[1] if len(parts) > 1 else None)
+            elif verb in ("add", "create"):
+                self.cmd_add(rest if verb == "add" else rest)
+            elif verb == "queue":
+                self.cmd_queue()
+            elif verb == "execute":
+                self.cmd_execute()
+            elif verb == "history":
+                self.cmd_history()
+            elif verb == "example":
+                self.cmd_example()
+            else:
+                self._print(f"unknown command {verb!r}; try 'help'")
+        except CodsError as exc:
+            self._print(f"error: {exc}")
+        except FileNotFoundError as exc:
+            self._print(f"error: {exc}")
+        except IndexError:
+            self._print("error: missing argument; try 'help'")
+        return True
+
+    def run_example_walkthrough(self) -> None:
+        """The scripted Figure 1 demo (for --example and tests)."""
+        for line in (
+            "example",
+            "tables",
+            "display R",
+            "add DECOMPOSE TABLE R INTO S (Employee, Skill), "
+            "T (Employee, Address)",
+            "execute",
+            "display S",
+            "display T",
+            "add MERGE TABLES S, T INTO R",
+            "execute",
+            "display R",
+            "history",
+        ):
+            self._print(f"cods> {line}")
+            self.handle(line)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="cods-demo",
+        description="CODS demonstration platform (paper Figure 4, as a CLI)",
+    )
+    parser.add_argument(
+        "--example", action="store_true",
+        help="run the built-in Figure 1 walkthrough and exit",
+    )
+    parser.add_argument(
+        "--script", type=str, default=None,
+        help="execute an SMO script file (one operator per line) and exit",
+    )
+    args = parser.parse_args(argv)
+
+    session = DemoSession()
+    if args.example:
+        session.run_example_walkthrough()
+        return 0
+    if args.script:
+        with open(args.script) as handle:
+            text = handle.read()
+        for op in text.splitlines():
+            if op.strip() and not op.strip().startswith("--"):
+                session.handle(f"add {op}")
+        session.handle("execute")
+        session.handle("history")
+        return 0
+
+    print("CODS demo — type 'help' for commands, 'example' to begin.")
+    while True:
+        try:
+            line = input("cods> ")
+        except (EOFError, KeyboardInterrupt):
+            print()
+            return 0
+        if not session.handle(line):
+            return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

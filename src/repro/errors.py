@@ -1,0 +1,61 @@
+"""Exception hierarchy for the CODS reproduction.
+
+Every error raised by the library derives from :class:`CodsError`, so a
+caller can guard an entire evolution plan with a single ``except`` clause.
+The subclasses mirror the layers of the system: storage, schema/SMO
+validation, SQL parsing/execution and the evolution engine itself.
+"""
+
+from __future__ import annotations
+
+
+class CodsError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class StorageError(CodsError):
+    """A problem in the physical storage layer (bitmaps, columns, files)."""
+
+
+class BitmapError(StorageError):
+    """Invalid bitmap operation, e.g. length mismatch in a logical op."""
+
+
+class SerializationError(StorageError):
+    """A table or column file is malformed or version-incompatible."""
+
+
+class SchemaError(CodsError):
+    """Schema-level violation: unknown table/column, duplicate names, etc."""
+
+
+class KeyViolationError(SchemaError):
+    """Data does not satisfy a declared key or functional dependency."""
+
+
+class SmoValidationError(SchemaError):
+    """A schema modification operator is not applicable to the catalog."""
+
+
+class LosslessJoinError(SmoValidationError):
+    """A requested decomposition is not lossless-join."""
+
+
+class SqlError(CodsError):
+    """Base class for errors in the SQL subset engine."""
+
+
+class SqlSyntaxError(SqlError):
+    """The SQL text could not be tokenized or parsed."""
+
+
+class SqlExecutionError(SqlError):
+    """The statement parsed but could not be executed."""
+
+
+class EvolutionError(CodsError):
+    """The evolution engine failed while applying an operator."""
+
+
+class WorkloadError(CodsError):
+    """Invalid workload-generator parameters."""

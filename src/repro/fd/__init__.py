@@ -1,0 +1,35 @@
+"""Functional-dependency theory and data-driven validation."""
+
+from repro.fd.decompose_check import (
+    DecompositionPlan,
+    chase_lossless,
+    check_lossless,
+    fds_from_keys,
+)
+from repro.fd.discovery import discover, holds, is_key_in_data
+from repro.fd.functional_deps import (
+    FunctionalDependency,
+    candidate_keys,
+    closure,
+    implies,
+    is_superkey,
+    minimal_cover,
+    project_fds,
+)
+
+__all__ = [
+    "DecompositionPlan",
+    "FunctionalDependency",
+    "candidate_keys",
+    "chase_lossless",
+    "check_lossless",
+    "closure",
+    "discover",
+    "fds_from_keys",
+    "holds",
+    "implies",
+    "is_key_in_data",
+    "is_superkey",
+    "minimal_cover",
+    "project_fds",
+]

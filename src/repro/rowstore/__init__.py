@@ -1,0 +1,7 @@
+"""Row-oriented storage substrate for the query-level baselines."""
+
+from repro.rowstore.btree import BPlusTree
+from repro.rowstore.engine import RowEngine
+from repro.rowstore.heap import HeapTable
+
+__all__ = ["BPlusTree", "HeapTable", "RowEngine"]

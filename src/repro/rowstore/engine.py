@@ -1,0 +1,135 @@
+"""The row-store engine: a minimal row-oriented RDBMS kernel.
+
+Provides the relational operations the query-level evolution driver
+needs — create/drop/rename, scans with predicates, DISTINCT projection,
+hash equi-join, index maintenance — all tuple-at-a-time, as a row store
+does them.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchemaError
+from repro.rowstore.heap import HeapTable
+from repro.storage.schema import TableSchema
+
+
+class RowEngine:
+    """Catalog of heap tables with row-at-a-time operators."""
+
+    def __init__(self):
+        self.tables: dict[str, HeapTable] = {}
+
+    # -- catalog -----------------------------------------------------------
+
+    def create_table(self, schema: TableSchema) -> HeapTable:
+        if schema.name in self.tables:
+            raise SchemaError(f"table {schema.name!r} already exists")
+        table = HeapTable(schema)
+        self.tables[schema.name] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        if name not in self.tables:
+            raise SchemaError(f"no table named {name!r}")
+        del self.tables[name]
+
+    def rename_table(self, old: str, new: str) -> None:
+        if new in self.tables:
+            raise SchemaError(f"table {new!r} already exists")
+        table = self.table(old)
+        del self.tables[old]
+        table.schema = table.schema.renamed(new)
+        self.tables[new] = table
+
+    def table(self, name: str) -> HeapTable:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise SchemaError(f"no table named {name!r}") from None
+
+    def table_names(self) -> list[str]:
+        return sorted(self.tables)
+
+    # -- operators (tuple-at-a-time) ------------------------------------------
+
+    def scan(self, name: str, predicate=None):
+        """Yield rows of ``name``; ``predicate`` is a row-dict callable."""
+        table = self.table(name)
+        names = table.schema.column_names
+        if predicate is None:
+            yield from table.scan()
+            return
+        for row in table.scan():
+            values = dict(zip(names, row))
+            if predicate(values.__getitem__):
+                yield row
+
+    def project(self, name: str, attrs, distinct: bool = False,
+                predicate=None):
+        """Projection with optional DISTINCT (hash-based dedup)."""
+        table = self.table(name)
+        positions = [table.column_index(a) for a in attrs]
+        seen = set()
+        for row in self.scan(name, predicate):
+            projected = tuple(row[p] for p in positions)
+            if distinct:
+                if projected in seen:
+                    continue
+                seen.add(projected)
+            yield projected
+
+    def hash_join(self, left_name: str, right_name: str, join_attrs,
+                  out_attrs):
+        """Hash equi-join, yielding ``out_attrs`` tuples.
+
+        Builds the hash table on the smaller input; output attributes are
+        resolved against the left schema first, then the right.
+        """
+        left = self.table(left_name)
+        right = self.table(right_name)
+        join_attrs = list(join_attrs)
+        left_positions = [left.column_index(a) for a in join_attrs]
+        right_positions = [right.column_index(a) for a in join_attrs]
+
+        # Resolve each output attribute to (side, position).
+        resolution = []
+        for attr in out_attrs:
+            if left.schema.has_column(attr):
+                resolution.append(("L", left.column_index(attr)))
+            elif right.schema.has_column(attr):
+                resolution.append(("R", right.column_index(attr)))
+            else:
+                raise SchemaError(f"unknown join output column {attr!r}")
+
+        build_on_right = right.nrows <= left.nrows
+        if build_on_right:
+            build, probe = right, left
+            build_positions, probe_positions = right_positions, left_positions
+        else:
+            build, probe = left, right
+            build_positions, probe_positions = left_positions, right_positions
+
+        buckets: dict = {}
+        for row in build.scan():
+            key = tuple(row[p] for p in build_positions)
+            buckets.setdefault(key, []).append(row)
+
+        for probe_row in probe.scan():
+            key = tuple(probe_row[p] for p in probe_positions)
+            for build_row in buckets.get(key, ()):
+                if build_on_right:
+                    left_row, right_row = probe_row, build_row
+                else:
+                    left_row, right_row = build_row, probe_row
+                yield tuple(
+                    left_row[p] if side == "L" else right_row[p]
+                    for side, p in resolution
+                )
+
+    # -- loading -------------------------------------------------------------
+
+    def insert_rows(self, name: str, rows) -> int:
+        return self.table(name).insert_many(rows)
+
+    def create_index(self, table_name: str, column_name: str) -> None:
+        self.table(table_name).create_index(column_name)

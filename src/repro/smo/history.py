@@ -1,0 +1,63 @@
+"""PRISM-style schema evolution history.
+
+Records every executed SMO together with the catalog version it
+produced, supporting inspection ("the Wikipedia database has had more
+than 170 versions") and deterministic replay onto a fresh catalog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.smo.ops import SchemaModificationOperator
+
+
+@dataclass(frozen=True)
+class HistoryEntry:
+    """One executed operator."""
+
+    version: int
+    operator: SchemaModificationOperator
+    statement: str
+    tables_after: tuple[str, ...]
+
+
+@dataclass
+class EvolutionHistory:
+    """Append-only log of executed SMOs."""
+
+    entries: list = field(default_factory=list)
+
+    def record(
+        self,
+        operator: SchemaModificationOperator,
+        tables_after,
+    ) -> HistoryEntry:
+        entry = HistoryEntry(
+            len(self.entries) + 1,
+            operator,
+            operator.describe(),
+            tuple(sorted(tables_after)),
+        )
+        self.entries.append(entry)
+        return entry
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def operators(self) -> list[SchemaModificationOperator]:
+        return [entry.operator for entry in self.entries]
+
+    def replay(self, engine) -> None:
+        """Re-apply the recorded operators through ``engine`` (which must
+        expose ``apply``)."""
+        for entry in self.entries:
+            engine.apply(entry.operator)
+
+    def describe(self) -> str:
+        return "\n".join(
+            f"v{entry.version}: {entry.statement}" for entry in self.entries
+        )

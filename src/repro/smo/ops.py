@@ -1,0 +1,382 @@
+"""The Schema Modification Operators of Table 1.
+
+All eleven operators from the paper (after PRISM, Curino et al. 2008)
+are modeled as frozen dataclasses with schema-level validation.  They
+are *declarative*: execution is provided by an engine — the data-level
+CODS engine (:mod:`repro.core`) or the query-level baselines
+(:mod:`repro.baselines`) — so both can be benchmarked on identical
+operator streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SmoValidationError
+from repro.smo.predicate import Predicate
+from repro.storage.schema import ColumnSchema, TableSchema
+
+
+class SchemaModificationOperator:
+    """Base class for all SMOs."""
+
+    def validate(self, catalog) -> None:  # pragma: no cover - interface
+        """Raise :class:`SmoValidationError` if inapplicable."""
+        raise NotImplementedError
+
+    def describe(self) -> str:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        return self.describe()
+
+    # -- shared validation helpers --------------------------------------
+
+    @staticmethod
+    def _require_table(catalog, name: str) -> None:
+        if name not in catalog:
+            raise SmoValidationError(f"table {name!r} does not exist")
+
+    @staticmethod
+    def _require_free(catalog, name: str) -> None:
+        if name in catalog:
+            raise SmoValidationError(f"table {name!r} already exists")
+
+
+@dataclass(frozen=True)
+class DecomposeTable(SchemaModificationOperator):
+    """DECOMPOSE TABLE: split one table into two (lossless join).
+
+    The union of ``left_attrs`` and ``right_attrs`` must equal the input
+    attributes; their intersection must functionally determine one side
+    (validated against declared keys, or against the data by the
+    engine).
+    """
+
+    table: str
+    left_name: str
+    left_attrs: tuple[str, ...]
+    right_name: str
+    right_attrs: tuple[str, ...]
+
+    def validate(self, catalog) -> None:
+        self._require_table(catalog, self.table)
+        for out in (self.left_name, self.right_name):
+            if out != self.table:
+                self._require_free(catalog, out)
+        if self.left_name == self.right_name:
+            raise SmoValidationError("output tables must be distinct")
+        schema = catalog.schema(self.table)
+        known = set(schema.column_names)
+        for attrs, side in ((self.left_attrs, "left"), (self.right_attrs, "right")):
+            if not attrs:
+                raise SmoValidationError(f"{side} attribute list is empty")
+            unknown = [a for a in attrs if a not in known]
+            if unknown:
+                raise SmoValidationError(
+                    f"unknown columns {unknown} in DECOMPOSE of {self.table!r}"
+                )
+        covered = set(self.left_attrs) | set(self.right_attrs)
+        if covered != known:
+            raise SmoValidationError(
+                f"decomposition must cover all attributes of {self.table!r}; "
+                f"missing {sorted(known - covered)}"
+            )
+        if not set(self.left_attrs) & set(self.right_attrs):
+            raise SmoValidationError(
+                "output tables share no attributes; decomposition would be "
+                "lossy"
+            )
+
+    def describe(self) -> str:
+        left = ", ".join(self.left_attrs)
+        right = ", ".join(self.right_attrs)
+        return (
+            f"DECOMPOSE TABLE {self.table} INTO "
+            f"{self.left_name} ({left}), {self.right_name} ({right})"
+        )
+
+
+@dataclass(frozen=True)
+class MergeTables(SchemaModificationOperator):
+    """MERGE TABLES: create a new table as the equi-join of two tables.
+
+    ``join_attrs`` defaults to all common attributes.  When the join
+    attributes form a key of one input, the data-level engine uses the
+    key–foreign-key algorithm (Section 2.5.1); otherwise the general
+    two-pass algorithm (Section 2.5.2).
+    """
+
+    left: str
+    right: str
+    out_name: str
+    join_attrs: tuple[str, ...] = ()
+
+    def effective_join_attrs(self, catalog) -> tuple[str, ...]:
+        if self.join_attrs:
+            return self.join_attrs
+        left_schema = catalog.schema(self.left)
+        right_schema = catalog.schema(self.right)
+        return tuple(
+            attr
+            for attr in left_schema.column_names
+            if attr in right_schema.attribute_set
+        )
+
+    def validate(self, catalog) -> None:
+        self._require_table(catalog, self.left)
+        self._require_table(catalog, self.right)
+        if self.out_name not in (self.left, self.right):
+            self._require_free(catalog, self.out_name)
+        if self.left == self.right:
+            raise SmoValidationError("cannot merge a table with itself")
+        join = self.effective_join_attrs(catalog)
+        if not join:
+            raise SmoValidationError(
+                f"tables {self.left!r} and {self.right!r} share no "
+                "attributes to join on"
+            )
+        left_schema = catalog.schema(self.left)
+        right_schema = catalog.schema(self.right)
+        for attr in join:
+            if not left_schema.has_column(attr) or not right_schema.has_column(attr):
+                raise SmoValidationError(
+                    f"join attribute {attr!r} missing from an input table"
+                )
+            if left_schema.column(attr).dtype != right_schema.column(attr).dtype:
+                raise SmoValidationError(
+                    f"join attribute {attr!r} has mismatched types"
+                )
+        non_join_overlap = (
+            (left_schema.attribute_set - set(join))
+            & (right_schema.attribute_set - set(join))
+        )
+        if non_join_overlap:
+            raise SmoValidationError(
+                f"non-join attributes {sorted(non_join_overlap)} appear in "
+                "both inputs; rename before merging"
+            )
+
+    def describe(self) -> str:
+        on = f" ON ({', '.join(self.join_attrs)})" if self.join_attrs else ""
+        return f"MERGE TABLES {self.left}, {self.right} INTO {self.out_name}{on}"
+
+
+@dataclass(frozen=True)
+class CreateTable(SchemaModificationOperator):
+    """CREATE TABLE: add a new (empty) table."""
+
+    schema: TableSchema
+
+    def validate(self, catalog) -> None:
+        self._require_free(catalog, self.schema.name)
+
+    def describe(self) -> str:
+        columns = ", ".join(
+            f"{c.name} {c.dtype}" for c in self.schema.columns
+        )
+        key = (
+            f", KEY ({', '.join(self.schema.primary_key)})"
+            if self.schema.primary_key
+            else ""
+        )
+        return f"CREATE TABLE {self.schema.name} ({columns}{key})"
+
+
+@dataclass(frozen=True)
+class DropTable(SchemaModificationOperator):
+    """DROP TABLE: remove a table and its data."""
+
+    table: str
+
+    def validate(self, catalog) -> None:
+        self._require_table(catalog, self.table)
+
+    def describe(self) -> str:
+        return f"DROP TABLE {self.table}"
+
+
+@dataclass(frozen=True)
+class RenameTable(SchemaModificationOperator):
+    """RENAME TABLE: change a table's name, keeping its data."""
+
+    table: str
+    new_name: str
+
+    def validate(self, catalog) -> None:
+        self._require_table(catalog, self.table)
+        self._require_free(catalog, self.new_name)
+
+    def describe(self) -> str:
+        return f"RENAME TABLE {self.table} TO {self.new_name}"
+
+
+@dataclass(frozen=True)
+class CopyTable(SchemaModificationOperator):
+    """COPY TABLE: duplicate an existing table under a new name."""
+
+    table: str
+    new_name: str
+
+    def validate(self, catalog) -> None:
+        self._require_table(catalog, self.table)
+        self._require_free(catalog, self.new_name)
+
+    def describe(self) -> str:
+        return f"COPY TABLE {self.table} TO {self.new_name}"
+
+
+@dataclass(frozen=True)
+class UnionTables(SchemaModificationOperator):
+    """UNION TABLES: combine tuples of two same-schema tables."""
+
+    left: str
+    right: str
+    out_name: str
+
+    def validate(self, catalog) -> None:
+        self._require_table(catalog, self.left)
+        self._require_table(catalog, self.right)
+        if self.out_name not in (self.left, self.right):
+            self._require_free(catalog, self.out_name)
+        left_schema = catalog.schema(self.left)
+        right_schema = catalog.schema(self.right)
+        if not left_schema.compatible_with(right_schema):
+            raise SmoValidationError(
+                f"tables {self.left!r} and {self.right!r} are not "
+                "union-compatible"
+            )
+
+    def describe(self) -> str:
+        return f"UNION TABLES {self.left}, {self.right} INTO {self.out_name}"
+
+
+@dataclass(frozen=True)
+class PartitionTable(SchemaModificationOperator):
+    """PARTITION TABLE: split rows by a condition into two tables."""
+
+    table: str
+    true_name: str
+    false_name: str
+    predicate: Predicate
+
+    def validate(self, catalog) -> None:
+        self._require_table(catalog, self.table)
+        for out in (self.true_name, self.false_name):
+            if out != self.table:
+                self._require_free(catalog, out)
+        if self.true_name == self.false_name:
+            raise SmoValidationError("output tables must be distinct")
+        try:
+            self.predicate.validate(catalog.schema(self.table))
+        except SmoValidationError:
+            raise
+        except Exception as exc:
+            raise SmoValidationError(str(exc)) from exc
+
+    def describe(self) -> str:
+        return (
+            f"PARTITION TABLE {self.table} INTO {self.true_name}, "
+            f"{self.false_name} WHERE {self.predicate}"
+        )
+
+
+@dataclass(frozen=True)
+class AddColumn(SchemaModificationOperator):
+    """ADD COLUMN: new column filled from a default or user values."""
+
+    table: str
+    column: ColumnSchema
+    default: object = None
+    values: tuple = field(default=None)
+
+    def validate(self, catalog) -> None:
+        self._require_table(catalog, self.table)
+        schema = catalog.schema(self.table)
+        if schema.has_column(self.column.name):
+            raise SmoValidationError(
+                f"column {self.column.name!r} already exists in "
+                f"{self.table!r}"
+            )
+        if self.values is not None and len(self.values) != catalog.table(
+            self.table
+        ).nrows:
+            raise SmoValidationError(
+                f"ADD COLUMN values length {len(self.values)} != "
+                f"{catalog.table(self.table).nrows} rows"
+            )
+
+    def describe(self) -> str:
+        suffix = f" DEFAULT {self.default!r}" if self.values is None else ""
+        return (
+            f"ADD COLUMN {self.column.name} {self.column.dtype} TO "
+            f"{self.table}{suffix}"
+        )
+
+
+@dataclass(frozen=True)
+class DropColumn(SchemaModificationOperator):
+    """DROP COLUMN: delete a column and its data."""
+
+    table: str
+    column: str
+
+    def validate(self, catalog) -> None:
+        self._require_table(catalog, self.table)
+        schema = catalog.schema(self.table)
+        if not schema.has_column(self.column):
+            raise SmoValidationError(
+                f"no column {self.column!r} in table {self.table!r}"
+            )
+        if self.column in schema.primary_key:
+            raise SmoValidationError(
+                f"cannot drop key column {self.column!r} of {self.table!r}"
+            )
+        if len(schema.columns) == 1:
+            raise SmoValidationError(
+                f"cannot drop the only column of {self.table!r}"
+            )
+
+    def describe(self) -> str:
+        return f"DROP COLUMN {self.column} FROM {self.table}"
+
+
+@dataclass(frozen=True)
+class RenameColumn(SchemaModificationOperator):
+    """RENAME COLUMN: change a column's name without touching data."""
+
+    table: str
+    column: str
+    new_name: str
+
+    def validate(self, catalog) -> None:
+        self._require_table(catalog, self.table)
+        schema = catalog.schema(self.table)
+        if not schema.has_column(self.column):
+            raise SmoValidationError(
+                f"no column {self.column!r} in table {self.table!r}"
+            )
+        if schema.has_column(self.new_name):
+            raise SmoValidationError(
+                f"column {self.new_name!r} already exists in {self.table!r}"
+            )
+
+    def describe(self) -> str:
+        return (
+            f"RENAME COLUMN {self.column} TO {self.new_name} IN {self.table}"
+        )
+
+
+ALL_OPERATORS = (
+    DecomposeTable,
+    MergeTables,
+    CreateTable,
+    DropTable,
+    RenameTable,
+    CopyTable,
+    UnionTables,
+    PartitionTable,
+    AddColumn,
+    DropColumn,
+    RenameColumn,
+)

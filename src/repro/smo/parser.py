@@ -1,0 +1,366 @@
+"""Parser for the textual SMO language.
+
+The demo UI (paper Figure 4) lets users specify schema modification
+operators; this module provides the textual equivalent.  Grammar (case
+insensitive keywords, identifiers and literals as in SQL):
+
+    DECOMPOSE TABLE R INTO S (A, B), T (A, C)
+    MERGE TABLES S, T INTO R [ON (A [, B ...])]
+    CREATE TABLE R (A INT, B STRING [, ...] [, KEY (A [, ...])])
+    DROP TABLE R
+    RENAME TABLE R TO R2
+    COPY TABLE R TO R2
+    UNION TABLES R1, R2 INTO R3
+    PARTITION TABLE R INTO R1, R2 WHERE <predicate>
+    ADD COLUMN C INT TO R [DEFAULT <literal>]
+    DROP COLUMN C FROM R
+    RENAME COLUMN C TO D IN R
+
+Predicates support comparisons (=, !=, <>, <, <=, >, >=), IN lists,
+AND/OR/NOT and parentheses.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import SmoValidationError
+from repro.smo.ops import (
+    AddColumn,
+    CopyTable,
+    CreateTable,
+    DecomposeTable,
+    DropColumn,
+    DropTable,
+    MergeTables,
+    PartitionTable,
+    RenameColumn,
+    RenameTable,
+    SchemaModificationOperator,
+    UnionTables,
+)
+from repro.smo.predicate import And, Comparison, Not, Or, Predicate
+from repro.storage.schema import ColumnSchema, TableSchema
+from repro.storage.types import parse_type_name
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(?:
+        (?P<number>-?\d+\.\d+|-?\d+)
+      | (?P<string>'(?:[^']|'')*')
+      | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+      | (?P<op><=|>=|!=|<>|=|<|>)
+      | (?P<punct>[(),])
+    )
+    """,
+    re.VERBOSE,
+)
+
+
+class _Tokens:
+    """A tiny cursor over the token stream."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens: list[tuple[str, str]] = []
+        position = 0
+        while position < len(text):
+            match = _TOKEN_RE.match(text, position)
+            if match is None:
+                if text[position:].strip():
+                    raise SmoValidationError(
+                        f"cannot tokenize SMO near {text[position:position+20]!r}"
+                    )
+                break
+            position = match.end()
+            for kind in ("number", "string", "ident", "op", "punct"):
+                value = match.group(kind)
+                if value is not None:
+                    self.tokens.append((kind, value))
+                    break
+        self.index = 0
+
+    def peek(self) -> tuple[str, str] | None:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def next(self) -> tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise SmoValidationError(f"unexpected end of SMO: {self.text!r}")
+        self.index += 1
+        return token
+
+    def expect_keyword(self, *words: str) -> str:
+        kind, value = self.next()
+        if kind != "ident" or value.upper() not in words:
+            raise SmoValidationError(
+                f"expected {'/'.join(words)}, found {value!r} in {self.text!r}"
+            )
+        return value.upper()
+
+    def expect_punct(self, symbol: str) -> None:
+        kind, value = self.next()
+        if kind != "punct" or value != symbol:
+            raise SmoValidationError(
+                f"expected {symbol!r}, found {value!r} in {self.text!r}"
+            )
+
+    def expect_ident(self) -> str:
+        kind, value = self.next()
+        if kind != "ident":
+            raise SmoValidationError(
+                f"expected identifier, found {value!r} in {self.text!r}"
+            )
+        return value
+
+    def keyword_is(self, word: str) -> bool:
+        token = self.peek()
+        return (
+            token is not None
+            and token[0] == "ident"
+            and token[1].upper() == word
+        )
+
+    def punct_is(self, symbol: str) -> bool:
+        token = self.peek()
+        return token is not None and token[0] == "punct" and token[1] == symbol
+
+    def done(self) -> None:
+        if self.peek() is not None:
+            raise SmoValidationError(
+                f"unexpected trailing tokens in SMO: {self.text!r}"
+            )
+
+
+def _literal(kind: str, value: str):
+    if kind == "number":
+        return float(value) if "." in value else int(value)
+    if kind == "string":
+        return value[1:-1].replace("''", "'")
+    if kind == "ident":
+        upper = value.upper()
+        if upper == "TRUE":
+            return True
+        if upper == "FALSE":
+            return False
+        if upper == "NULL":
+            return None
+    raise SmoValidationError(f"expected a literal, found {value!r}")
+
+
+def _parse_attr_list(tokens: _Tokens) -> tuple[str, ...]:
+    tokens.expect_punct("(")
+    attrs = [tokens.expect_ident()]
+    while tokens.punct_is(","):
+        tokens.next()
+        attrs.append(tokens.expect_ident())
+    tokens.expect_punct(")")
+    return tuple(attrs)
+
+
+def parse_predicate(tokens: _Tokens) -> Predicate:
+    """Parse OR-precedence predicate expression."""
+    return _parse_or(tokens)
+
+
+def _parse_or(tokens: _Tokens) -> Predicate:
+    left = _parse_and(tokens)
+    while tokens.keyword_is("OR"):
+        tokens.next()
+        left = Or(left, _parse_and(tokens))
+    return left
+
+
+def _parse_and(tokens: _Tokens) -> Predicate:
+    left = _parse_not(tokens)
+    while tokens.keyword_is("AND"):
+        tokens.next()
+        left = And(left, _parse_not(tokens))
+    return left
+
+
+def _parse_not(tokens: _Tokens) -> Predicate:
+    if tokens.keyword_is("NOT"):
+        tokens.next()
+        return Not(_parse_not(tokens))
+    return _parse_atom(tokens)
+
+
+def _parse_atom(tokens: _Tokens) -> Predicate:
+    if tokens.punct_is("("):
+        tokens.next()
+        inner = _parse_or(tokens)
+        tokens.expect_punct(")")
+        return inner
+    attr = tokens.expect_ident()
+    if tokens.keyword_is("IN"):
+        tokens.next()
+        tokens.expect_punct("(")
+        literals = []
+        kind, value = tokens.next()
+        literals.append(_literal(kind, value))
+        while tokens.punct_is(","):
+            tokens.next()
+            kind, value = tokens.next()
+            literals.append(_literal(kind, value))
+        tokens.expect_punct(")")
+        return Comparison(attr, "IN", tuple(literals))
+    kind, op = tokens.next()
+    if kind != "op":
+        raise SmoValidationError(f"expected comparison operator after {attr!r}")
+    if op == "<>":
+        op = "!="
+    kind, value = tokens.next()
+    return Comparison(attr, op, _literal(kind, value))
+
+
+def _parse_create_columns(tokens: _Tokens):
+    tokens.expect_punct("(")
+    columns = []
+    primary_key: tuple[str, ...] = ()
+    while True:
+        name = tokens.expect_ident()
+        if name.upper() == "KEY":
+            primary_key = _parse_attr_list(tokens)
+        else:
+            type_name = tokens.expect_ident()
+            columns.append(ColumnSchema(name, parse_type_name(type_name)))
+        if tokens.punct_is(","):
+            tokens.next()
+            continue
+        break
+    tokens.expect_punct(")")
+    return tuple(columns), primary_key
+
+
+def parse_smo(text: str) -> SchemaModificationOperator:
+    """Parse one SMO statement into its operator object."""
+    tokens = _Tokens(text.strip().rstrip(";"))
+    verb = tokens.expect_keyword(
+        "DECOMPOSE", "MERGE", "CREATE", "DROP", "RENAME", "COPY", "UNION",
+        "PARTITION", "ADD",
+    )
+
+    if verb == "DECOMPOSE":
+        tokens.expect_keyword("TABLE")
+        table = tokens.expect_ident()
+        tokens.expect_keyword("INTO")
+        left_name = tokens.expect_ident()
+        left_attrs = _parse_attr_list(tokens)
+        tokens.expect_punct(",")
+        right_name = tokens.expect_ident()
+        right_attrs = _parse_attr_list(tokens)
+        tokens.done()
+        return DecomposeTable(table, left_name, left_attrs, right_name, right_attrs)
+
+    if verb == "MERGE":
+        tokens.expect_keyword("TABLES")
+        left = tokens.expect_ident()
+        tokens.expect_punct(",")
+        right = tokens.expect_ident()
+        tokens.expect_keyword("INTO")
+        out = tokens.expect_ident()
+        join: tuple[str, ...] = ()
+        if tokens.keyword_is("ON"):
+            tokens.next()
+            join = _parse_attr_list(tokens)
+        tokens.done()
+        return MergeTables(left, right, out, join)
+
+    if verb == "CREATE":
+        tokens.expect_keyword("TABLE")
+        name = tokens.expect_ident()
+        columns, primary_key = _parse_create_columns(tokens)
+        tokens.done()
+        return CreateTable(TableSchema(name, columns, primary_key))
+
+    if verb == "DROP":
+        kind = tokens.expect_keyword("TABLE", "COLUMN")
+        if kind == "TABLE":
+            table = tokens.expect_ident()
+            tokens.done()
+            return DropTable(table)
+        column = tokens.expect_ident()
+        tokens.expect_keyword("FROM")
+        table = tokens.expect_ident()
+        tokens.done()
+        return DropColumn(table, column)
+
+    if verb == "RENAME":
+        kind = tokens.expect_keyword("TABLE", "COLUMN")
+        if kind == "TABLE":
+            table = tokens.expect_ident()
+            tokens.expect_keyword("TO")
+            new_name = tokens.expect_ident()
+            tokens.done()
+            return RenameTable(table, new_name)
+        column = tokens.expect_ident()
+        tokens.expect_keyword("TO")
+        new_name = tokens.expect_ident()
+        tokens.expect_keyword("IN")
+        table = tokens.expect_ident()
+        tokens.done()
+        return RenameColumn(table, column, new_name)
+
+    if verb == "COPY":
+        tokens.expect_keyword("TABLE")
+        table = tokens.expect_ident()
+        tokens.expect_keyword("TO")
+        new_name = tokens.expect_ident()
+        tokens.done()
+        return CopyTable(table, new_name)
+
+    if verb == "UNION":
+        tokens.expect_keyword("TABLES")
+        left = tokens.expect_ident()
+        tokens.expect_punct(",")
+        right = tokens.expect_ident()
+        tokens.expect_keyword("INTO")
+        out = tokens.expect_ident()
+        tokens.done()
+        return UnionTables(left, right, out)
+
+    if verb == "PARTITION":
+        tokens.expect_keyword("TABLE")
+        table = tokens.expect_ident()
+        tokens.expect_keyword("INTO")
+        true_name = tokens.expect_ident()
+        tokens.expect_punct(",")
+        false_name = tokens.expect_ident()
+        tokens.expect_keyword("WHERE")
+        predicate = parse_predicate(tokens)
+        tokens.done()
+        return PartitionTable(table, true_name, false_name, predicate)
+
+    # ADD COLUMN
+    tokens.expect_keyword("COLUMN")
+    column_name = tokens.expect_ident()
+    type_name = tokens.expect_ident()
+    tokens.expect_keyword("TO")
+    table = tokens.expect_ident()
+    default = None
+    if tokens.keyword_is("DEFAULT"):
+        tokens.next()
+        kind, value = tokens.next()
+        default = _literal(kind, value)
+    tokens.done()
+    return AddColumn(
+        table, ColumnSchema(column_name, parse_type_name(type_name)), default
+    )
+
+
+# Public aliases: the SQL subset engine reuses this tokenizer and the
+# predicate grammar so WHERE clauses behave identically in SMOs and SQL.
+TokenStream = _Tokens
+literal_value = _literal
+
+
+def parse_script(text: str) -> list[SchemaModificationOperator]:
+    """Parse a semicolon/newline-separated sequence of SMO statements."""
+    operators = []
+    for statement in re.split(r";|\n", text):
+        if statement.strip() and not statement.strip().startswith("--"):
+            operators.append(parse_smo(statement))
+    return operators

@@ -1,0 +1,133 @@
+"""Evolution plans: validated sequences of SMOs.
+
+A plan validates each operator against the *simulated* schema state
+after its predecessors, so a whole multi-step evolution (the PRISM
+scenario: many operators per schema version) can be checked before any
+data moves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SmoValidationError
+from repro.smo.ops import (
+    AddColumn,
+    CopyTable,
+    CreateTable,
+    DecomposeTable,
+    DropColumn,
+    DropTable,
+    MergeTables,
+    PartitionTable,
+    RenameColumn,
+    RenameTable,
+    SchemaModificationOperator,
+    UnionTables,
+)
+from repro.storage.schema import TableSchema
+
+
+@dataclass
+class _SchemaOnlyCatalog:
+    """A catalog façade over plain schemas, for plan-time validation."""
+
+    schemas: dict
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.schemas
+
+    def schema(self, name: str) -> TableSchema:
+        if name not in self.schemas:
+            raise SmoValidationError(f"no table named {name!r}")
+        return self.schemas[name]
+
+    def table(self, name: str):
+        raise SmoValidationError(
+            "plan-time validation cannot inspect table data (ADD COLUMN "
+            "with explicit values must be validated at execution time)"
+        )
+
+
+def simulate(op: SchemaModificationOperator, schemas: dict) -> dict:
+    """Apply the schema-level effect of ``op`` to ``schemas`` (copy)."""
+    out = dict(schemas)
+    if isinstance(op, DecomposeTable):
+        source = out.pop(op.table)
+        out[op.left_name] = source.project(op.left_attrs, op.left_name)
+        out[op.right_name] = source.project(op.right_attrs, op.right_name)
+    elif isinstance(op, MergeTables):
+        left = out[op.left]
+        right = out[op.right]
+        join = op.join_attrs or tuple(
+            a for a in left.column_names if a in right.attribute_set
+        )
+        columns = left.columns + tuple(
+            c for c in right.columns if c.name not in set(join)
+        )
+        out.pop(op.left)
+        out.pop(op.right)
+        out[op.out_name] = TableSchema(op.out_name, columns)
+    elif isinstance(op, CreateTable):
+        out[op.schema.name] = op.schema
+    elif isinstance(op, DropTable):
+        out.pop(op.table)
+    elif isinstance(op, RenameTable):
+        out[op.new_name] = out.pop(op.table).renamed(op.new_name)
+    elif isinstance(op, CopyTable):
+        out[op.new_name] = out[op.table].renamed(op.new_name)
+    elif isinstance(op, UnionTables):
+        left = out.pop(op.left)
+        out.pop(op.right, None)
+        out[op.out_name] = left.renamed(op.out_name)
+    elif isinstance(op, PartitionTable):
+        source = out.pop(op.table)
+        out[op.true_name] = source.renamed(op.true_name)
+        out[op.false_name] = source.renamed(op.false_name)
+    elif isinstance(op, AddColumn):
+        out[op.table] = out[op.table].with_column(op.column)
+    elif isinstance(op, DropColumn):
+        out[op.table] = out[op.table].without_column(op.column)
+    elif isinstance(op, RenameColumn):
+        out[op.table] = out[op.table].with_renamed_column(
+            op.column, op.new_name
+        )
+    else:  # pragma: no cover - future operators
+        raise SmoValidationError(f"cannot simulate operator {op!r}")
+    return out
+
+
+class EvolutionPlan:
+    """An ordered list of SMOs validated as a whole."""
+
+    def __init__(self, operators):
+        self.operators: list[SchemaModificationOperator] = list(operators)
+
+    def __len__(self) -> int:
+        return len(self.operators)
+
+    def __iter__(self):
+        return iter(self.operators)
+
+    def validate(self, catalog) -> dict:
+        """Validate the full plan against ``catalog``; returns the final
+        simulated ``{name: TableSchema}`` mapping."""
+        schemas = {
+            name: catalog.schema(name) for name in catalog.table_names()
+        }
+        facade = _SchemaOnlyCatalog(schemas)
+        for step, op in enumerate(self.operators):
+            try:
+                op.validate(facade)
+            except SmoValidationError as exc:
+                raise SmoValidationError(
+                    f"plan step {step + 1} ({op.describe()}): {exc}"
+                ) from exc
+            facade.schemas = simulate(op, facade.schemas)
+        return facade.schemas
+
+    def describe(self) -> str:
+        return "\n".join(
+            f"{index + 1}. {op.describe()}"
+            for index, op in enumerate(self.operators)
+        )

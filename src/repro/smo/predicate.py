@@ -1,0 +1,172 @@
+"""Predicates for PARTITION TABLE conditions (and the SQL WHERE clause).
+
+Predicates evaluate in the compressed domain: a comparison first selects
+the satisfying *values* from the column dictionary (``O(distinct)``),
+then ORs their disjoint bitmaps (``O(matching rows)``) — rows are never
+materialized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bitmap.ops import union, union_disjoint
+from repro.errors import SchemaError
+from repro.storage.types import coerce
+
+EQ, NE, LT, LE, GT, GE, IN = "=", "!=", "<", "<=", ">", ">=", "IN"
+_COMPARATORS = {
+    EQ: lambda a, b: a == b,
+    NE: lambda a, b: a != b,
+    LT: lambda a, b: a is not None and a < b,
+    LE: lambda a, b: a is not None and a <= b,
+    GT: lambda a, b: a is not None and a > b,
+    GE: lambda a, b: a is not None and a >= b,
+}
+
+
+class Predicate:
+    """Abstract predicate over one table's rows."""
+
+    def matches(self, row_value_of) -> bool:  # pragma: no cover - interface
+        """Row-at-a-time evaluation; ``row_value_of(attr)`` fetches."""
+        raise NotImplementedError
+
+    def bitmap(self, table):  # pragma: no cover - interface
+        """Compressed-domain evaluation: bitmap of satisfying rows."""
+        raise NotImplementedError
+
+    def attributes(self) -> frozenset:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def validate(self, schema) -> None:
+        for attr in self.attributes():
+            if not schema.has_column(attr):
+                raise SchemaError(
+                    f"predicate references unknown column {attr!r} of "
+                    f"table {schema.name!r}"
+                )
+
+
+@dataclass(frozen=True)
+class Comparison(Predicate):
+    """``attr <op> literal`` or ``attr IN (v1, v2, …)``."""
+
+    attr: str
+    op: str
+    value: object
+
+    def __post_init__(self):
+        if self.op not in (*_COMPARATORS, IN):
+            raise SchemaError(f"unknown comparison operator {self.op!r}")
+        if self.op == IN:
+            object.__setattr__(self, "value", tuple(self.value))
+
+    def attributes(self) -> frozenset:
+        return frozenset([self.attr])
+
+    def matches(self, row_value_of) -> bool:
+        actual = row_value_of(self.attr)
+        if self.op == IN:
+            return actual in self.value
+        return _COMPARATORS[self.op](actual, self.value)
+
+    def _matching_vids(self, column) -> list[int]:
+        if self.op == IN:
+            literals = {coerce(v, column.dtype) for v in self.value}
+            test = lambda v: v in literals  # noqa: E731
+        else:
+            literal = coerce(self.value, column.dtype)
+            compare = _COMPARATORS[self.op]
+            test = lambda v: compare(v, literal)  # noqa: E731
+        return [
+            vid
+            for vid, value in enumerate(column.dictionary.values())
+            if test(value)
+        ]
+
+    def bitmap(self, table):
+        column = table.column(self.attr)
+        vids = self._matching_vids(column)
+        bitmaps = [column.bitmap_for_vid(v) for v in vids]
+        from repro.bitmap.codecs import get_codec
+
+        codec = get_codec(column.codec_name)
+        return union_disjoint(bitmaps, table.nrows, codec)
+
+    def __str__(self) -> str:
+        if self.op == IN:
+            inner = ", ".join(_render(v) for v in self.value)
+            return f"{self.attr} IN ({inner})"
+        return f"{self.attr} {self.op} {_render(self.value)}"
+
+
+@dataclass(frozen=True)
+class And(Predicate):
+    left: Predicate
+    right: Predicate
+
+    def attributes(self) -> frozenset:
+        return self.left.attributes() | self.right.attributes()
+
+    def matches(self, row_value_of) -> bool:
+        return self.left.matches(row_value_of) and self.right.matches(
+            row_value_of
+        )
+
+    def bitmap(self, table):
+        return self.left.bitmap(table) & self.right.bitmap(table)
+
+    def __str__(self) -> str:
+        return f"({self.left} AND {self.right})"
+
+
+@dataclass(frozen=True)
+class Or(Predicate):
+    left: Predicate
+    right: Predicate
+
+    def attributes(self) -> frozenset:
+        return self.left.attributes() | self.right.attributes()
+
+    def matches(self, row_value_of) -> bool:
+        return self.left.matches(row_value_of) or self.right.matches(
+            row_value_of
+        )
+
+    def bitmap(self, table):
+        from repro.bitmap.codecs import get_codec
+
+        codec = get_codec(table.columns()[0].codec_name)
+        return union(
+            [self.left.bitmap(table), self.right.bitmap(table)],
+            table.nrows,
+            codec,
+        )
+
+    def __str__(self) -> str:
+        return f"({self.left} OR {self.right})"
+
+
+@dataclass(frozen=True)
+class Not(Predicate):
+    inner: Predicate
+
+    def attributes(self) -> frozenset:
+        return self.inner.attributes()
+
+    def matches(self, row_value_of) -> bool:
+        return not self.inner.matches(row_value_of)
+
+    def bitmap(self, table):
+        return self.inner.bitmap(table).invert()
+
+    def __str__(self) -> str:
+        return f"(NOT {self.inner})"
+
+
+def _render(value) -> str:
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    return str(value)

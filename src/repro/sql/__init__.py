@@ -1,0 +1,35 @@
+"""A SQL subset: parser + executor over pluggable storage engines."""
+
+from repro.sql.adapter import (
+    ColumnStoreAdapter,
+    EngineAdapter,
+    RowEngineAdapter,
+)
+from repro.sql.ast import (
+    CreateIndex,
+    CreateTable,
+    DropTable,
+    InsertSelect,
+    InsertValues,
+    JoinClause,
+    RenameTable,
+    Select,
+)
+from repro.sql.executor import SqlExecutor
+from repro.sql.parser import parse_sql, parse_sql_script
+
+__all__ = [
+    "ColumnStoreAdapter",
+    "CreateIndex",
+    "CreateTable",
+    "DropTable",
+    "EngineAdapter",
+    "InsertSelect",
+    "InsertValues",
+    "JoinClause",
+    "RenameTable",
+    "Select",
+    "SqlExecutor",
+    "parse_sql",
+    "parse_sql_script",
+]

@@ -1,0 +1,81 @@
+"""AST nodes for the SQL subset.
+
+The subset covers exactly what query-level data evolution needs (the
+queries of paper Section 1 plus joins for MERGE): CREATE/DROP/ALTER
+TABLE, CREATE INDEX, INSERT (VALUES and SELECT), and SELECT with
+DISTINCT, JOIN ON equal attributes, WHERE, ORDER BY and LIMIT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.smo.predicate import Predicate
+from repro.storage.schema import TableSchema
+
+
+@dataclass(frozen=True)
+class JoinClause:
+    """``JOIN <table> ON (attr, ...)`` — equi-join on shared names."""
+
+    table: str
+    join_attrs: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class Select:
+    """A SELECT query."""
+
+    columns: tuple[str, ...] | None  # None means '*'
+    table: str
+    distinct: bool = False
+    join: JoinClause | None = None
+    where: Predicate | None = None
+    order_by: tuple[str, bool] | None = None  # (column, ascending)
+    limit: int | None = None
+
+
+@dataclass(frozen=True)
+class InsertValues:
+    table: str
+    rows: tuple[tuple, ...]
+
+
+@dataclass(frozen=True)
+class InsertSelect:
+    table: str
+    select: Select
+
+
+@dataclass(frozen=True)
+class CreateTable:
+    schema: TableSchema
+
+
+@dataclass(frozen=True)
+class DropTable:
+    name: str
+
+
+@dataclass(frozen=True)
+class RenameTable:
+    name: str
+    new_name: str
+
+
+@dataclass(frozen=True)
+class CreateIndex:
+    index_name: str
+    table: str
+    column: str
+
+
+Statement = (
+    Select
+    | InsertValues
+    | InsertSelect
+    | CreateTable
+    | DropTable
+    | RenameTable
+    | CreateIndex
+)

@@ -1,0 +1,200 @@
+"""The SQL executor: statement evaluation over an engine adapter.
+
+This is the "query execution engine" box of Figure 2 (right side): it
+materializes tuples, filters and deduplicates them row at a time, and
+loads results back through the adapter.  Both query-level baselines run
+their evolutions through this code path.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SqlExecutionError
+from repro.sql.adapter import EngineAdapter, require_table
+from repro.sql.ast import (
+    CreateIndex,
+    CreateTable,
+    DropTable,
+    InsertSelect,
+    InsertValues,
+    RenameTable,
+    Select,
+    Statement,
+)
+from repro.sql.parser import parse_sql, parse_sql_script
+
+
+class SqlExecutor:
+    """Executes parsed statements against an adapter."""
+
+    def __init__(self, adapter: EngineAdapter):
+        self.adapter = adapter
+
+    # -- entry points ------------------------------------------------------
+
+    def execute(self, statement_or_text):
+        """Execute one statement (text or AST).
+
+        Returns a list of tuples for SELECT, a row count for INSERT,
+        ``None`` for DDL.
+        """
+        statement = (
+            parse_sql(statement_or_text)
+            if isinstance(statement_or_text, str)
+            else statement_or_text
+        )
+        return self._dispatch(statement)
+
+    def execute_script(self, text: str) -> list:
+        """Execute a semicolon-separated script; returns per-statement
+        results."""
+        return [self._dispatch(s) for s in parse_sql_script(text)]
+
+    # -- dispatch ---------------------------------------------------------
+
+    def _dispatch(self, statement: Statement):
+        if isinstance(statement, Select):
+            return list(self._run_select(statement))
+        if isinstance(statement, InsertValues):
+            require_table(self.adapter, statement.table)
+            return self.adapter.insert_rows(statement.table, statement.rows)
+        if isinstance(statement, InsertSelect):
+            require_table(self.adapter, statement.table)
+            rows = self._run_select(statement.select)
+            return self.adapter.insert_rows(statement.table, rows)
+        if isinstance(statement, CreateTable):
+            self.adapter.create_table(statement.schema)
+            return None
+        if isinstance(statement, DropTable):
+            require_table(self.adapter, statement.name)
+            self.adapter.drop_table(statement.name)
+            return None
+        if isinstance(statement, RenameTable):
+            require_table(self.adapter, statement.name)
+            self.adapter.rename_table(statement.name, statement.new_name)
+            return None
+        if isinstance(statement, CreateIndex):
+            require_table(self.adapter, statement.table)
+            self.adapter.create_index(statement.table, statement.column)
+            return None
+        raise SqlExecutionError(
+            f"unsupported statement {statement!r}"
+        )  # pragma: no cover
+
+    # -- SELECT pipeline ------------------------------------------------------
+
+    def _run_select(self, select: Select):
+        require_table(self.adapter, select.table)
+        left_schema = self.adapter.schema(select.table)
+
+        if select.join is not None:
+            require_table(self.adapter, select.join.table)
+            right_schema = self.adapter.schema(select.join.table)
+            out_columns = select.columns or (
+                left_schema.column_names
+                + tuple(
+                    n
+                    for n in right_schema.column_names
+                    if n not in select.join.join_attrs
+                )
+            )
+            rows = self._hash_join(
+                select.table,
+                select.join.table,
+                select.join.join_attrs,
+                out_columns,
+            )
+            column_names = tuple(out_columns)
+        else:
+            column_names = select.columns or left_schema.column_names
+            if select.where is not None:
+                select.where.validate(left_schema)
+                rows = self._filtered_projection(
+                    select.table, left_schema, column_names, select.where
+                )
+            else:
+                positions = [left_schema.index_of(c) for c in column_names]
+                rows = (
+                    tuple(row[p] for p in positions)
+                    for row in self.adapter.scan_rows(select.table)
+                )
+
+        if select.join is not None and select.where is not None:
+            name_index = {n: i for i, n in enumerate(column_names)}
+            predicate = select.where
+            rows = (
+                row
+                for row in rows
+                if predicate.matches(lambda a, r=row: r[name_index[a]])
+            )
+
+        if select.distinct:
+            rows = _dedup(rows)
+        if select.order_by is not None:
+            column, ascending = select.order_by
+            if column not in column_names:
+                raise SqlExecutionError(
+                    f"ORDER BY column {column!r} not in the select list"
+                )
+            index = column_names.index(column)
+            rows = iter(
+                sorted(
+                    rows,
+                    key=lambda r: (r[index] is None, r[index]),
+                    reverse=not ascending,
+                )
+            )
+        if select.limit is not None:
+            rows = _limited(rows, select.limit)
+        return rows
+
+    def _filtered_projection(self, table, schema, out_columns, predicate):
+        positions = {n: i for i, n in enumerate(schema.column_names)}
+        out_positions = [positions[c] for c in out_columns]
+        for row in self.adapter.scan_rows(table):
+            if predicate.matches(lambda a, r=row: r[positions[a]]):
+                yield tuple(row[p] for p in out_positions)
+
+    def _hash_join(self, left, right, join_attrs, out_columns):
+        """Generic tuple hash join (build on the smaller input)."""
+        engine = getattr(self.adapter, "engine", None)
+        if engine is not None and hasattr(engine, "hash_join"):
+            yield from engine.hash_join(left, right, join_attrs, out_columns)
+            return
+        left_schema = self.adapter.schema(left)
+        right_schema = self.adapter.schema(right)
+        left_pos = [left_schema.index_of(a) for a in join_attrs]
+        right_pos = [right_schema.index_of(a) for a in join_attrs]
+        resolution = []
+        for attr in out_columns:
+            if left_schema.has_column(attr):
+                resolution.append(("L", left_schema.index_of(attr)))
+            elif right_schema.has_column(attr):
+                resolution.append(("R", right_schema.index_of(attr)))
+            else:
+                raise SqlExecutionError(f"unknown join column {attr!r}")
+        buckets: dict = {}
+        for row in self.adapter.scan_rows(right):
+            key = tuple(row[p] for p in right_pos)
+            buckets.setdefault(key, []).append(row)
+        for left_row in self.adapter.scan_rows(left):
+            key = tuple(left_row[p] for p in left_pos)
+            for right_row in buckets.get(key, ()):
+                yield tuple(
+                    left_row[p] if side == "L" else right_row[p]
+                    for side, p in resolution
+                )
+
+
+def _dedup(rows):
+    seen = set()
+    for row in rows:
+        if row not in seen:
+            seen.add(row)
+            yield row
+
+
+def _limited(rows, limit: int):
+    for index, row in enumerate(rows):
+        if index >= limit:
+            return
+        yield row

@@ -1,0 +1,217 @@
+"""Recursive-descent parser for the SQL subset.
+
+Shares the tokenizer and predicate grammar with the SMO language, so a
+WHERE clause means the same thing in ``PARTITION TABLE … WHERE`` and in
+``SELECT … WHERE``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import SqlSyntaxError
+from repro.smo.parser import TokenStream, literal_value, parse_predicate
+from repro.sql.ast import (
+    CreateIndex,
+    CreateTable,
+    DropTable,
+    InsertSelect,
+    InsertValues,
+    JoinClause,
+    RenameTable,
+    Select,
+    Statement,
+)
+from repro.storage.schema import ColumnSchema, TableSchema
+from repro.storage.types import parse_type_name
+
+
+def _attr_list(tokens: TokenStream) -> tuple[str, ...]:
+    tokens.expect_punct("(")
+    attrs = [tokens.expect_ident()]
+    while tokens.punct_is(","):
+        tokens.next()
+        attrs.append(tokens.expect_ident())
+    tokens.expect_punct(")")
+    return tuple(attrs)
+
+
+def _parse_select(tokens: TokenStream) -> Select:
+    tokens.expect_keyword("SELECT")
+    distinct = False
+    if tokens.keyword_is("DISTINCT"):
+        tokens.next()
+        distinct = True
+
+    columns: tuple[str, ...] | None
+    if tokens.punct_is("("):
+        raise SqlSyntaxError("unexpected '(' after SELECT")
+    names = [tokens.expect_ident()]
+    while tokens.punct_is(","):
+        tokens.next()
+        names.append(tokens.expect_ident())
+    columns = tuple(names)
+
+    tokens.expect_keyword("FROM")
+    table = tokens.expect_ident()
+
+    join = None
+    if tokens.keyword_is("JOIN"):
+        tokens.next()
+        right = tokens.expect_ident()
+        tokens.expect_keyword("ON")
+        join = JoinClause(right, _attr_list(tokens))
+
+    where = None
+    if tokens.keyword_is("WHERE"):
+        tokens.next()
+        where = parse_predicate(tokens)
+
+    order_by = None
+    if tokens.keyword_is("ORDER"):
+        tokens.next()
+        tokens.expect_keyword("BY")
+        column = tokens.expect_ident()
+        ascending = True
+        if tokens.keyword_is("ASC"):
+            tokens.next()
+        elif tokens.keyword_is("DESC"):
+            tokens.next()
+            ascending = False
+        order_by = (column, ascending)
+
+    limit = None
+    if tokens.keyword_is("LIMIT"):
+        tokens.next()
+        kind, value = tokens.next()
+        if kind != "number" or "." in value:
+            raise SqlSyntaxError(f"LIMIT expects an integer, got {value!r}")
+        limit = int(value)
+
+    return Select(columns, table, distinct, join, where, order_by, limit)
+
+
+def _parse_values_row(tokens: TokenStream) -> tuple:
+    tokens.expect_punct("(")
+    values = []
+    kind, value = tokens.next()
+    values.append(literal_value(kind, value))
+    while tokens.punct_is(","):
+        tokens.next()
+        kind, value = tokens.next()
+        values.append(literal_value(kind, value))
+    tokens.expect_punct(")")
+    return tuple(values)
+
+
+def _parse_create_columns(tokens: TokenStream):
+    tokens.expect_punct("(")
+    columns = []
+    primary_key: tuple[str, ...] = ()
+    while True:
+        name = tokens.expect_ident()
+        if name.upper() == "KEY":
+            primary_key = _attr_list(tokens)
+        else:
+            type_name = tokens.expect_ident()
+            columns.append(ColumnSchema(name, parse_type_name(type_name)))
+        if tokens.punct_is(","):
+            tokens.next()
+            continue
+        break
+    tokens.expect_punct(")")
+    return tuple(columns), primary_key
+
+
+def parse_sql(text: str) -> Statement:
+    """Parse one SQL statement."""
+    from repro.errors import SmoValidationError
+
+    try:
+        return _parse_sql(text)
+    except SmoValidationError as exc:
+        raise SqlSyntaxError(str(exc)) from exc
+
+
+def _parse_sql(text: str) -> Statement:
+    stripped = text.strip().rstrip(";")
+    # '*' is not in the shared tokenizer's alphabet; rewrite 'SELECT *'
+    # (also inside INSERT … SELECT) to a sentinel column first.
+    stripped = re.sub(
+        r"(?is)\bselect\s+(distinct\s+)?\*",
+        lambda m: "SELECT " + ("DISTINCT " if m.group(1) else "") + "__STAR__",
+        stripped,
+    )
+    tokens = TokenStream(stripped)
+    verb = tokens.expect_keyword("SELECT", "INSERT", "CREATE", "DROP", "ALTER")
+
+    if verb == "SELECT":
+        tokens.index = 0
+        select = _parse_select(tokens)
+        tokens.done()
+        if select.columns == ("__STAR__",):
+            select = Select(
+                None, select.table, select.distinct, select.join,
+                select.where, select.order_by, select.limit,
+            )
+        return select
+
+    if verb == "INSERT":
+        tokens.expect_keyword("INTO")
+        table = tokens.expect_ident()
+        if tokens.keyword_is("VALUES"):
+            tokens.next()
+            rows = [_parse_values_row(tokens)]
+            while tokens.punct_is(","):
+                tokens.next()
+                rows.append(_parse_values_row(tokens))
+            tokens.done()
+            return InsertValues(table, tuple(rows))
+        select = _parse_select(tokens)
+        tokens.done()
+        if select.columns == ("__STAR__",):
+            select = Select(
+                None, select.table, select.distinct, select.join,
+                select.where, select.order_by, select.limit,
+            )
+        return InsertSelect(table, select)
+
+    if verb == "CREATE":
+        kind = tokens.expect_keyword("TABLE", "INDEX")
+        if kind == "TABLE":
+            name = tokens.expect_ident()
+            columns, primary_key = _parse_create_columns(tokens)
+            tokens.done()
+            return CreateTable(TableSchema(name, columns, primary_key))
+        index_name = tokens.expect_ident()
+        tokens.expect_keyword("ON")
+        table = tokens.expect_ident()
+        columns = _attr_list(tokens)
+        if len(columns) != 1:
+            raise SqlSyntaxError("only single-column indexes are supported")
+        tokens.done()
+        return CreateIndex(index_name, table, columns[0])
+
+    if verb == "DROP":
+        tokens.expect_keyword("TABLE")
+        name = tokens.expect_ident()
+        tokens.done()
+        return DropTable(name)
+
+    # ALTER TABLE x RENAME TO y
+    tokens.expect_keyword("TABLE")
+    name = tokens.expect_ident()
+    tokens.expect_keyword("RENAME")
+    tokens.expect_keyword("TO")
+    new_name = tokens.expect_ident()
+    tokens.done()
+    return RenameTable(name, new_name)
+
+
+def parse_sql_script(text: str) -> list[Statement]:
+    """Parse a semicolon-separated script."""
+    statements = []
+    for chunk in text.split(";"):
+        if chunk.strip():
+            statements.append(parse_sql(chunk))
+    return statements

@@ -1,0 +1,56 @@
+"""Column-oriented storage: schemas, bitmap columns, tables, catalog, IO."""
+
+from repro.storage.catalog import Catalog, CatalogVersion
+from repro.storage.column import BitmapColumn
+from repro.storage.csvio import infer_type, load_csv, save_csv
+from repro.storage.dictionary import Dictionary
+from repro.storage.filefmt import (
+    load_catalog,
+    load_table,
+    save_catalog,
+    save_table,
+)
+from repro.storage.schema import ColumnSchema, TableSchema
+from repro.storage.table import Table, table_from_python
+from repro.storage.verify import (
+    VerificationReport,
+    verify_catalog,
+    verify_column,
+    verify_table,
+)
+from repro.storage.types import (
+    DataType,
+    coerce,
+    parse_text,
+    parse_type_name,
+    python_type,
+    render_text,
+)
+
+__all__ = [
+    "BitmapColumn",
+    "Catalog",
+    "CatalogVersion",
+    "ColumnSchema",
+    "DataType",
+    "Dictionary",
+    "Table",
+    "TableSchema",
+    "VerificationReport",
+    "verify_catalog",
+    "verify_column",
+    "verify_table",
+    "coerce",
+    "infer_type",
+    "load_catalog",
+    "load_csv",
+    "load_table",
+    "parse_text",
+    "parse_type_name",
+    "python_type",
+    "render_text",
+    "save_catalog",
+    "save_csv",
+    "save_table",
+    "table_from_python",
+]

@@ -1,0 +1,102 @@
+"""The catalog: named tables plus schema-version history.
+
+The PRISM line of work the paper builds on (Curino et al., VLDB 2008)
+treats a database's life as a sequence of schema versions connected by
+SMOs.  Our catalog records that history so it can be inspected and
+replayed (tests verify replay determinism).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SchemaError
+from repro.storage.schema import TableSchema
+from repro.storage.table import Table
+
+
+@dataclass(frozen=True)
+class CatalogVersion:
+    """A snapshot entry in the evolution history."""
+
+    version: int
+    operation: str
+    tables: tuple[str, ...]
+
+
+@dataclass
+class Catalog:
+    """A mutable collection of named tables with version history."""
+
+    tables: dict = field(default_factory=dict)
+    history: list = field(default_factory=list)
+    version: int = 0
+
+    # -- queries ------------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.tables
+
+    def table(self, name: str) -> Table:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise SchemaError(f"no table named {name!r}") from None
+
+    def schema(self, name: str) -> TableSchema:
+        return self.table(name).schema
+
+    def table_names(self) -> list[str]:
+        return sorted(self.tables)
+
+    # -- mutations ------------------------------------------------------------
+
+    def _record(self, operation: str) -> None:
+        self.version += 1
+        self.history.append(
+            CatalogVersion(self.version, operation, tuple(sorted(self.tables)))
+        )
+
+    def put(self, table: Table, operation: str | None = None) -> None:
+        """Insert or replace a table under its schema name."""
+        self.tables[table.schema.name] = table
+        self._record(operation or f"PUT {table.schema.name}")
+
+    def create(self, table: Table, operation: str | None = None) -> None:
+        """Insert a table; fails if the name exists."""
+        if table.schema.name in self.tables:
+            raise SchemaError(f"table {table.schema.name!r} already exists")
+        self.put(table, operation or f"CREATE TABLE {table.schema.name}")
+
+    def drop(self, name: str, operation: str | None = None) -> Table:
+        """Remove and return a table."""
+        table = self.table(name)
+        del self.tables[name]
+        self._record(operation or f"DROP TABLE {name}")
+        return table
+
+    def rename(self, old: str, new: str, operation: str | None = None) -> None:
+        table = self.table(old)
+        if new in self.tables:
+            raise SchemaError(f"table {new!r} already exists")
+        del self.tables[old]
+        self.tables[new] = table.renamed(new)
+        self._record(operation or f"RENAME TABLE {old} TO {new}")
+
+    # -- introspection ------------------------------------------------------------
+
+    def describe(self) -> str:
+        """Human-readable schema listing (demo UI)."""
+        lines = []
+        for name in self.table_names():
+            table = self.tables[name]
+            columns = ", ".join(
+                f"{c.name} {c.dtype}" for c in table.schema.columns
+            )
+            key = (
+                f", KEY({', '.join(table.schema.primary_key)})"
+                if table.schema.primary_key
+                else ""
+            )
+            lines.append(f"{name}({columns}{key}) -- {table.nrows} rows")
+        return "\n".join(lines) if lines else "(empty catalog)"

@@ -1,0 +1,281 @@
+"""Bitmap-encoded columns.
+
+A :class:`BitmapColumn` stores one compressed bitmap per distinct value
+(the ``v × r`` matrix of paper Section 2.2): bit ``k`` of value ``u``'s
+bitmap is set iff row ``k`` holds ``u``.  All evolution algorithms work
+on this representation; the expensive "materialize the rows" path is
+:meth:`decode_vids` / :meth:`to_values`, and callers that care (the
+engine, the benchmarks) count how often it runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bitmap.codecs import WAH, get_codec
+from repro.bitmap.stats import CompressionStats
+from repro.errors import StorageError
+from repro.storage.dictionary import Dictionary
+from repro.storage.types import DataType, coerce
+
+
+class BitmapColumn:
+    """One column of a column-store table, encoded as per-value bitmaps."""
+
+    __slots__ = ("name", "dtype", "codec_name", "_codec", "_dictionary",
+                 "_bitmaps", "_nrows")
+
+    def __init__(
+        self,
+        name: str,
+        dtype: DataType,
+        dictionary: Dictionary,
+        bitmaps: list,
+        nrows: int,
+        codec_name: str = WAH,
+    ):
+        self.name = name
+        self.dtype = dtype
+        self.codec_name = codec_name
+        self._codec = get_codec(codec_name)
+        self._dictionary = dictionary
+        self._bitmaps = bitmaps
+        self._nrows = int(nrows)
+        if len(bitmaps) != len(dictionary):
+            raise StorageError(
+                f"column {name!r}: {len(bitmaps)} bitmaps for "
+                f"{len(dictionary)} dictionary entries"
+            )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_values(
+        cls,
+        name: str,
+        dtype: DataType,
+        values,
+        codec_name: str = WAH,
+    ) -> "BitmapColumn":
+        """Build a column from row-ordered values.
+
+        Values are dictionary-encoded, then each distinct value's sorted
+        row positions become one compressed bitmap.  Well-typed NumPy
+        arrays skip per-value coercion (the bulk-load fast path).
+        """
+        dictionary = Dictionary()
+        if isinstance(values, np.ndarray) and values.dtype != object:
+            vids = dictionary.encode(values)
+        else:
+            vids = dictionary.encode([coerce(v, dtype) for v in values])
+        return cls.from_vids(name, dtype, dictionary, vids, codec_name)
+
+    @classmethod
+    def from_vids(
+        cls,
+        name: str,
+        dtype: DataType,
+        dictionary: Dictionary,
+        vids: np.ndarray,
+        codec_name: str = WAH,
+    ) -> "BitmapColumn":
+        """Build from a pre-encoded vid array (row order)."""
+        codec = get_codec(codec_name)
+        nrows = len(vids)
+        nvals = len(dictionary)
+        bitmaps = [None] * nvals
+        if nrows:
+            order = np.argsort(vids, kind="stable")
+            sorted_vids = vids[order]
+            boundaries = np.concatenate(
+                (
+                    [0],
+                    np.flatnonzero(sorted_vids[1:] != sorted_vids[:-1]) + 1,
+                    [nrows],
+                )
+            )
+            for i in range(len(boundaries) - 1):
+                lo, hi = int(boundaries[i]), int(boundaries[i + 1])
+                vid = int(sorted_vids[lo])
+                bitmaps[vid] = codec.from_positions(order[lo:hi], nrows)
+        for vid in range(nvals):
+            if bitmaps[vid] is None:
+                bitmaps[vid] = codec.zeros(nrows)
+        return cls(name, dtype, dictionary, bitmaps, nrows, codec_name)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def nrows(self) -> int:
+        return self._nrows
+
+    @property
+    def distinct_count(self) -> int:
+        return len(self._dictionary)
+
+    @property
+    def dictionary(self) -> Dictionary:
+        return self._dictionary
+
+    @property
+    def bitmaps(self) -> list:
+        """Per-vid bitmaps (the live list; treat as read-only)."""
+        return self._bitmaps
+
+    def bitmap_for_vid(self, vid: int):
+        return self._bitmaps[vid]
+
+    def bitmap_for_value(self, value):
+        """Compressed bitmap of ``value``; raises if the value is absent."""
+        return self._bitmaps[self._dictionary.vid(coerce(value, self.dtype))]
+
+    def positions_for_value(self, value) -> np.ndarray:
+        """Sorted row positions holding ``value`` (empty if absent)."""
+        vid = self._dictionary.vid_or_none(coerce(value, self.dtype))
+        if vid is None:
+            return np.empty(0, dtype=np.int64)
+        return self._bitmaps[vid].positions()
+
+    def value_counts(self) -> np.ndarray:
+        """Occurrences of each value, by vid — compressed-domain counts."""
+        from repro.bitmap.batch import batch_count
+
+        return batch_count(self._bitmaps)
+
+    def get(self, row: int):
+        """Value at a single row (slow; for display and tests)."""
+        if row < 0 or row >= self._nrows:
+            raise StorageError(f"row {row} out of range")
+        for vid, bitmap in enumerate(self._bitmaps):
+            if bitmap.get(row):
+                return self._dictionary.value(vid)
+        return None  # pragma: no cover - only with corrupted bitmaps
+
+    # ------------------------------------------------------------------
+    # Materialization ("decompression") — the expensive path
+    # ------------------------------------------------------------------
+
+    def decode_vids(self) -> np.ndarray:
+        """Materialize the row-ordered vid array.
+
+        This is what the paper calls decompression: ``O(nrows)`` work and
+        memory.  CODS algorithms only call it where the paper's
+        algorithms also scan sequentially (e.g. mergence pass 2).
+        """
+        from repro.bitmap.batch import batch_decode_vids
+
+        if self._nrows == 0:
+            return np.empty(0, dtype=np.int64)
+        try:
+            return batch_decode_vids(self._bitmaps, self._nrows)
+        except StorageError as exc:
+            raise StorageError(
+                f"column {self.name!r}: {exc} (NULLs or corruption)"
+            ) from exc
+
+    def to_values(self) -> list:
+        """Materialize the row-ordered Python values."""
+        return self._dictionary.decode(self.decode_vids())
+
+    # ------------------------------------------------------------------
+    # Structural operations used by evolution
+    # ------------------------------------------------------------------
+
+    def select(self, sorted_positions: np.ndarray, compact: bool = True
+               ) -> "BitmapColumn":
+        """Bitmap-filter every value's bitmap to ``sorted_positions``.
+
+        Implements the paper's "bitmap filtering" for one column: the new
+        column has ``len(sorted_positions)`` rows and bit ``i`` of value
+        ``u`` is set iff row ``sorted_positions[i]`` held ``u``.  With
+        ``compact=True`` values that vanish are dropped from the
+        dictionary (PARTITION needs this; DECOMPOSE keys keep all).
+        """
+        from repro.bitmap.batch import batch_select
+
+        new_len = len(sorted_positions)
+        filtered = batch_select(self._bitmaps, sorted_positions)
+        if not compact:
+            return BitmapColumn(
+                self.name, self.dtype, self._dictionary, filtered,
+                new_len, self.codec_name,
+            )
+        dictionary = Dictionary()
+        bitmaps = []
+        for vid, bitmap in enumerate(filtered):
+            if bitmap.count() > 0:
+                dictionary.add(self._dictionary.value(vid))
+                bitmaps.append(bitmap)
+        return BitmapColumn(
+            self.name, self.dtype, dictionary, bitmaps, new_len,
+            self.codec_name,
+        )
+
+    def concat(self, other: "BitmapColumn") -> "BitmapColumn":
+        """Concatenate rows of two columns (UNION TABLES).
+
+        Bitmaps of shared values are concatenated; values present on only
+        one side get a zero-extension on the other.
+        """
+        if self.dtype != other.dtype:
+            raise StorageError(
+                f"cannot union column {self.name!r}: type mismatch "
+                f"{self.dtype} vs {other.dtype}"
+            )
+        from repro.bitmap.batch import batch_concat_positions
+
+        dictionary = Dictionary(self._dictionary.values())
+        pairing: list[tuple] = [
+            (vid, None) for vid in range(len(self._bitmaps))
+        ]
+        for vid_other, value in enumerate(other._dictionary.values()):
+            existing = dictionary.vid_or_none(value)
+            if existing is not None and existing < len(self._bitmaps):
+                pairing[existing] = (existing, vid_other)
+            else:
+                dictionary.add(value)
+                pairing.append((None, vid_other))
+        bitmaps = batch_concat_positions(
+            self._bitmaps, other._bitmaps, pairing,
+            self._nrows, other._nrows,
+        )
+        return BitmapColumn(
+            self.name, self.dtype, dictionary, bitmaps,
+            self._nrows + other._nrows, self.codec_name,
+        )
+
+    def renamed(self, new_name: str) -> "BitmapColumn":
+        """Same data under a new column name (shares bitmaps)."""
+        return BitmapColumn(
+            new_name, self.dtype, self._dictionary, self._bitmaps,
+            self._nrows, self.codec_name,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def compression_stats(self) -> CompressionStats:
+        """Aggregate compressed size over all value bitmaps."""
+        total = CompressionStats(0, 0)
+        for bitmap in self._bitmaps:
+            total = total + CompressionStats(bitmap.nbits, bitmap.nbytes)
+        return total
+
+    def same_content(self, other: "BitmapColumn") -> bool:
+        """Row-by-row logical equality (dictionary order independent)."""
+        if self._nrows != other._nrows or self.dtype != other.dtype:
+            return False
+        mine = self.to_values()
+        theirs = other.to_values()
+        return mine == theirs
+
+    def __repr__(self) -> str:
+        return (
+            f"BitmapColumn({self.name!r}, {self.dtype}, rows={self._nrows}, "
+            f"distinct={self.distinct_count}, codec={self.codec_name})"
+        )

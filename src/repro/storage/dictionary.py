@@ -1,0 +1,112 @@
+"""Value dictionaries: the value <-> value-id mapping of a bitmap column.
+
+A bitmap-encoded column keeps one compressed bitvector per *distinct*
+value; the dictionary assigns each distinct value a dense integer id
+(vid) in first-seen order.  Bulk encoding is vectorized through
+``np.unique`` so loading large columns does not pay a per-row Python
+dictionary lookup.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import StorageError
+
+
+class Dictionary:
+    """Bidirectional mapping between values and dense integer ids."""
+
+    __slots__ = ("_values", "_ids")
+
+    def __init__(self, values=()):
+        self._values: list = []
+        self._ids: dict = {}
+        for value in values:
+            self.add(value)
+
+    # -- construction -------------------------------------------------------
+
+    def add(self, value) -> int:
+        """Insert ``value`` if new; return its vid."""
+        vid = self._ids.get(value)
+        if vid is None:
+            vid = len(self._values)
+            self._values.append(value)
+            self._ids[value] = vid
+        return vid
+
+    def encode(self, values) -> np.ndarray:
+        """Vectorized bulk encode: map each value to its vid, adding new
+        values in first-occurrence order.  Returns an int64 array."""
+        values = list(values) if not isinstance(values, np.ndarray) else values
+        n = len(values)
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        array = np.asarray(values, dtype=object)
+        try:
+            # np.unique needs a homogeneous, orderable array; fall back to
+            # the Python path for mixed/unorderable content (e.g. None).
+            typed = np.asarray(values)
+            if typed.dtype == object:
+                raise TypeError
+            uniques, inverse = np.unique(typed, return_inverse=True)
+        except TypeError:
+            return np.fromiter(
+                (self.add(value) for value in array),
+                dtype=np.int64,
+                count=n,
+            )
+        # Map the sorted uniques to vids, registering first occurrences in
+        # row order so ids stay deterministic under streaming loads.
+        first_rows = np.full(len(uniques), n, dtype=np.int64)
+        np.minimum.at(first_rows, inverse, np.arange(n, dtype=np.int64))
+        order = np.argsort(first_rows, kind="stable")
+        vid_of_unique = np.empty(len(uniques), dtype=np.int64)
+        for unique_index in order.tolist():
+            vid_of_unique[unique_index] = self.add(uniques[unique_index].item())
+        return vid_of_unique[inverse]
+
+    # -- lookups ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, value) -> bool:
+        return value in self._ids
+
+    def vid(self, value) -> int:
+        """Vid of ``value``; raises if absent."""
+        try:
+            return self._ids[value]
+        except KeyError:
+            raise StorageError(f"value {value!r} not in dictionary") from None
+
+    def vid_or_none(self, value):
+        return self._ids.get(value)
+
+    def value(self, vid: int):
+        """Value stored under ``vid``."""
+        if vid < 0 or vid >= len(self._values):
+            raise StorageError(f"vid {vid} out of range")
+        return self._values[vid]
+
+    def values(self) -> list:
+        """All values in vid order (copy)."""
+        return list(self._values)
+
+    def decode(self, vids: np.ndarray) -> list:
+        """Map an array of vids back to values."""
+        table = self._values
+        return [table[v] for v in vids.tolist()]
+
+    def decode_array(self, vids: np.ndarray) -> np.ndarray:
+        """Decode to a NumPy array (object dtype unless homogeneous)."""
+        table = np.asarray(self._values, dtype=object)
+        return table[np.asarray(vids, dtype=np.int64)]
+
+    def __iter__(self):
+        return iter(self._values)
+
+    def __repr__(self) -> str:
+        return f"Dictionary({len(self)} values)"

@@ -1,0 +1,177 @@
+"""Binary on-disk format for column-store tables (``.cods`` files).
+
+Layout (all integers little-endian):
+
+    magic "CODS" | u16 format version | u32 schema JSON length | schema JSON
+    u32 column count
+    per column:
+        u32 codec name length | codec name
+        u32 dictionary JSON length | dictionary JSON (vid order)
+        u32 bitmap count
+        per bitmap: u32 byte length | bitmap bytes (codec serialization)
+
+Bitmaps are stored in their *compressed* form byte-for-byte, so loading
+a table never decompresses anything — matching the paper's premise that
+data can move between disk and the evolution engine fully compressed.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import struct
+from pathlib import Path
+
+from repro.bitmap.codecs import get_codec
+from repro.errors import SerializationError
+from repro.storage.column import BitmapColumn
+from repro.storage.dictionary import Dictionary
+from repro.storage.schema import ColumnSchema, TableSchema
+from repro.storage.table import Table
+from repro.storage.types import DataType
+
+_MAGIC = b"CODS"
+_VERSION = 1
+
+
+def _encode_value(value):
+    if isinstance(value, datetime.date):
+        return {"__date__": value.isoformat()}
+    return value
+
+
+def _decode_value(value):
+    if isinstance(value, dict) and "__date__" in value:
+        return datetime.date.fromisoformat(value["__date__"])
+    return value
+
+
+def _schema_to_json(schema: TableSchema) -> dict:
+    return {
+        "name": schema.name,
+        "columns": [
+            {"name": c.name, "dtype": c.dtype.value, "nullable": c.nullable}
+            for c in schema.columns
+        ],
+        "primary_key": list(schema.primary_key),
+        "candidate_keys": [list(k) for k in schema.candidate_keys],
+    }
+
+
+def _schema_from_json(payload: dict) -> TableSchema:
+    return TableSchema(
+        payload["name"],
+        tuple(
+            ColumnSchema(c["name"], DataType(c["dtype"]), c["nullable"])
+            for c in payload["columns"]
+        ),
+        tuple(payload["primary_key"]),
+        tuple(tuple(k) for k in payload["candidate_keys"]),
+    )
+
+
+def _write_block(handle, data: bytes) -> None:
+    handle.write(struct.pack("<I", len(data)))
+    handle.write(data)
+
+
+def _read_block(handle) -> bytes:
+    header = handle.read(4)
+    if len(header) != 4:
+        raise SerializationError("truncated .cods file")
+    (length,) = struct.unpack("<I", header)
+    data = handle.read(length)
+    if len(data) != length:
+        raise SerializationError("truncated .cods file")
+    return data
+
+
+def save_table(table: Table, path) -> None:
+    """Serialize a table (schema, dictionaries, compressed bitmaps)."""
+    path = Path(path)
+    with path.open("wb") as handle:
+        handle.write(_MAGIC)
+        handle.write(struct.pack("<HQ", _VERSION, table.nrows))
+        _write_block(
+            handle, json.dumps(_schema_to_json(table.schema)).encode()
+        )
+        handle.write(struct.pack("<I", len(table.schema.column_names)))
+        for name in table.schema.column_names:
+            column = table.column(name)
+            _write_block(handle, column.codec_name.encode())
+            dictionary_json = json.dumps(
+                [_encode_value(v) for v in column.dictionary.values()]
+            )
+            _write_block(handle, dictionary_json.encode())
+            handle.write(struct.pack("<I", column.distinct_count))
+            for bitmap in column.bitmaps:
+                _write_block(handle, bitmap.to_bytes())
+
+
+def load_table(path) -> Table:
+    """Inverse of :func:`save_table`; bitmaps stay compressed."""
+    path = Path(path)
+    with path.open("rb") as handle:
+        if handle.read(4) != _MAGIC:
+            raise SerializationError(f"{path}: not a .cods file")
+        version, nrows = struct.unpack("<HQ", handle.read(10))
+        if version != _VERSION:
+            raise SerializationError(
+                f"{path}: unsupported format version {version}"
+            )
+        schema = _schema_from_json(json.loads(_read_block(handle).decode()))
+        (column_count,) = struct.unpack("<I", handle.read(4))
+        if column_count != len(schema.columns):
+            raise SerializationError(f"{path}: column count mismatch")
+        columns = {}
+        for column_schema in schema.columns:
+            codec_name = _read_block(handle).decode()
+            codec = get_codec(codec_name)
+            values = [
+                _decode_value(v)
+                for v in json.loads(_read_block(handle).decode())
+            ]
+            (bitmap_count,) = struct.unpack("<I", handle.read(4))
+            if bitmap_count != len(values):
+                raise SerializationError(
+                    f"{path}: bitmap/dictionary mismatch in column "
+                    f"{column_schema.name!r}"
+                )
+            bitmaps = [
+                codec.from_bytes(_read_block(handle))
+                for _ in range(bitmap_count)
+            ]
+            columns[column_schema.name] = BitmapColumn(
+                column_schema.name,
+                column_schema.dtype,
+                Dictionary(values),
+                bitmaps,
+                nrows,
+                codec_name,
+            )
+    return Table(schema, columns, nrows)
+
+
+def save_catalog(catalog, directory) -> None:
+    """Save every table of a catalog into ``directory`` as .cods files."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    manifest = {"tables": catalog.table_names(), "version": catalog.version}
+    (directory / "catalog.json").write_text(json.dumps(manifest))
+    for name in catalog.table_names():
+        save_table(catalog.table(name), directory / f"{name}.cods")
+
+
+def load_catalog(directory):
+    """Inverse of :func:`save_catalog`."""
+    from repro.storage.catalog import Catalog
+
+    directory = Path(directory)
+    manifest_path = directory / "catalog.json"
+    if not manifest_path.exists():
+        raise SerializationError(f"{directory}: no catalog.json")
+    manifest = json.loads(manifest_path.read_text())
+    catalog = Catalog()
+    for name in manifest["tables"]:
+        catalog.put(load_table(directory / f"{name}.cods"), f"LOAD {name}")
+    return catalog

@@ -1,0 +1,21 @@
+"""Synthetic workload generators for the paper's evaluation."""
+
+from repro.workload.distributions import (
+    make_indices,
+    uniform_indices,
+    zipf_indices,
+)
+from repro.workload.generator import (
+    EmployeeWorkload,
+    GeneralMergeWorkload,
+    SalesStarWorkload,
+)
+
+__all__ = [
+    "EmployeeWorkload",
+    "GeneralMergeWorkload",
+    "SalesStarWorkload",
+    "make_indices",
+    "uniform_indices",
+    "zipf_indices",
+]

@@ -1,0 +1,63 @@
+"""Value distributions for synthetic workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+
+def uniform_indices(n: int, k: int, rng: np.random.Generator) -> np.ndarray:
+    """``n`` draws uniformly over ``[0, k)``, each value guaranteed to
+    appear at least once when ``n >= k`` (so dictionaries match the
+    requested cardinality)."""
+    if k <= 0:
+        raise WorkloadError("need at least one distinct value")
+    if n < k:
+        raise WorkloadError(
+            f"cannot place {k} distinct values into {n} rows"
+        )
+    draws = rng.integers(0, k, size=n)
+    # Pin one occurrence of every value at a random row so the realized
+    # cardinality equals k exactly.
+    pinned_rows = rng.permutation(n)[:k]
+    draws[pinned_rows] = np.arange(k)
+    return draws
+
+
+def zipf_indices(
+    n: int, k: int, rng: np.random.Generator, s: float = 1.1
+) -> np.ndarray:
+    """``n`` draws over ``[0, k)`` with bounded Zipf(s) frequencies.
+
+    Rank-1 values dominate; used for skewed workloads.  Every value
+    appears at least once (same pinning as :func:`uniform_indices`).
+    """
+    if k <= 0:
+        raise WorkloadError("need at least one distinct value")
+    if n < k:
+        raise WorkloadError(
+            f"cannot place {k} distinct values into {n} rows"
+        )
+    weights = 1.0 / np.power(np.arange(1, k + 1, dtype=np.float64), s)
+    cumulative = np.cumsum(weights)
+    cumulative /= cumulative[-1]
+    draws = np.searchsorted(cumulative, rng.random(n), side="left")
+    pinned_rows = rng.permutation(n)[:k]
+    draws[pinned_rows] = np.arange(k)
+    return draws.astype(np.int64)
+
+
+def make_indices(
+    n: int,
+    k: int,
+    rng: np.random.Generator,
+    skew: str = "uniform",
+    zipf_s: float = 1.1,
+) -> np.ndarray:
+    """Dispatch on ``skew`` ∈ {"uniform", "zipf"}."""
+    if skew == "uniform":
+        return uniform_indices(n, k, rng)
+    if skew == "zipf":
+        return zipf_indices(n, k, rng, zipf_s)
+    raise WorkloadError(f"unknown skew {skew!r}")

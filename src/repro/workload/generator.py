@@ -1,0 +1,296 @@
+"""Synthetic workload generators.
+
+The central workload reproduces the paper's evaluation setup: a table
+``R(Employee, Skill, Address)`` (Figure 1) with a configurable number of
+rows and of distinct ``Employee`` values — the x-axis of Figure 3 — and
+the functional dependency ``Employee -> Address`` built in, so the
+decomposition into ``S(Employee, Skill)`` / ``T(Employee, Address)`` is
+lossless by construction.
+
+A star-schema sales workload supports the second motivating scenario
+(switching between star and snowflake when the workload changes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.fd import FunctionalDependency
+from repro.smo.ops import DecomposeTable, MergeTables
+from repro.storage.column import BitmapColumn
+from repro.storage.dictionary import Dictionary
+from repro.storage.schema import ColumnSchema, TableSchema
+from repro.storage.table import Table
+from repro.storage.types import DataType
+from repro.workload.distributions import make_indices
+
+
+def _label_dictionary(prefix: str, count: int) -> Dictionary:
+    return Dictionary(f"{prefix}{index:07d}" for index in range(count))
+
+
+def _column_from_indices(
+    name: str, prefix: str, indices: np.ndarray, cardinality: int
+) -> BitmapColumn:
+    dictionary = _label_dictionary(prefix, cardinality)
+    return BitmapColumn.from_vids(
+        name, DataType.STRING, dictionary, indices
+    )
+
+
+@dataclass(frozen=True)
+class EmployeeWorkload:
+    """Parameters of the Figure 3 workload."""
+
+    nrows: int
+    n_employees: int
+    n_skills: int = 100
+    n_addresses: int = 50
+    skew: str = "uniform"
+    seed: int = 2010
+
+    def __post_init__(self):
+        if self.n_employees > self.nrows:
+            raise WorkloadError(
+                f"{self.n_employees} employees cannot fill "
+                f"{self.nrows} rows"
+            )
+
+    @property
+    def fd(self) -> FunctionalDependency:
+        """The built-in dependency Employee -> Address."""
+        return FunctionalDependency.of("Employee", "Address")
+
+    def build(self) -> Table:
+        """Materialize ``R(Employee, Skill, Address)``."""
+        rng = np.random.default_rng(self.seed)
+        employees = make_indices(
+            self.nrows, self.n_employees, rng, self.skew
+        )
+        skills = make_indices(
+            self.nrows, min(self.n_skills, self.nrows), rng, self.skew
+        )
+        # Address is a function of Employee (Property 2 holds by
+        # construction).
+        address_of_employee = rng.integers(
+            0, min(self.n_addresses, self.n_employees), size=self.n_employees
+        )
+        addresses = address_of_employee[employees]
+
+        schema = TableSchema(
+            "R",
+            (
+                ColumnSchema("Employee", DataType.STRING),
+                ColumnSchema("Skill", DataType.STRING),
+                ColumnSchema("Address", DataType.STRING),
+            ),
+        )
+        columns = {
+            "Employee": _column_from_indices(
+                "Employee", "emp", employees, self.n_employees
+            ),
+            "Skill": _column_from_indices(
+                "Skill", "skill", skills, min(self.n_skills, self.nrows)
+            ),
+            "Address": _column_from_indices(
+                "Address",
+                "addr",
+                addresses,
+                min(self.n_addresses, self.n_employees),
+            ),
+        }
+        return Table(schema, columns, self.nrows)
+
+    def decompose_op(self) -> DecomposeTable:
+        """The Figure 3(a) operator: R -> S(Employee, Skill), T(Employee,
+        Address)."""
+        return DecomposeTable(
+            "R",
+            "S", ("Employee", "Skill"),
+            "T", ("Employee", "Address"),
+        )
+
+    def merge_op(self) -> MergeTables:
+        """The Figure 3(b) operator: S ⋈ T -> R (key–foreign-key)."""
+        return MergeTables("S", "T", "R", ("Employee",))
+
+    def build_decomposed(self) -> tuple[Table, Table]:
+        """S and T directly (for merge benchmarks), bit-identical to the
+        output of decomposing :meth:`build`."""
+        from repro.core import EvolutionEngine
+
+        engine = EvolutionEngine(extra_fds=[self.fd])
+        engine.load_table(self.build())
+        engine.apply(self.decompose_op())
+        return engine.table("S"), engine.table("T")
+
+
+@dataclass(frozen=True)
+class GeneralMergeWorkload:
+    """Two tables with duplicate join values on *both* sides, so only the
+    general two-pass mergence applies (paper Section 2.5.2)."""
+
+    left_rows: int
+    right_rows: int
+    n_join_values: int
+    n_payload_values: int = 50
+    skew: str = "uniform"
+    seed: int = 42
+
+    def build(self) -> tuple[Table, Table]:
+        rng = np.random.default_rng(self.seed)
+        left_join = make_indices(
+            self.left_rows, self.n_join_values, rng, self.skew
+        )
+        right_join = make_indices(
+            self.right_rows, self.n_join_values, rng, self.skew
+        )
+        payload_cardinality = min(self.n_payload_values, self.left_rows)
+        left_payload = make_indices(
+            self.left_rows, payload_cardinality, rng, self.skew
+        )
+        right_cardinality = min(self.n_payload_values, self.right_rows)
+        right_payload = make_indices(
+            self.right_rows, right_cardinality, rng, self.skew
+        )
+        left_schema = TableSchema(
+            "S",
+            (
+                ColumnSchema("J", DataType.STRING),
+                ColumnSchema("A", DataType.STRING),
+            ),
+        )
+        right_schema = TableSchema(
+            "T",
+            (
+                ColumnSchema("J", DataType.STRING),
+                ColumnSchema("B", DataType.STRING),
+            ),
+        )
+        left = Table(
+            left_schema,
+            {
+                "J": _column_from_indices(
+                    "J", "j", left_join, self.n_join_values
+                ),
+                "A": _column_from_indices(
+                    "A", "a", left_payload, payload_cardinality
+                ),
+            },
+            self.left_rows,
+        )
+        right = Table(
+            right_schema,
+            {
+                "J": _column_from_indices(
+                    "J", "j", right_join, self.n_join_values
+                ),
+                "B": _column_from_indices(
+                    "B", "b", right_payload, right_cardinality
+                ),
+            },
+            self.right_rows,
+        )
+        return left, right
+
+    def merge_op(self) -> MergeTables:
+        return MergeTables("S", "T", "R", ("J",))
+
+
+@dataclass(frozen=True)
+class SalesStarWorkload:
+    """A small star schema: Sales fact + Product dimension.
+
+    ``Product`` embeds its category (denormalized).  Decomposing it into
+    ``Product(ProductId, Name, CategoryId)`` + ``Category(CategoryId,
+    CategoryName)`` is the star -> snowflake evolution of the paper's
+    second motivating scenario; merging goes back.
+    """
+
+    n_sales: int
+    n_products: int = 200
+    n_categories: int = 20
+    seed: int = 7
+
+    def build(self) -> tuple[Table, Table]:
+        """Returns ``(sales, product_dim)``."""
+        if self.n_products > self.n_sales:
+            raise WorkloadError("need at least one sale per product")
+        rng = np.random.default_rng(self.seed)
+        product_of_sale = make_indices(
+            self.n_sales, self.n_products, rng, "zipf"
+        )
+        quantities = rng.integers(1, 10, size=self.n_sales)
+
+        sales_schema = TableSchema(
+            "Sales",
+            (
+                ColumnSchema("ProductId", DataType.STRING),
+                ColumnSchema("Quantity", DataType.INT),
+            ),
+        )
+        sales = Table(
+            sales_schema,
+            {
+                "ProductId": _column_from_indices(
+                    "ProductId", "p", product_of_sale, self.n_products
+                ),
+                "Quantity": BitmapColumn.from_values(
+                    "Quantity", DataType.INT, quantities
+                ),
+            },
+            self.n_sales,
+        )
+
+        category_of_product = rng.integers(
+            0, self.n_categories, size=self.n_products
+        )
+        product_schema = TableSchema(
+            "Product",
+            (
+                ColumnSchema("ProductId", DataType.STRING),
+                ColumnSchema("ProductName", DataType.STRING),
+                ColumnSchema("CategoryId", DataType.STRING),
+                ColumnSchema("CategoryName", DataType.STRING),
+            ),
+            primary_key=("ProductId",),
+        )
+        product_ids = np.arange(self.n_products, dtype=np.int64)
+        products = Table(
+            product_schema,
+            {
+                "ProductId": _column_from_indices(
+                    "ProductId", "p", product_ids, self.n_products
+                ),
+                "ProductName": _column_from_indices(
+                    "ProductName", "name", product_ids, self.n_products
+                ),
+                "CategoryId": _column_from_indices(
+                    "CategoryId", "c", category_of_product,
+                    self.n_categories,
+                ),
+                "CategoryName": _column_from_indices(
+                    "CategoryName", "catname", category_of_product,
+                    self.n_categories,
+                ),
+            },
+            self.n_products,
+        )
+        return sales, products
+
+    def snowflake_op(self) -> DecomposeTable:
+        """Star -> snowflake: split the category out of Product."""
+        return DecomposeTable(
+            "Product",
+            "ProductSlim", ("ProductId", "ProductName", "CategoryId"),
+            "Category", ("CategoryId", "CategoryName"),
+        )
+
+    def star_op(self) -> MergeTables:
+        """Snowflake -> star: fold Category back into Product."""
+        return MergeTables(
+            "ProductSlim", "Category", "Product", ("CategoryId",)
+        )

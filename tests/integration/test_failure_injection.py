@@ -1,0 +1,111 @@
+"""Integration: failure injection and defensive behaviour.
+
+Corrupt the storage on purpose and check that every layer either detects
+the damage (verification, decode guards) or fails with a library error
+rather than silently producing wrong answers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bitmap import WAHBitmap
+from repro.core import EvolutionEngine, EvolutionStatus
+from repro.core.distinction import distinction_bitmap
+from repro.errors import CodsError, EvolutionError, StorageError
+from repro.smo import parse_smo
+from repro.storage import DataType, table_from_python, verify_table
+
+
+@pytest.fixture
+def table():
+    return table_from_python(
+        "R",
+        {
+            "K": (DataType.INT, [1, 1, 2, 3]),
+            "P": (DataType.INT, [7, 8, 9, 9]),
+            "D": (DataType.INT, [4, 4, 5, 6]),
+        },
+    )
+
+
+class TestCorruptedBitmaps:
+    def test_empty_value_bitmap_caught_by_distinction(self, table):
+        column = table.column("K")
+        column.bitmaps[1] = WAHBitmap.zeros(table.nrows)
+        with pytest.raises(EvolutionError, match="stale"):
+            distinction_bitmap(column, EvolutionStatus())
+
+    def test_coverage_gap_caught_by_decode(self, table):
+        column = table.column("P")
+        column.bitmaps[0] = WAHBitmap.zeros(table.nrows)
+        with pytest.raises(StorageError):
+            column.decode_vids()
+
+    def test_verify_pinpoints_overlap(self, table):
+        column = table.column("D")
+        column.bitmaps[0] = WAHBitmap.ones(table.nrows)
+        report = verify_table(table)
+        assert not report.ok
+        assert any("D" in v for v in report.violations)
+
+    def test_corruption_does_not_crash_engine_validation(self, table):
+        """Validation is schema-level; corruption surfaces at execution
+        as a library error, never as silently wrong output."""
+        engine = EvolutionEngine()
+        engine.load_table(table)
+        engine.table("R").column("K").bitmaps[0] = WAHBitmap.zeros(
+            table.nrows
+        )
+        with pytest.raises(CodsError):
+            engine.apply(
+                parse_smo("DECOMPOSE TABLE R INTO S (K, P), T (K, D)")
+            )
+
+
+class TestDefensiveErrors:
+    def test_bitmap_length_mismatch(self):
+        with pytest.raises(CodsError):
+            _ = WAHBitmap.ones(10) & WAHBitmap.ones(11)
+
+    def test_select_with_out_of_range_positions(self):
+        bm = WAHBitmap.ones(10)
+        # Positions beyond nbits: searchsorted clamps, so selecting past
+        # the end yields zero bits rather than garbage.
+        out = bm.select(np.array([5, 20], dtype=np.int64))
+        assert out.nbits == 2
+        assert out.get(0) is True
+        assert out.get(1) is False
+
+    def test_engine_missing_table(self, table):
+        engine = EvolutionEngine()
+        engine.load_table(table)
+        with pytest.raises(CodsError):
+            engine.apply(parse_smo("DROP TABLE Missing"))
+        with pytest.raises(CodsError):
+            engine.table("Missing")
+
+    def test_sql_errors_are_library_errors(self):
+        from repro.sql import RowEngineAdapter, SqlExecutor
+
+        executor = SqlExecutor(RowEngineAdapter())
+        with pytest.raises(CodsError):
+            executor.execute("SELECT * FROM ghost")
+        with pytest.raises(CodsError):
+            executor.execute("NOT EVEN SQL")
+
+    def test_csv_loader_errors(self, tmp_path):
+        from repro.storage import load_csv
+
+        path = tmp_path / "bad.csv"
+        path.write_text("a\nx\ny,z\n")
+        with pytest.raises(CodsError):
+            load_csv(path)
+
+    def test_all_public_errors_share_root(self):
+        import repro.errors as errors
+
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                if obj is not errors.CodsError:
+                    assert issubclass(obj, errors.CodsError), name

@@ -1,0 +1,155 @@
+"""Property-based tests for RLE vectors, columns, FDs and the SMO parser."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitmap import RLEVector
+from repro.fd import (
+    FunctionalDependency,
+    candidate_keys,
+    closure,
+    is_superkey,
+    minimal_cover,
+)
+from repro.fd.functional_deps import implies
+from repro.smo import parse_smo
+from repro.storage import BitmapColumn, DataType
+
+vid_arrays = st.lists(
+    st.integers(min_value=0, max_value=6), min_size=0, max_size=120
+).map(lambda xs: np.array(xs, dtype=np.int64))
+
+
+class TestRLEProperties:
+    @given(vid_arrays)
+    def test_roundtrip(self, vids):
+        assert np.array_equal(RLEVector.from_values(vids).decode(), vids)
+
+    @given(vid_arrays)
+    def test_positions_partition_rows(self, vids):
+        vector = RLEVector.from_values(vids)
+        collected = np.sort(
+            np.concatenate(
+                [vector.positions_of(v) for v in set(vids.tolist())]
+            )
+        ) if len(vids) else np.empty(0)
+        assert np.array_equal(collected, np.arange(len(vids)))
+
+    @given(vid_arrays, st.randoms(use_true_random=False))
+    def test_select_matches_fancy_indexing(self, vids, rnd):
+        vector = RLEVector.from_values(vids)
+        n = len(vids)
+        k = rnd.randint(0, n) if n else 0
+        picks = np.array(sorted(rnd.sample(range(n), k)), dtype=np.int64)
+        assert np.array_equal(vector.select(picks).decode(), vids[picks])
+
+    @given(vid_arrays, vid_arrays)
+    def test_concat(self, left, right):
+        combined = RLEVector.from_values(left).concat(
+            RLEVector.from_values(right)
+        )
+        assert np.array_equal(
+            combined.decode(), np.concatenate([left, right])
+        )
+
+    @given(vid_arrays)
+    def test_serialization(self, vids):
+        vector = RLEVector.from_values(vids)
+        assert RLEVector.from_bytes(vector.to_bytes()) == vector
+
+
+class TestColumnProperties:
+    @given(vid_arrays)
+    def test_values_roundtrip(self, vids):
+        column = BitmapColumn.from_values(
+            "c", DataType.INT, vids.tolist()
+        )
+        assert column.to_values() == vids.tolist()
+
+    @given(vid_arrays)
+    def test_counts_sum_to_rows(self, vids):
+        column = BitmapColumn.from_values("c", DataType.INT, vids.tolist())
+        assert int(column.value_counts().sum()) == len(vids)
+
+    @given(vid_arrays, st.randoms(use_true_random=False))
+    def test_select_matches_fancy_indexing(self, vids, rnd):
+        column = BitmapColumn.from_values("c", DataType.INT, vids.tolist())
+        n = len(vids)
+        k = rnd.randint(0, n) if n else 0
+        picks = np.array(sorted(rnd.sample(range(n), k)), dtype=np.int64)
+        assert column.select(picks).to_values() == vids[picks].tolist()
+
+
+attrs = st.sets(st.sampled_from("ABCDE"), min_size=1, max_size=5)
+fds = st.lists(
+    st.tuples(attrs, attrs).map(
+        lambda pair: FunctionalDependency(
+            frozenset(pair[0]), frozenset(pair[1])
+        )
+    ),
+    min_size=0,
+    max_size=6,
+)
+
+
+class TestFdProperties:
+    @given(attrs, fds)
+    def test_closure_is_monotone_and_idempotent(self, start, dependencies):
+        first = closure(start, dependencies)
+        assert frozenset(start) <= first
+        assert closure(first, dependencies) == first
+
+    @given(fds)
+    def test_minimal_cover_equivalent(self, dependencies):
+        cover = minimal_cover(dependencies)
+        for fd in dependencies:
+            assert implies(cover, fd)
+        for fd in cover:
+            assert implies(dependencies, fd)
+
+    @given(fds)
+    def test_candidate_keys_are_minimal_superkeys(self, dependencies):
+        universe = frozenset("ABCDE")
+        keys = candidate_keys(universe, dependencies)
+        assert keys, "every relation has at least one key"
+        for key in keys:
+            assert is_superkey(key, universe, dependencies)
+            for attr in key:
+                assert not is_superkey(
+                    key - {attr}, universe, dependencies
+                ), "key is not minimal"
+
+
+identifiers = st.from_regex(r"[A-Za-z][A-Za-z0-9_]{0,8}", fullmatch=True).filter(
+    lambda s: s.upper() not in {
+        "KEY", "IN", "TO", "ON", "AND", "OR", "NOT", "TABLE", "TABLES",
+        "INTO", "FROM", "WHERE", "DEFAULT", "DROP", "ADD", "RENAME", "COPY",
+        "UNION", "MERGE", "CREATE", "DECOMPOSE", "PARTITION", "COLUMN",
+        "TRUE", "FALSE", "NULL",
+    }
+)
+
+
+class TestParserProperties:
+    @given(identifiers, identifiers)
+    def test_rename_roundtrip(self, old, new):
+        op = parse_smo(f"RENAME TABLE {old} TO {new}")
+        assert parse_smo(op.describe()) == op
+
+    @given(identifiers, identifiers, identifiers)
+    def test_union_roundtrip(self, a, b, c):
+        op = parse_smo(f"UNION TABLES {a}, {b} INTO {c}")
+        assert parse_smo(op.describe()) == op
+
+    @given(st.integers(-10**6, 10**6))
+    def test_numeric_literals(self, value):
+        op = parse_smo(f"PARTITION TABLE R INTO A, B WHERE x = {value}")
+        assert op.predicate.value == value
+
+    @given(st.text(alphabet=st.characters(
+        blacklist_characters="'", min_codepoint=32, max_codepoint=126,
+    ), max_size=15))
+    def test_string_literals(self, text):
+        op = parse_smo(f"PARTITION TABLE R INTO A, B WHERE x = '{text}'")
+        assert op.predicate.value == text

@@ -1,0 +1,125 @@
+"""Property-based tests (hypothesis) for the WAH codec.
+
+DESIGN.md invariants 1 and 2: round-trips against dense truth, identity
+with the pure-Python reference encoder, and agreement of every
+structural/logical operation with its NumPy-on-dense counterpart.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitmap import WAHBitmap
+from repro.bitmap.reference import encode_reference
+
+bit_arrays = st.lists(st.booleans(), min_size=0, max_size=600).map(
+    lambda bits: np.array(bits, dtype=bool)
+)
+
+# Run-structured arrays stress the fill paths.
+run_arrays = st.lists(
+    st.tuples(st.booleans(), st.integers(min_value=1, max_value=120)),
+    min_size=0,
+    max_size=12,
+).map(
+    lambda runs: np.concatenate(
+        [np.full(length, value, dtype=bool) for value, length in runs]
+    )
+    if runs
+    else np.zeros(0, dtype=bool)
+)
+
+any_bits = st.one_of(bit_arrays, run_arrays)
+
+
+@given(any_bits)
+def test_dense_roundtrip(bits):
+    assert np.array_equal(WAHBitmap.from_dense(bits).to_dense(), bits)
+
+
+@given(any_bits)
+def test_matches_reference_encoder(bits):
+    bm = WAHBitmap.from_dense(bits)
+    assert [int(w) for w in bm.words] == encode_reference(bits.tolist())
+
+
+@given(any_bits)
+def test_positions_roundtrip(bits):
+    bm = WAHBitmap.from_dense(bits)
+    positions = bm.positions()
+    assert np.array_equal(positions, np.flatnonzero(bits))
+    assert WAHBitmap.from_positions(positions, len(bits)) == bm
+
+
+@given(any_bits)
+def test_intervals_roundtrip(bits):
+    bm = WAHBitmap.from_dense(bits)
+    starts, ends = bm.one_intervals()
+    assert WAHBitmap.from_intervals(starts, ends, len(bits)) == bm
+    # Intervals are maximal: strictly separated and nonempty.
+    assert np.all(ends > starts)
+    if len(starts) > 1:
+        assert np.all(starts[1:] > ends[:-1])
+
+
+@given(any_bits)
+def test_count_and_first_set(bits):
+    bm = WAHBitmap.from_dense(bits)
+    assert bm.count() == int(bits.sum())
+    expected_first = int(np.argmax(bits)) if bits.any() else -1
+    assert bm.first_set() == expected_first
+
+
+@given(any_bits, st.randoms(use_true_random=False))
+def test_select_matches_fancy_indexing(bits, rnd):
+    bm = WAHBitmap.from_dense(bits)
+    n = len(bits)
+    k = rnd.randint(0, n) if n else 0
+    picks = np.array(sorted(rnd.sample(range(n), k)), dtype=np.int64)
+    assert np.array_equal(bm.select(picks).to_dense(), bits[picks])
+
+
+@given(any_bits, any_bits)
+def test_concat_matches_numpy(left, right):
+    a = WAHBitmap.from_dense(left)
+    b = WAHBitmap.from_dense(right)
+    assert np.array_equal(
+        a.concat(b).to_dense(), np.concatenate([left, right])
+    )
+
+
+@given(st.integers(1, 400), st.integers(0, 10 ** 9))
+def test_logical_ops_match_numpy(n, seed):
+    rng = np.random.default_rng(seed)
+    x = rng.random(n) < 0.5
+    y = rng.random(n) < 0.5
+    a, b = WAHBitmap.from_dense(x), WAHBitmap.from_dense(y)
+    assert np.array_equal((a & b).to_dense(), x & y)
+    assert np.array_equal((a | b).to_dense(), x | y)
+    assert np.array_equal((a ^ b).to_dense(), x ^ y)
+    assert np.array_equal(a.invert().to_dense(), ~x)
+
+
+@given(any_bits)
+def test_serialization_roundtrip(bits):
+    bm = WAHBitmap.from_dense(bits)
+    assert WAHBitmap.from_bytes(bm.to_bytes()) == bm
+
+
+@settings(max_examples=40)
+@given(
+    st.lists(
+        st.integers(min_value=0, max_value=5_000),
+        min_size=0,
+        max_size=50,
+        unique=True,
+    ).map(sorted)
+)
+def test_sparse_positions_independent_of_nbits(positions):
+    """Compressed size depends on structure, not on nbits."""
+    positions = np.array(positions, dtype=np.int64)
+    small = WAHBitmap.from_positions(positions, 5_001)
+    large = WAHBitmap.from_positions(positions, 50_000_000)
+    assert np.array_equal(small.positions(), large.positions())
+    # Tail padding adds at most a couple of words.
+    assert large.word_count <= small.word_count + 2

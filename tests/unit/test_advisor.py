@@ -1,0 +1,130 @@
+"""Tests for the evolution cost advisor."""
+
+import pytest
+
+from repro.core.advisor import (
+    CostModel,
+    Estimate,
+    TableStats,
+    advise,
+    calibrate,
+    estimate,
+)
+from repro.smo import (
+    AddColumn,
+    CopyTable,
+    DecomposeTable,
+    DropColumn,
+    MergeTables,
+    PartitionTable,
+    RenameTable,
+    UnionTables,
+)
+from repro.smo.predicate import Comparison
+from repro.storage import ColumnSchema, DataType
+
+
+@pytest.fixture
+def stats():
+    return {
+        "R": TableStats(
+            1_000_000,
+            {"Employee": 10_000, "Skill": 100, "Address": 50},
+        )
+    }
+
+
+DECOMPOSE = DecomposeTable(
+    "R", "S", ("Employee", "Skill"), "T", ("Employee", "Address")
+)
+
+
+class TestEstimates:
+    def test_decompose_prefers_data_level(self, stats):
+        result = estimate(DECOMPOSE, stats)
+        assert result.data_level_seconds < result.query_level_seconds
+        assert result.speedup > 10
+
+    def test_data_level_scales_with_distinct_not_rows(self):
+        small_keys = {
+            "R": TableStats(1_000_000, {"K": 100, "P": 10, "D": 10})
+        }
+        many_keys = {
+            "R": TableStats(1_000_000, {"K": 500_000, "P": 10, "D": 10})
+        }
+        op = DecomposeTable("R", "S", ("K", "P"), "T", ("K", "D"))
+        cheap = estimate(op, small_keys)
+        costly = estimate(op, many_keys)
+        assert cheap.data_level_seconds < costly.data_level_seconds
+        # Query level barely changes: it scans rows either way.
+        ratio = (
+            costly.query_level_seconds / cheap.query_level_seconds
+        )
+        assert ratio < 2
+
+    def test_metadata_ops_are_free_everywhere(self, stats):
+        result = estimate(RenameTable("R", "R2"), stats)
+        assert result.data_level_seconds < 1e-3
+        assert result.query_level_seconds < 1e-3
+
+    def test_copy_is_free_only_at_data_level(self, stats):
+        result = estimate(CopyTable("R", "R2"), stats)
+        assert result.data_level_seconds < 1e-3
+        assert result.query_level_seconds > 0.1
+
+    def test_add_column_default_is_o1_at_data_level(self, stats):
+        op = AddColumn("R", ColumnSchema("c", DataType.INT), 0)
+        result = estimate(op, stats)
+        assert result.data_level_seconds < 1e-3
+        assert result.speedup > 100
+
+    def test_indexes_increase_query_cost(self, stats):
+        with_idx = estimate(DECOMPOSE, stats, with_indexes=True)
+        without = estimate(DECOMPOSE, stats, with_indexes=False)
+        assert with_idx.query_level_seconds > without.query_level_seconds
+
+
+class TestAdvise:
+    def test_stream_propagates_stats(self, stats):
+        ops = [
+            DECOMPOSE,
+            MergeTables("S", "T", "R2", ("Employee",)),
+            PartitionTable("R2", "A", "B", Comparison("Skill", "=", "x")),
+            UnionTables("A", "B", "R3"),
+            DropColumn("R3", "Address"),
+        ]
+        recommendation = advise(ops, stats)
+        assert len(recommendation.estimates) == 5
+        assert recommendation.total_data_level > 0
+        assert recommendation.total_query_level > (
+            recommendation.total_data_level
+        )
+        assert "column store" in recommendation.verdict
+        text = recommendation.describe()
+        assert "DecomposeTable" in text and "verdict" in text
+
+    def test_metadata_only_stream_is_neutral(self, stats):
+        recommendation = advise([RenameTable("R", "R2")], stats)
+        assert "similar" in recommendation.verdict
+
+    def test_table_stats_of_live_table(self, fig1_table):
+        extracted = TableStats.of(fig1_table)
+        assert extracted.nrows == 7
+        assert extracted.distinct["Employee"] == 4
+
+    def test_estimate_speedup_handles_zero(self):
+        item = Estimate("X", 0.0, 1.0)
+        assert item.speedup == float("inf")
+
+
+class TestCalibration:
+    def test_calibrate_returns_positive_model(self):
+        model = calibrate(sample_rows=3_000)
+        assert isinstance(model, CostModel)
+        assert model.per_bitmap_op > 0
+        assert model.per_row_scan > 0
+
+    def test_calibrated_model_orders_correctly(self, stats):
+        model = calibrate(sample_rows=3_000)
+        result = estimate(DECOMPOSE, stats, model)
+        assert result.data_level_seconds < result.query_level_seconds

@@ -1,0 +1,191 @@
+"""Unit tests for the query-level baselines and the systems registry."""
+
+import pytest
+
+from repro.baselines import (
+    SERIES,
+    CodsSystem,
+    QueryLevelEvolution,
+    SqliteEvolution,
+    make_system,
+    render_create_table,
+)
+from repro.smo import (
+    AddColumn,
+    Comparison,
+    CopyTable,
+    DropColumn,
+    MergeTables,
+    PartitionTable,
+    RenameColumn,
+    RenameTable,
+    UnionTables,
+    parse_smo,
+)
+from repro.sql.adapter import RowEngineAdapter
+from repro.storage import (
+    ColumnSchema,
+    DataType,
+    TableSchema,
+    table_from_python,
+)
+
+
+def decompose_op():
+    return parse_smo(
+        "DECOMPOSE TABLE R INTO S (Employee, Skill), T (Employee, Address)"
+    )
+
+
+class TestRenderSql:
+    def test_create_table(self):
+        schema = TableSchema(
+            "T",
+            (
+                ColumnSchema("a", DataType.INT),
+                ColumnSchema("b", DataType.STRING),
+            ),
+            primary_key=("a",),
+        )
+        text = render_create_table(schema)
+        assert text == "CREATE TABLE T (a INT, b STRING, KEY (a))"
+
+
+ALL_LABELS = ["D", "C", "C+I", "S", "M"]
+
+
+class TestSystemsRegistry:
+    def test_labels(self):
+        assert sorted(SERIES) == sorted(ALL_LABELS)
+
+    def test_make_system(self):
+        assert isinstance(make_system("D"), CodsSystem)
+        assert isinstance(make_system("S"), SqliteEvolution)
+        assert isinstance(make_system("C"), QueryLevelEvolution)
+        assert make_system("C+I").with_indexes
+        assert not make_system("C").with_indexes
+
+
+@pytest.fixture(params=ALL_LABELS)
+def system(request, fig1_table):
+    system = make_system(request.param)
+    system.load(fig1_table)
+    return system
+
+
+class TestAllSystemsAgree:
+    """Every comparator must produce identical logical results."""
+
+    def test_decompose(self, system, fig1_decomposed):
+        system.apply(decompose_op())
+        s_rows, t_rows = fig1_decomposed
+        assert sorted(system.extract("S").to_rows()) == sorted(s_rows)
+        assert system.extract("T").sorted_rows() == t_rows
+
+    def test_decompose_then_merge(self, system, fig1_table):
+        system.apply(decompose_op())
+        system.apply(MergeTables("S", "T", "R2"))
+        merged = system.extract("R2")
+        assert sorted(merged.to_rows()) == sorted(fig1_table.to_rows())
+
+    def test_copy_union(self, system):
+        system.apply(CopyTable("R", "R2"))
+        system.apply(UnionTables("R", "R2", "Big"))
+        assert system.extract("Big").nrows == 14
+
+    def test_partition(self, system):
+        system.apply(
+            PartitionTable(
+                "R", "Grant", "Other",
+                Comparison("Address", "=", "425 Grant Ave"),
+            )
+        )
+        grant = system.extract("Grant")
+        other = system.extract("Other")
+        assert grant.nrows == 4
+        assert other.nrows == 3
+
+    def test_add_drop_rename_column(self, system):
+        system.apply(
+            AddColumn("R", ColumnSchema("Country", DataType.STRING), "US")
+        )
+        assert system.extract("R").column("Country").to_values() == [
+            "US"
+        ] * 7
+        system.apply(DropColumn("R", "Country"))
+        system.apply(RenameColumn("R", "Skill", "Expertise"))
+        extracted = system.extract("R")
+        assert extracted.schema.column_names == (
+            "Employee", "Expertise", "Address",
+        )
+
+    def test_rename_table(self, system):
+        system.apply(RenameTable("R", "Staff"))
+        assert system.extract("Staff").nrows == 7
+        assert "R" not in system.table_names()
+
+
+class TestQueryLevelInternals:
+    def test_changed_side_uses_data_fallback(self):
+        system = QueryLevelEvolution(RowEngineAdapter())
+        system.load(
+            table_from_python(
+                "R",
+                {
+                    "K": (DataType.INT, [1, 1, 2]),
+                    "P": (DataType.INT, [5, 6, 7]),
+                    "D": (DataType.INT, [9, 9, 8]),
+                },
+            )
+        )
+        op = parse_smo("DECOMPOSE TABLE R INTO S (K, P), T (K, D)")
+        assert system._changed_side(op) == "right"
+
+    def test_with_indexes_builds_them(self, fig1_table):
+        system = QueryLevelEvolution(RowEngineAdapter(), with_indexes=True)
+        table = table_from_python(
+            "Keyed",
+            {
+                "a": (DataType.INT, [1, 2, 3]),
+                "b": (DataType.INT, [4, 5, 6]),
+            },
+            primary_key=("a",),
+        )
+        system.load(table)
+        heap = system.adapter.engine.table("Keyed")
+        assert "a" in heap.indexes
+
+    def test_sqlite_types_roundtrip(self):
+        import datetime
+
+        system = SqliteEvolution()
+        table = table_from_python(
+            "Mixed",
+            {
+                "i": (DataType.INT, [1, None]),
+                "f": (DataType.FLOAT, [1.5, 2.5]),
+                "s": (DataType.STRING, ["a", "b"]),
+                "bl": (DataType.BOOL, [True, False]),
+                "d": (
+                    DataType.DATE,
+                    [datetime.date(2010, 9, 13), datetime.date(2020, 1, 1)],
+                ),
+            },
+        )
+        system.load(table)
+        extracted = system.extract("Mixed")
+        assert extracted.to_rows() == table.to_rows()
+        system.close()
+
+    def test_sqlite_simple_smos(self, fig1_table):
+        system = SqliteEvolution()
+        system.load(fig1_table)
+        system.apply(
+            AddColumn("R", ColumnSchema("Country", DataType.STRING), "US")
+        )
+        system.apply(RenameColumn("R", "Country", "Nation"))
+        system.apply(DropColumn("R", "Nation"))
+        assert system.extract("R").schema.column_names == (
+            "Employee", "Skill", "Address",
+        )
+        system.close()

@@ -1,0 +1,100 @@
+"""Tests for the batched column-level bitmap kernels."""
+
+import numpy as np
+import pytest
+
+from repro.bitmap import PlainBitmap, WAHBitmap
+from repro.bitmap.batch import (
+    batch_count,
+    batch_decode_vids,
+    batch_first_set,
+    batch_positions,
+    unit_bitmap,
+)
+from repro.errors import StorageError
+
+
+def column_bitmaps(vids: np.ndarray, cardinality: int, codec=WAHBitmap):
+    n = len(vids)
+    return [
+        codec.from_positions(np.flatnonzero(vids == v), n)
+        for v in range(cardinality)
+    ]
+
+
+@pytest.fixture
+def random_column():
+    rng = np.random.default_rng(5)
+    vids = rng.integers(0, 8, 300)
+    vids[:8] = np.arange(8)
+    return vids, column_bitmaps(vids, 8)
+
+
+class TestBatchEquivalence:
+    """Batched kernels must agree with per-bitmap methods exactly."""
+
+    def test_count(self, random_column):
+        _vids, bitmaps = random_column
+        assert batch_count(bitmaps).tolist() == [
+            bm.count() for bm in bitmaps
+        ]
+
+    def test_first_set(self, random_column):
+        _vids, bitmaps = random_column
+        assert batch_first_set(bitmaps).tolist() == [
+            bm.first_set() for bm in bitmaps
+        ]
+
+    def test_first_set_with_empty_bitmap(self):
+        bitmaps = [WAHBitmap.zeros(50), WAHBitmap.from_positions([7], 50)]
+        assert batch_first_set(bitmaps).tolist() == [-1, 7]
+
+    def test_positions(self, random_column):
+        _vids, bitmaps = random_column
+        flat, boundaries = batch_positions(bitmaps)
+        for index, bm in enumerate(bitmaps):
+            got = flat[boundaries[index] : boundaries[index + 1]]
+            assert np.array_equal(got, bm.positions())
+
+    def test_decode_vids(self, random_column):
+        vids, bitmaps = random_column
+        assert np.array_equal(batch_decode_vids(bitmaps, len(vids)), vids)
+
+    def test_decode_vids_coverage_check(self):
+        bitmaps = [WAHBitmap.from_positions([0], 3)]  # rows 1,2 uncovered
+        with pytest.raises(StorageError):
+            batch_decode_vids(bitmaps, 3)
+
+    def test_plain_codec_fallback(self):
+        rng = np.random.default_rng(6)
+        vids = rng.integers(0, 4, 100)
+        vids[:4] = np.arange(4)
+        bitmaps = column_bitmaps(vids, 4, codec=PlainBitmap)
+        assert batch_count(bitmaps).tolist() == [
+            bm.count() for bm in bitmaps
+        ]
+        assert batch_first_set(bitmaps).tolist() == [
+            bm.first_set() for bm in bitmaps
+        ]
+        assert np.array_equal(batch_decode_vids(bitmaps, 100), vids)
+
+    def test_empty_list(self):
+        assert batch_count([]).tolist() == []
+        assert batch_first_set([]).tolist() == []
+        flat, bounds = batch_positions([])
+        assert len(flat) == 0 and bounds.tolist() == [0]
+
+
+class TestUnitBitmap:
+    @pytest.mark.parametrize("n", [1, 31, 32, 62, 63, 100, 1000])
+    def test_matches_from_positions(self, n):
+        for position in sorted({0, 1, n // 2, n - 1} & set(range(n))):
+            assert unit_bitmap(position, n) == WAHBitmap.from_positions(
+                [position], n
+            )
+
+    def test_count_is_one(self):
+        bm = unit_bitmap(500, 10_000)
+        assert bm.count() == 1
+        assert bm.first_set() == 500
+        assert bm.word_count <= 4

@@ -1,0 +1,76 @@
+"""Tests for multi-bitmap operations and compression statistics."""
+
+import numpy as np
+import pytest
+
+from repro.bitmap import CompressionStats, PlainBitmap, WAHBitmap, bitmap_stats
+from repro.bitmap.ops import intersection, union, union_disjoint
+
+
+class TestUnions:
+    def test_union_disjoint(self):
+        a = WAHBitmap.from_positions([0, 5], 20)
+        b = WAHBitmap.from_positions([3, 10], 20)
+        c = WAHBitmap.from_positions([19], 20)
+        combined = union_disjoint([a, b, c], 20)
+        assert combined.positions().tolist() == [0, 3, 5, 10, 19]
+
+    def test_union_overlapping(self):
+        a = WAHBitmap.from_positions([1, 2, 3], 10)
+        b = WAHBitmap.from_positions([3, 4], 10)
+        combined = union([a, b], 10)
+        assert combined.positions().tolist() == [1, 2, 3, 4]
+
+    def test_union_empty_list_with_codec(self):
+        result = union([], 10, codec=WAHBitmap)
+        assert result.count() == 0
+        assert result.nbits == 10
+
+    def test_union_empty_list_without_codec(self):
+        with pytest.raises(ValueError):
+            union([], 10)
+
+    def test_union_disjoint_plain_codec(self):
+        a = PlainBitmap.from_positions([0], 5)
+        b = PlainBitmap.from_positions([4], 5)
+        combined = union_disjoint([a, b], 5)
+        assert isinstance(combined, PlainBitmap)
+        assert combined.positions().tolist() == [0, 4]
+
+    def test_intersection(self):
+        a = WAHBitmap.from_positions([1, 2, 3, 7], 10)
+        b = WAHBitmap.from_positions([2, 3, 8], 10)
+        c = WAHBitmap.from_positions([0, 2, 3, 9], 10)
+        combined = intersection([a, b, c], 10)
+        assert combined.positions().tolist() == [2, 3]
+
+    def test_intersection_empty_list(self):
+        result = intersection([], 6, codec=WAHBitmap)
+        assert result.count() == 6  # identity of AND is all-ones
+
+
+class TestCompressionStats:
+    def test_ratio(self):
+        stats = CompressionStats(logical_bits=8_000, compressed_bytes=100)
+        assert stats.logical_bytes == 1_000
+        assert stats.ratio == 10.0
+
+    def test_zero_compressed(self):
+        assert CompressionStats(0, 0).ratio == 1.0
+        assert CompressionStats(100, 0).ratio == float("inf")
+
+    def test_addition(self):
+        total = CompressionStats(100, 10) + CompressionStats(200, 5)
+        assert total.logical_bits == 300
+        assert total.compressed_bytes == 15
+
+    def test_bitmap_stats_wah_vs_plain(self):
+        fills = WAHBitmap.ones(31 * 10_000)
+        plain = PlainBitmap.ones(31 * 10_000)
+        assert bitmap_stats(fills).ratio > bitmap_stats(plain).ratio
+
+    def test_random_data_compresses_poorly(self):
+        rng = np.random.default_rng(1)
+        bm = WAHBitmap.from_dense(rng.random(31_000) < 0.5)
+        # Random 50% data: WAH degenerates to ~literal-per-group.
+        assert 0.5 < bitmap_stats(bm).ratio < 1.5

@@ -1,0 +1,223 @@
+"""Unit tests for the EvolutionEngine (dispatch, catalog effects, status)."""
+
+import pytest
+
+from repro.core import EvolutionEngine
+from repro.errors import SmoValidationError
+from repro.smo import (
+    AddColumn,
+    Comparison,
+    CopyTable,
+    CreateTable,
+    DropColumn,
+    DropTable,
+    EvolutionPlan,
+    MergeTables,
+    PartitionTable,
+    RenameColumn,
+    RenameTable,
+    UnionTables,
+    parse_smo,
+)
+from repro.storage import ColumnSchema, DataType, TableSchema, table_from_python
+
+
+@pytest.fixture
+def engine(fig1_table):
+    engine = EvolutionEngine()
+    engine.load_table(fig1_table)
+    return engine
+
+
+class TestSimpleOps:
+    def test_create_and_drop(self, engine):
+        schema = TableSchema("New", (ColumnSchema("x", DataType.INT),))
+        engine.apply(CreateTable(schema))
+        assert engine.table("New").nrows == 0
+        engine.apply(DropTable("New"))
+        assert "New" not in engine.catalog
+
+    def test_rename(self, engine):
+        engine.apply(RenameTable("R", "Renamed"))
+        assert engine.table("Renamed").nrows == 7
+        assert "R" not in engine.catalog
+
+    def test_copy_shares_columns(self, engine):
+        status = engine.apply(CopyTable("R", "R2"))
+        assert engine.table("R2").column("Skill") is engine.table(
+            "R"
+        ).column("Skill")
+        assert status.columns_reused == 3
+
+    def test_union(self, engine):
+        engine.apply(CopyTable("R", "R2"))
+        engine.apply(UnionTables("R", "R2", "Big"))
+        big = engine.table("Big")
+        assert big.nrows == 14
+        assert "R" not in engine.catalog and "R2" not in engine.catalog
+
+    def test_partition_and_complement(self, engine):
+        engine.apply(
+            PartitionTable(
+                "R", "Grant", "Industrial",
+                Comparison("Address", "=", "425 Grant Ave"),
+            )
+        )
+        grant = engine.table("Grant")
+        industrial = engine.table("Industrial")
+        assert grant.nrows + industrial.nrows == 7
+        assert all(r[2] == "425 Grant Ave" for r in grant.to_rows())
+        assert all(r[2] != "425 Grant Ave" for r in industrial.to_rows())
+
+    def test_add_column_default_is_o1(self, engine):
+        status = engine.apply(
+            AddColumn("R", ColumnSchema("Country", DataType.STRING), "US")
+        )
+        table = engine.table("R")
+        assert table.column("Country").to_values() == ["US"] * 7
+        assert status.bitmaps_created == 1  # one fill bitmap, O(1)
+
+    def test_add_column_with_values(self, engine):
+        values = tuple(range(7))
+        engine.apply(
+            AddColumn(
+                "R", ColumnSchema("Num", DataType.INT), values=values
+            )
+        )
+        assert engine.table("R").column("Num").to_values() == list(values)
+
+    def test_drop_column(self, engine):
+        engine.apply(DropColumn("R", "Address"))
+        assert engine.table("R").column_names == ("Employee", "Skill")
+
+    def test_rename_column(self, engine):
+        engine.apply(RenameColumn("R", "Skill", "Expertise"))
+        assert engine.table("R").column_names == (
+            "Employee", "Expertise", "Address",
+        )
+
+    def test_validation_happens_before_dispatch(self, engine):
+        with pytest.raises(SmoValidationError):
+            engine.apply(DropTable("Nope"))
+        assert len(engine.history) == 0
+
+
+class TestDecomposeMergePaths:
+    def test_sql_like_roundtrip(self, engine, fig1_decomposed):
+        engine.apply_sql_like(
+            "DECOMPOSE TABLE R INTO S (Employee, Skill), "
+            "T (Employee, Address)"
+        )
+        s_rows, t_rows = fig1_decomposed
+        assert engine.table("S").to_rows() == s_rows
+        assert engine.table("T").sorted_rows() == t_rows
+        assert "R" not in engine.catalog
+
+    def test_merge_strategy_detection(self, engine):
+        engine.apply_sql_like(
+            "DECOMPOSE TABLE R INTO S (Employee, Skill), "
+            "T (Employee, Address)"
+        )
+        op = MergeTables("S", "T", "R")
+        assert engine.choose_merge_strategy(op) == "kfk-right"
+
+    def test_merge_strategy_left_keyed(self):
+        engine = EvolutionEngine()
+        engine.load_table(
+            table_from_python(
+                "S",
+                {"J": (DataType.INT, [1, 2]), "A": (DataType.INT, [5, 6])},
+                primary_key=("J",),
+            )
+        )
+        engine.load_table(
+            table_from_python(
+                "T",
+                {"J": (DataType.INT, [1, 1, 2]), "B": (DataType.INT, [7, 8, 9])},
+            )
+        )
+        op = MergeTables("S", "T", "R")
+        assert engine.choose_merge_strategy(op) == "kfk-left"
+        engine.apply(op)
+        assert engine.table("R").schema.column_names == ("J", "A", "B")
+        assert engine.table("R").nrows == 3
+
+    def test_merge_strategy_general(self):
+        engine = EvolutionEngine()
+        engine.load_table(
+            table_from_python(
+                "S", {"J": (DataType.INT, [1, 1]), "A": (DataType.INT, [5, 6])}
+            )
+        )
+        engine.load_table(
+            table_from_python(
+                "T", {"J": (DataType.INT, [1, 1]), "B": (DataType.INT, [7, 8])}
+            )
+        )
+        op = MergeTables("S", "T", "R")
+        assert engine.choose_merge_strategy(op) == "general"
+        engine.apply(op)
+        assert engine.table("R").nrows == 4
+
+    def test_kfk_integrity_fallback_to_general(self):
+        # T is keyed by J but S has a dangling key -> general algorithm.
+        engine = EvolutionEngine()
+        engine.load_table(
+            table_from_python(
+                "S", {"J": (DataType.INT, [1, 9]), "A": (DataType.INT, [5, 6])}
+            )
+        )
+        engine.load_table(
+            table_from_python(
+                "T",
+                {"J": (DataType.INT, [1, 2]), "B": (DataType.INT, [7, 8])},
+                primary_key=("J",),
+            )
+        )
+        engine.apply(MergeTables("S", "T", "R"))
+        assert engine.table("R").to_rows() == [(1, 5, 7)]
+
+
+class TestPlansAndScripts:
+    def test_apply_plan_validates_first(self, engine):
+        plan = EvolutionPlan([DropTable("R"), DropTable("R")])
+        with pytest.raises(SmoValidationError):
+            engine.apply_plan(plan)
+        # Nothing executed: R still present.
+        assert "R" in engine.catalog
+
+    def test_apply_script(self, engine):
+        statuses = engine.apply_script(
+            """
+            COPY TABLE R TO R2;
+            DROP COLUMN Address FROM R2;
+            RENAME TABLE R2 TO Slim
+            """
+        )
+        assert len(statuses) == 3
+        assert engine.table("Slim").column_names == ("Employee", "Skill")
+
+    def test_history_records_everything(self, engine):
+        engine.apply_script("COPY TABLE R TO A; DROP TABLE A")
+        statements = [entry.statement for entry in engine.history]
+        assert statements == ["COPY TABLE R TO A", "DROP TABLE A"]
+
+    def test_history_replay_reproduces_state(self, engine, fig1_table):
+        engine.apply_script(
+            """
+            DECOMPOSE TABLE R INTO S (Employee, Skill), T (Employee, Address);
+            MERGE TABLES S, T INTO R2;
+            RENAME TABLE R2 TO Final
+            """
+        )
+        fresh = EvolutionEngine()
+        fresh.load_table(fig1_table)
+        engine.history.replay(fresh)
+        assert fresh.catalog.table_names() == engine.catalog.table_names()
+        assert fresh.table("Final").same_content(engine.table("Final"))
+
+    def test_status_listener(self, engine):
+        seen = []
+        engine.subscribe(lambda event: seen.append(event.step))
+        engine.apply(CopyTable("R", "R9"))
+        assert "column reuse" in seen

@@ -1,0 +1,31 @@
+"""Tests for benchmark result exporters."""
+
+from repro.bench.exporters import load_series_csv, series_csv, table1_csv
+from repro.bench.harness import BenchResult
+
+
+def test_series_csv_roundtrip(tmp_path):
+    results = [
+        BenchResult("3a", "D", "CODS", 1000, 10, 0.001),
+        BenchResult("3a", "C", "Row", 1000, 10, 0.5),
+    ]
+    path = tmp_path / "series.csv"
+    series_csv(results, path)
+    loaded = load_series_csv(path)
+    assert len(loaded) == 2
+    assert loaded[0]["series"] == "D"
+    assert loaded[0]["seconds"] == 0.001
+    assert loaded[1]["rows"] == 1000
+
+
+def test_table1_csv(tmp_path):
+    rows = [
+        {"operator": "DROP TABLE", "rows": 100, "D": 0.001, "C+I": 0.1,
+         "M": 0.05},
+    ]
+    path = tmp_path / "tab1.csv"
+    table1_csv(rows, path)
+    text = path.read_text()
+    assert "DROP TABLE" in text
+    assert "0.001" in text
+    assert text.splitlines()[0] == "operator,rows,D,C+I,M"

@@ -1,0 +1,225 @@
+"""Unit tests for functional-dependency theory and data-driven checks."""
+
+import pytest
+
+from repro.errors import LosslessJoinError
+from repro.fd import (
+    FunctionalDependency,
+    candidate_keys,
+    chase_lossless,
+    check_lossless,
+    closure,
+    discover,
+    fds_from_keys,
+    holds,
+    implies,
+    is_key_in_data,
+    is_superkey,
+    minimal_cover,
+    project_fds,
+)
+from repro.storage import ColumnSchema, DataType, TableSchema, table_from_python
+
+FD = FunctionalDependency.of
+
+
+class TestClosure:
+    def test_reflexive(self):
+        assert closure({"A"}, []) == frozenset({"A"})
+
+    def test_transitive(self):
+        fds = [FD("A", "B"), FD("B", "C")]
+        assert closure({"A"}, fds) == frozenset({"A", "B", "C"})
+
+    def test_composite_lhs(self):
+        fds = [FD(["A", "B"], "C")]
+        assert closure({"A"}, fds) == frozenset({"A"})
+        assert closure({"A", "B"}, fds) == frozenset({"A", "B", "C"})
+
+    def test_implies(self):
+        fds = [FD("A", "B"), FD("B", "C")]
+        assert implies(fds, FD("A", "C"))
+        assert not implies(fds, FD("C", "A"))
+
+    def test_is_superkey(self):
+        fds = [FD("A", ["B", "C"])]
+        assert is_superkey({"A"}, {"A", "B", "C"}, fds)
+        assert not is_superkey({"B"}, {"A", "B", "C"}, fds)
+
+
+class TestCandidateKeys:
+    def test_simple(self):
+        fds = [FD("A", ["B", "C"])]
+        assert candidate_keys({"A", "B", "C"}, fds) == [frozenset({"A"})]
+
+    def test_two_keys(self):
+        fds = [FD("A", "B"), FD("B", "A"), FD("A", "C")]
+        keys = candidate_keys({"A", "B", "C"}, fds)
+        assert sorted(map(sorted, keys)) == [["A"], ["B"]]
+
+    def test_composite_key(self):
+        fds = [FD(["A", "B"], "C")]
+        keys = candidate_keys({"A", "B", "C"}, fds)
+        assert keys == [frozenset({"A", "B"})]
+
+    def test_no_fds_whole_relation_is_key(self):
+        keys = candidate_keys({"A", "B"}, [])
+        assert keys == [frozenset({"A", "B"})]
+
+    def test_minimality(self):
+        fds = [FD("A", ["B", "C", "D"]), FD(["A", "B"], "D")]
+        keys = candidate_keys({"A", "B", "C", "D"}, fds)
+        assert keys == [frozenset({"A"})]
+
+
+class TestMinimalCover:
+    def test_splits_rhs(self):
+        cover = minimal_cover([FD("A", ["B", "C"])])
+        assert all(len(fd.rhs) == 1 for fd in cover)
+        assert len(cover) == 2
+
+    def test_removes_redundant(self):
+        cover = minimal_cover([FD("A", "B"), FD("B", "C"), FD("A", "C")])
+        assert FD("A", "C") not in cover
+        assert implies(cover, FD("A", "C"))
+
+    def test_trims_extraneous_lhs(self):
+        cover = minimal_cover([FD("A", "B"), FD(["A", "C"], "B")])
+        assert all(fd.lhs == frozenset({"A"}) for fd in cover)
+
+    def test_str(self):
+        assert str(FD("A", "B")) == "A -> B"
+
+
+class TestProjectFds:
+    def test_projection_keeps_implied(self):
+        fds = [FD("A", "B"), FD("B", "C")]
+        projected = project_fds(fds, {"A", "C"})
+        assert implies(projected, FD("A", "C"))
+
+    def test_projection_drops_outside(self):
+        fds = [FD("A", "B")]
+        projected = project_fds(fds, {"A", "C"})
+        assert projected == []
+
+
+class TestCheckLossless:
+    ALL = ("E", "S", "A")
+
+    def test_figure1_shape(self):
+        # Employee -> Address: T(E, A) is keyed by the common attr E.
+        fds = [FD("E", "A")]
+        plan = check_lossless(self.ALL, ("E", "S"), ("E", "A"), fds)
+        assert plan.changed_side == "right"
+        assert plan.unchanged_side == "left"
+        assert plan.common == frozenset({"E"})
+
+    def test_no_common_attributes(self):
+        with pytest.raises(LosslessJoinError):
+            check_lossless(self.ALL, ("E", "S"), ("A",), [])
+
+    def test_not_covering(self):
+        with pytest.raises(LosslessJoinError):
+            check_lossless(self.ALL, ("E",), ("E", "A"), [FD("E", "A")])
+
+    def test_neither_side_determined(self):
+        with pytest.raises(LosslessJoinError):
+            check_lossless(self.ALL, ("E", "S"), ("E", "A"), [])
+
+    def test_both_sides_determined_prefers_smaller(self):
+        fds = [FD("E", ["S", "A"])]
+        plan = check_lossless(("E", "S", "A"), ("E", "S", "A"), ("E",), fds)
+        assert plan.changed_side == "right"
+
+    def test_prefer_changed_override(self):
+        fds = [FD("E", ["S", "A"])]
+        plan = check_lossless(
+            self.ALL, ("E", "S"), ("E", "A"), fds, prefer_changed="left"
+        )
+        assert plan.changed_side == "left"
+
+    def test_fds_from_keys(self):
+        schema = TableSchema(
+            "T",
+            (
+                ColumnSchema("a", DataType.INT),
+                ColumnSchema("b", DataType.INT),
+            ),
+            primary_key=("a",),
+        )
+        fds = fds_from_keys(schema)
+        assert implies(fds, FD("a", "b"))
+
+
+class TestChase:
+    def test_binary_agrees_with_closure_test(self):
+        fds = [FD("E", "A")]
+        assert chase_lossless(
+            ("E", "S", "A"), [("E", "S"), ("E", "A")], fds
+        )
+        assert not chase_lossless(("E", "S", "A"), [("E", "S"), ("E", "A")], [])
+
+    def test_ternary_decomposition(self):
+        # Classic: R(A,B,C,D), A->B, C->D; split into (A,B), (A,C), (C,D).
+        fds = [FD("A", "B"), FD("C", "D")]
+        assert chase_lossless(
+            ("A", "B", "C", "D"),
+            [("A", "B"), ("A", "C"), ("C", "D")],
+            fds,
+        )
+
+    def test_lossy_ternary(self):
+        assert not chase_lossless(
+            ("A", "B", "C"), [("A", "B"), ("B", "C")], []
+        )
+
+
+class TestDataDriven:
+    @pytest.fixture
+    def table(self):
+        return table_from_python(
+            "R",
+            {
+                "K": (DataType.INT, [1, 1, 2, 3, 3]),
+                "P": (DataType.INT, [9, 8, 9, 7, 6]),
+                "D": (DataType.INT, [5, 5, 6, 5, 5]),
+            },
+        )
+
+    def test_holds_positive(self, table):
+        assert holds(table, ["K"], ["D"])
+
+    def test_holds_negative(self, table):
+        assert not holds(table, ["K"], ["P"])
+        assert not holds(table, ["D"], ["K"])
+
+    def test_holds_trivial(self, table):
+        assert holds(table, ["K"], ["K"])
+        assert holds(table, ["K", "P"], ["K"])
+
+    def test_is_key_in_data(self, table):
+        assert not is_key_in_data(table, ["K"])
+        assert is_key_in_data(table, ["K", "P"])
+
+    def test_discover_finds_built_in_fd(self, table):
+        found = discover(table, max_lhs=1)
+        assert FD("K", "D") in found
+        assert FD("K", "P") not in found
+
+    def test_discover_prunes_supersets(self, table):
+        found = discover(table, max_lhs=2)
+        # K -> D present; {K,P} -> D must be pruned as implied.
+        lhs_sizes = [
+            len(fd.lhs) for fd in found if fd.rhs == frozenset({"D"})
+            and "K" in fd.lhs
+        ]
+        assert 1 in lhs_sizes
+        assert all(
+            not (fd.lhs > frozenset({"K"}) and fd.rhs == frozenset({"D"}))
+            for fd in found
+        )
+
+    def test_empty_table(self):
+        table = table_from_python("E", {"a": (DataType.INT, [])})
+        assert holds(table, ["a"], ["a"])
+        assert is_key_in_data(table, ["a"])

@@ -1,0 +1,89 @@
+"""Exhaustive tests of schema-effect simulation for every operator.
+
+Plan validation must predict the exact schema state the engine
+produces; this suite applies each SMO both ways and compares.
+"""
+
+import pytest
+
+from repro.core import EvolutionEngine
+from repro.smo import (
+    AddColumn,
+    Comparison,
+    CopyTable,
+    CreateTable,
+    DecomposeTable,
+    DropColumn,
+    DropTable,
+    MergeTables,
+    PartitionTable,
+    RenameColumn,
+    RenameTable,
+    UnionTables,
+    simulate,
+)
+from repro.storage import ColumnSchema, DataType, TableSchema
+from tests.conftest import make_fd_table
+
+
+def engine_with_table():
+    engine = EvolutionEngine()
+    engine.load_table(make_fd_table(40, 5, seed=1))
+    return engine
+
+
+def schemas_of(engine):
+    return {
+        name: engine.catalog.schema(name)
+        for name in engine.catalog.table_names()
+    }
+
+
+OPERATORS = [
+    DecomposeTable("R", "S", ("K", "P"), "T", ("K", "D")),
+    CreateTable(TableSchema("New", (ColumnSchema("x", DataType.INT),))),
+    DropTable("R"),
+    RenameTable("R", "R2"),
+    CopyTable("R", "Rcopy"),
+    PartitionTable("R", "A", "B", Comparison("P", "<", 2)),
+    AddColumn("R", ColumnSchema("Extra", DataType.STRING), "?"),
+    DropColumn("R", "P"),
+    RenameColumn("R", "P", "Payload"),
+]
+
+
+@pytest.mark.parametrize(
+    "op", OPERATORS, ids=[type(op).__name__ for op in OPERATORS]
+)
+def test_simulation_matches_execution(op):
+    engine = engine_with_table()
+    predicted = simulate(op, schemas_of(engine))
+    engine.apply(op)
+    actual = schemas_of(engine)
+    assert set(predicted) == set(actual)
+    for name in actual:
+        assert predicted[name].column_names == actual[name].column_names
+        assert [c.dtype for c in predicted[name].columns] == [
+            c.dtype for c in actual[name].columns
+        ]
+
+
+def test_simulation_merge_matches_execution():
+    engine = engine_with_table()
+    engine.apply(DecomposeTable("R", "S", ("K", "P"), "T", ("K", "D")))
+    op = MergeTables("S", "T", "Back")
+    predicted = simulate(op, schemas_of(engine))
+    engine.apply(op)
+    actual = schemas_of(engine)
+    assert predicted["Back"].column_names == actual["Back"].column_names
+
+
+def test_simulation_union_matches_execution():
+    engine = engine_with_table()
+    engine.apply(CopyTable("R", "R2"))
+    op = UnionTables("R", "R2", "Big")
+    predicted = simulate(op, schemas_of(engine))
+    engine.apply(op)
+    assert predicted["Big"].column_names == engine.catalog.schema(
+        "Big"
+    ).column_names

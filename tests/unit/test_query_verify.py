@@ -1,0 +1,151 @@
+"""Tests for compressed-domain querying and integrity verification."""
+
+import numpy as np
+import pytest
+
+from repro.core.query import (
+    count_where,
+    group_count,
+    positions_where,
+    select_where,
+    value_exists,
+)
+from repro.smo import And, Comparison, Not, Or
+from repro.storage import DataType, table_from_python
+from repro.storage.verify import (
+    VerificationReport,
+    verify_catalog,
+    verify_column,
+    verify_table,
+)
+
+
+@pytest.fixture
+def table():
+    return table_from_python(
+        "Q",
+        {
+            "city": (DataType.STRING, ["SF", "NY", "SF", "LA", "NY", "SF"]),
+            "pop": (DataType.INT, [8, 19, 8, 12, 19, 9]),
+        },
+    )
+
+
+class TestQuery:
+    def test_count_where(self, table):
+        assert count_where(table, Comparison("city", "=", "SF")) == 3
+        assert count_where(table, Comparison("pop", ">", 10)) == 3
+        assert count_where(
+            table,
+            And(Comparison("city", "=", "NY"), Comparison("pop", "=", 19)),
+        ) == 2
+
+    def test_select_where(self, table):
+        rows = select_where(table, Comparison("city", "=", "SF"))
+        assert rows == [("SF", 8), ("SF", 8), ("SF", 9)]
+
+    def test_select_where_projection(self, table):
+        rows = select_where(
+            table, Comparison("pop", ">=", 12), attrs=["city"]
+        )
+        assert sorted(rows) == [("LA",), ("NY",), ("NY",)]
+
+    def test_select_where_empty(self, table):
+        assert select_where(table, Comparison("city", "=", "ZZ")) == []
+
+    def test_positions_where(self, table):
+        positions = positions_where(
+            table, Or(Comparison("city", "=", "LA"), Comparison("pop", "=", 9))
+        )
+        assert positions.tolist() == [3, 5]
+
+    def test_group_count(self, table):
+        assert group_count(table, "city") == {"SF": 3, "NY": 2, "LA": 1}
+
+    def test_value_exists(self, table):
+        assert value_exists(table, "city", "SF")
+        assert not value_exists(table, "city", "Boston")
+
+    def test_query_survives_evolution(self, table):
+        """Bitmaps stay queryable after a data-level evolution."""
+        from repro.core import EvolutionEngine
+        from repro.smo import parse_smo
+
+        engine = EvolutionEngine()
+        engine.load_table(table)
+        engine.apply(
+            parse_smo("PARTITION TABLE Q INTO West, East WHERE city = 'SF'")
+        )
+        west = engine.table("West")
+        assert count_where(west, Comparison("pop", "=", 8)) == 2
+        assert group_count(west, "city") == {"SF": 3}
+
+    def test_predicate_validation(self, table):
+        from repro.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            count_where(table, Comparison("nope", "=", 1))
+
+
+class TestVerify:
+    def test_clean_table_passes(self, table):
+        report = verify_table(table)
+        assert report.ok
+        assert str(report) == "ok"
+
+    def test_overlapping_bitmaps_detected(self, table):
+        column = table.column("city")
+        codec = type(column.bitmaps[0])
+        column.bitmaps[0] = codec.from_positions([0, 1], table.nrows)
+        report = verify_column(column)
+        assert not report.ok
+        assert any("multiple values" in v for v in report.violations)
+
+    def test_uncovered_rows_detected(self, table):
+        column = table.column("city")
+        codec = type(column.bitmaps[0])
+        column.bitmaps[0] = codec.zeros(table.nrows)
+        report = verify_column(column)
+        assert any("no value" in v for v in report.violations)
+
+    def test_wrong_length_detected(self, table):
+        column = table.column("pop")
+        codec = type(column.bitmaps[0])
+        column.bitmaps[0] = codec.zeros(3)
+        report = verify_column(column)
+        assert any("bits" in v for v in report.violations)
+
+    def test_key_violation_detected(self):
+        bad = table_from_python(
+            "K",
+            {"a": (DataType.INT, [1, 1]), "b": (DataType.INT, [2, 3])},
+            primary_key=("a",),
+        )
+        report = verify_table(bad)
+        assert any("duplicate" in v for v in report.violations)
+
+    def test_catalog_verification(self, table):
+        from repro.storage import Catalog
+
+        catalog = Catalog()
+        catalog.create(table)
+        assert verify_catalog(catalog).ok
+
+    def test_all_evolution_outputs_verify(self, fig1_table):
+        """Every SMO output satisfies the structural invariants."""
+        from repro.core import EvolutionEngine
+
+        engine = EvolutionEngine()
+        engine.load_table(fig1_table)
+        engine.apply_script(
+            """
+            DECOMPOSE TABLE R INTO S (Employee, Skill), T (Employee, Address);
+            MERGE TABLES S, T INTO R;
+            COPY TABLE R TO R2;
+            ADD COLUMN Country STRING TO R2 DEFAULT 'US';
+            PARTITION TABLE R2 INTO A, B WHERE Employee = 'Jones';
+            UNION TABLES A, B INTO R3
+            """
+        )
+        report = verify_catalog(engine.catalog)
+        assert report.ok, str(report)

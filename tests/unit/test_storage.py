@@ -1,0 +1,289 @@
+"""Unit tests for the storage layer: types, schema, dictionary, column."""
+
+import datetime
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError, StorageError
+from repro.storage import (
+    BitmapColumn,
+    ColumnSchema,
+    DataType,
+    Dictionary,
+    TableSchema,
+    coerce,
+    parse_text,
+    parse_type_name,
+    render_text,
+)
+
+
+class TestTypes:
+    def test_coerce_int(self):
+        assert coerce("42", DataType.INT) == 42
+        assert coerce(42.0, DataType.INT) == 42
+        assert coerce(True, DataType.INT) == 1
+
+    def test_coerce_int_rejects_fraction(self):
+        with pytest.raises(SchemaError):
+            coerce(1.5, DataType.INT)
+
+    def test_coerce_float(self):
+        assert coerce("1.5", DataType.FLOAT) == 1.5
+        assert coerce(2, DataType.FLOAT) == 2.0
+
+    def test_coerce_string(self):
+        assert coerce(7, DataType.STRING) == "7"
+        assert coerce("x", DataType.STRING) == "x"
+
+    def test_coerce_bool(self):
+        assert coerce("true", DataType.BOOL) is True
+        assert coerce("No", DataType.BOOL) is False
+        assert coerce(1, DataType.BOOL) is True
+        with pytest.raises(SchemaError):
+            coerce("maybe", DataType.BOOL)
+
+    def test_coerce_date(self):
+        assert coerce("2010-09-13", DataType.DATE) == datetime.date(
+            2010, 9, 13
+        )
+        with pytest.raises(SchemaError):
+            coerce("13/09/2010", DataType.DATE)
+
+    def test_none_passthrough(self):
+        for dtype in DataType:
+            assert coerce(None, dtype) is None
+
+    def test_parse_and_render_text(self):
+        assert parse_text("", DataType.INT) is None
+        assert parse_text("5", DataType.INT) == 5
+        assert render_text(None) == ""
+        assert render_text(datetime.date(2010, 9, 13)) == "2010-09-13"
+
+    def test_parse_type_name(self):
+        assert parse_type_name("VARCHAR(30)") == DataType.STRING
+        assert parse_type_name("integer") == DataType.INT
+        assert parse_type_name("DOUBLE") == DataType.FLOAT
+        with pytest.raises(SchemaError):
+            parse_type_name("BLOB")
+
+
+class TestTableSchema:
+    @pytest.fixture
+    def schema(self):
+        return TableSchema(
+            "R",
+            (
+                ColumnSchema("a", DataType.INT),
+                ColumnSchema("b", DataType.STRING),
+                ColumnSchema("c", DataType.FLOAT),
+            ),
+            primary_key=("a",),
+            candidate_keys=(("b",),),
+        )
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema(
+                "R",
+                (
+                    ColumnSchema("a", DataType.INT),
+                    ColumnSchema("a", DataType.INT),
+                ),
+            )
+
+    def test_key_must_reference_columns(self):
+        with pytest.raises(SchemaError):
+            TableSchema(
+                "R", (ColumnSchema("a", DataType.INT),), primary_key=("z",)
+            )
+
+    def test_lookups(self, schema):
+        assert schema.column_names == ("a", "b", "c")
+        assert schema.index_of("b") == 1
+        assert schema.column("c").dtype == DataType.FLOAT
+        with pytest.raises(SchemaError):
+            schema.column("zzz")
+
+    def test_is_key(self, schema):
+        assert schema.is_key(("a",))
+        assert schema.is_key(("a", "c"))
+        assert schema.is_key(("b",))
+        assert not schema.is_key(("c",))
+
+    def test_all_keys_dedup(self, schema):
+        assert schema.all_keys() == (("a",), ("b",))
+
+    def test_with_column(self, schema):
+        wider = schema.with_column(ColumnSchema("d", DataType.BOOL))
+        assert wider.column_names == ("a", "b", "c", "d")
+        with pytest.raises(SchemaError):
+            wider.with_column(ColumnSchema("a", DataType.INT))
+
+    def test_without_column(self, schema):
+        narrower = schema.without_column("c")
+        assert narrower.column_names == ("a", "b")
+        with pytest.raises(SchemaError):
+            schema.without_column("a")  # primary key column
+
+    def test_without_column_drops_affected_candidate_keys(self, schema):
+        narrower = schema.without_column("b")
+        assert narrower.candidate_keys == ()
+
+    def test_rename_column_fixes_keys(self, schema):
+        renamed = schema.with_renamed_column("a", "id")
+        assert renamed.primary_key == ("id",)
+        assert renamed.column_names == ("id", "b", "c")
+        with pytest.raises(SchemaError):
+            schema.with_renamed_column("a", "b")
+
+    def test_project(self, schema):
+        projected = schema.project(["b", "a"], "P")
+        assert projected.column_names == ("b", "a")
+        assert projected.candidate_keys == (("b",),)
+        with pytest.raises(SchemaError):
+            schema.project(["nope"], "P")
+
+    def test_compatible_with(self, schema):
+        same = TableSchema("Other", schema.columns)
+        assert schema.compatible_with(same)
+        different = TableSchema("X", (ColumnSchema("a", DataType.INT),))
+        assert not schema.compatible_with(different)
+
+    def test_invalid_names(self):
+        with pytest.raises(SchemaError):
+            ColumnSchema("bad name", DataType.INT)
+        with pytest.raises(SchemaError):
+            TableSchema("", ())
+
+
+class TestDictionary:
+    def test_insertion_order_ids(self):
+        dictionary = Dictionary()
+        assert dictionary.add("x") == 0
+        assert dictionary.add("y") == 1
+        assert dictionary.add("x") == 0
+        assert len(dictionary) == 2
+
+    def test_encode_bulk_matches_sequential(self):
+        values = ["b", "a", "b", "c", "a", "b"]
+        bulk = Dictionary()
+        vids_bulk = bulk.encode(values)
+        sequential = Dictionary()
+        vids_seq = [sequential.add(v) for v in values]
+        assert vids_bulk.tolist() == vids_seq
+        assert bulk.values() == sequential.values()
+
+    def test_encode_numpy_ints(self):
+        dictionary = Dictionary()
+        vids = dictionary.encode(np.array([5, 3, 5, 9]))
+        assert vids.tolist() == [0, 1, 0, 2]
+        assert dictionary.values() == [5, 3, 9]
+
+    def test_encode_incremental(self):
+        dictionary = Dictionary()
+        dictionary.encode(["a", "b"])
+        vids = dictionary.encode(["b", "c"])
+        assert vids.tolist() == [1, 2]
+
+    def test_encode_with_none(self):
+        dictionary = Dictionary()
+        vids = dictionary.encode(["a", None, "a"])
+        assert vids.tolist() == [0, 1, 0]
+        assert dictionary.value(1) is None
+
+    def test_lookup_errors(self):
+        dictionary = Dictionary(["x"])
+        with pytest.raises(StorageError):
+            dictionary.vid("missing")
+        with pytest.raises(StorageError):
+            dictionary.value(5)
+        assert dictionary.vid_or_none("missing") is None
+
+    def test_decode(self):
+        dictionary = Dictionary(["a", "b"])
+        assert dictionary.decode(np.array([1, 0, 1])) == ["b", "a", "b"]
+
+
+class TestBitmapColumn:
+    def test_from_values_roundtrip(self):
+        column = BitmapColumn.from_values(
+            "c", DataType.STRING, ["x", "y", "x", "z", "x"]
+        )
+        assert column.nrows == 5
+        assert column.distinct_count == 3
+        assert column.to_values() == ["x", "y", "x", "z", "x"]
+
+    def test_positions_for_value(self):
+        column = BitmapColumn.from_values("c", DataType.INT, [7, 8, 7, 7])
+        assert column.positions_for_value(7).tolist() == [0, 2, 3]
+        assert column.positions_for_value(99).tolist() == []
+
+    def test_value_counts(self):
+        column = BitmapColumn.from_values("c", DataType.INT, [1, 2, 1, 1, 2])
+        assert column.value_counts().tolist() == [3, 2]
+
+    def test_get(self):
+        column = BitmapColumn.from_values("c", DataType.INT, [4, 5, 6])
+        assert [column.get(i) for i in range(3)] == [4, 5, 6]
+        with pytest.raises(StorageError):
+            column.get(3)
+
+    def test_select_compacts_dictionary(self):
+        column = BitmapColumn.from_values(
+            "c", DataType.STRING, ["a", "b", "c", "a"]
+        )
+        out = column.select(np.array([0, 3]))
+        assert out.to_values() == ["a", "a"]
+        assert out.distinct_count == 1
+
+    def test_select_no_compact_keeps_dictionary(self):
+        column = BitmapColumn.from_values("c", DataType.INT, [1, 2, 3])
+        out = column.select(np.array([0]), compact=False)
+        assert out.distinct_count == 3
+        assert out.to_values() == [1]
+
+    def test_concat_shared_and_new_values(self):
+        a = BitmapColumn.from_values("c", DataType.STRING, ["x", "y"])
+        b = BitmapColumn.from_values("c", DataType.STRING, ["y", "z"])
+        combined = a.concat(b)
+        assert combined.to_values() == ["x", "y", "y", "z"]
+        assert combined.distinct_count == 3
+
+    def test_concat_type_mismatch(self):
+        a = BitmapColumn.from_values("c", DataType.STRING, ["x"])
+        b = BitmapColumn.from_values("c", DataType.INT, [1])
+        with pytest.raises(StorageError):
+            a.concat(b)
+
+    def test_decode_vids_detects_corruption(self):
+        column = BitmapColumn.from_values("c", DataType.INT, [1, 2])
+        column.bitmaps[0] = type(column.bitmaps[0]).zeros(2)
+        with pytest.raises(StorageError):
+            column.decode_vids()
+
+    def test_nulls_roundtrip(self):
+        column = BitmapColumn.from_values(
+            "c", DataType.INT, [1, None, 1, None]
+        )
+        assert column.to_values() == [1, None, 1, None]
+
+    def test_compression_stats(self):
+        column = BitmapColumn.from_values("c", DataType.INT, [0] * 10_000)
+        stats = column.compression_stats()
+        assert stats.logical_bits == 10_000
+        assert stats.ratio > 100
+
+    def test_plain_codec_column(self):
+        column = BitmapColumn.from_values(
+            "c", DataType.INT, [1, 2, 1], codec_name="plain"
+        )
+        assert column.to_values() == [1, 2, 1]
+        assert column.codec_name == "plain"
+
+    def test_renamed_shares_bitmaps(self):
+        column = BitmapColumn.from_values("c", DataType.INT, [1, 2])
+        renamed = column.renamed("d")
+        assert renamed.name == "d"
+        assert renamed.bitmaps is column.bitmaps

@@ -1,0 +1,248 @@
+"""Unit tests for tables, the catalog and both IO formats."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError, SerializationError, StorageError
+from repro.storage import (
+    Catalog,
+    ColumnSchema,
+    DataType,
+    Table,
+    TableSchema,
+    infer_type,
+    load_catalog,
+    load_csv,
+    load_table,
+    save_catalog,
+    save_csv,
+    save_table,
+    table_from_python,
+)
+
+
+@pytest.fixture
+def small_table():
+    return table_from_python(
+        "R",
+        {
+            "a": (DataType.INT, [1, 2, 1, 3]),
+            "b": (DataType.STRING, ["x", "y", "x", "z"]),
+        },
+        primary_key=(),
+    )
+
+
+class TestTable:
+    def test_from_rows(self):
+        schema = TableSchema(
+            "R",
+            (ColumnSchema("a", DataType.INT), ColumnSchema("b", DataType.STRING)),
+        )
+        table = Table.from_rows(schema, [(1, "x"), (2, "y")])
+        assert table.to_rows() == [(1, "x"), (2, "y")]
+
+    def test_ragged_columns_rejected(self):
+        schema = TableSchema(
+            "R",
+            (ColumnSchema("a", DataType.INT), ColumnSchema("b", DataType.INT)),
+        )
+        with pytest.raises(StorageError):
+            Table.from_columns(schema, {"a": [1], "b": [1, 2]})
+
+    def test_missing_column_data_rejected(self):
+        schema = TableSchema("R", (ColumnSchema("a", DataType.INT),))
+        with pytest.raises(SchemaError):
+            Table.from_columns(schema, {})
+
+    def test_empty_table(self):
+        schema = TableSchema("R", (ColumnSchema("a", DataType.INT),))
+        table = Table.empty(schema)
+        assert table.nrows == 0
+        assert table.to_rows() == []
+
+    def test_project_shares_columns(self, small_table):
+        projected = small_table.project(["b"], "P")
+        assert projected.column("b") is small_table.column("b")
+        assert projected.nrows == small_table.nrows
+
+    def test_select_rows(self, small_table):
+        out = small_table.select_rows(np.array([1, 3]), "Sub")
+        assert out.to_rows() == [(2, "y"), (3, "z")]
+
+    def test_with_without_rename_column(self, small_table):
+        from repro.storage import BitmapColumn
+
+        extra = BitmapColumn.from_values("c", DataType.BOOL, [True] * 4)
+        wider = small_table.with_column(
+            ColumnSchema("c", DataType.BOOL), extra
+        )
+        assert wider.column_names == ("a", "b", "c")
+        narrower = wider.without_column("a")
+        assert narrower.column_names == ("b", "c")
+        renamed = narrower.with_renamed_column("b", "bb")
+        assert renamed.column_names == ("bb", "c")
+
+    def test_with_column_length_check(self, small_table):
+        from repro.storage import BitmapColumn
+
+        bad = BitmapColumn.from_values("c", DataType.INT, [1])
+        with pytest.raises(StorageError):
+            small_table.with_column(ColumnSchema("c", DataType.INT), bad)
+
+    def test_concat_requires_compatibility(self, small_table):
+        other = table_from_python("X", {"a": (DataType.INT, [5])})
+        with pytest.raises(SchemaError):
+            small_table.concat(other)
+
+    def test_same_content_unordered(self, small_table):
+        shuffled = table_from_python(
+            "R",
+            {
+                "a": (DataType.INT, [3, 1, 2, 1]),
+                "b": (DataType.STRING, ["z", "x", "y", "x"]),
+            },
+        )
+        assert small_table.same_content(shuffled)
+        assert not small_table.same_content(shuffled, ordered=True)
+
+    def test_head(self, small_table):
+        assert small_table.head(2) == [(1, "x"), (2, "y")]
+
+
+class TestCatalog:
+    def test_create_drop_rename(self, small_table):
+        catalog = Catalog()
+        catalog.create(small_table)
+        assert "R" in catalog
+        with pytest.raises(SchemaError):
+            catalog.create(small_table)
+        catalog.rename("R", "R2")
+        assert catalog.table("R2").nrows == 4
+        with pytest.raises(SchemaError):
+            catalog.table("R")
+        dropped = catalog.drop("R2")
+        assert dropped.nrows == 4
+        assert catalog.table_names() == []
+
+    def test_history_versions(self, small_table):
+        catalog = Catalog()
+        catalog.create(small_table)
+        catalog.rename("R", "R2")
+        assert catalog.version == 2
+        assert [entry.version for entry in catalog.history] == [1, 2]
+        assert catalog.history[-1].tables == ("R2",)
+
+    def test_describe(self, small_table):
+        catalog = Catalog()
+        assert "empty" in catalog.describe()
+        catalog.create(small_table)
+        text = catalog.describe()
+        assert "R(" in text and "4 rows" in text
+
+
+class TestCsvIO:
+    def test_roundtrip(self, small_table, tmp_path):
+        path = tmp_path / "r.csv"
+        save_csv(small_table, path)
+        loaded = load_csv(path, "R")
+        assert loaded.same_content(small_table, ordered=True)
+        assert loaded.schema.column("a").dtype == DataType.INT
+
+    def test_type_inference(self):
+        assert infer_type(["1", "2"]) == DataType.INT
+        assert infer_type(["1.5", "2"]) == DataType.FLOAT
+        assert infer_type(["true", "false"]) == DataType.BOOL
+        assert infer_type(["2020-01-01"]) == DataType.DATE
+        assert infer_type(["hello", "1"]) == DataType.STRING
+        assert infer_type([""]) == DataType.STRING
+
+    def test_nulls(self, tmp_path):
+        table = table_from_python(
+            "N", {"a": (DataType.INT, [1, None, 3])}
+        )
+        path = tmp_path / "n.csv"
+        save_csv(table, path)
+        loaded = load_csv(path, "N")
+        assert loaded.to_rows() == [(1,), (None,), (3,)]
+
+    def test_ragged_rows_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n3\n")
+        with pytest.raises(StorageError):
+            load_csv(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(StorageError):
+            load_csv(path)
+
+    def test_explicit_schema_header_check(self, small_table, tmp_path):
+        path = tmp_path / "r.csv"
+        save_csv(small_table, path)
+        wrong = TableSchema("R", (ColumnSchema("zzz", DataType.INT),))
+        with pytest.raises(StorageError):
+            load_csv(path, schema=wrong)
+
+
+class TestBinaryIO:
+    def test_roundtrip(self, small_table, tmp_path):
+        path = tmp_path / "r.cods"
+        save_table(small_table, path)
+        loaded = load_table(path)
+        assert loaded.same_content(small_table, ordered=True)
+        assert loaded.schema.column_names == small_table.schema.column_names
+
+    def test_roundtrip_with_nulls_and_dates(self, tmp_path):
+        import datetime
+
+        table = table_from_python(
+            "D",
+            {
+                "when": (
+                    DataType.DATE,
+                    [datetime.date(2010, 9, 13), None],
+                ),
+                "ok": (DataType.BOOL, [True, False]),
+            },
+        )
+        path = tmp_path / "d.cods"
+        save_table(table, path)
+        assert load_table(path).to_rows() == table.to_rows()
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "x.cods"
+        path.write_bytes(b"JUNKJUNKJUNK")
+        with pytest.raises(SerializationError):
+            load_table(path)
+
+    def test_truncated(self, small_table, tmp_path):
+        path = tmp_path / "r.cods"
+        save_table(small_table, path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(SerializationError):
+            load_table(path)
+
+    def test_catalog_roundtrip(self, small_table, tmp_path):
+        catalog = Catalog()
+        catalog.create(small_table)
+        catalog.create(small_table.renamed("R2"))
+        save_catalog(catalog, tmp_path / "db")
+        loaded = load_catalog(tmp_path / "db")
+        assert loaded.table_names() == ["R", "R2"]
+        assert loaded.table("R").same_content(small_table, ordered=True)
+
+    def test_catalog_missing_manifest(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_catalog(tmp_path)
+
+    def test_compressed_on_disk(self, tmp_path):
+        # A highly compressible table must stay small on disk.
+        table = table_from_python(
+            "Z", {"a": (DataType.INT, [7] * 100_000)}
+        )
+        path = tmp_path / "z.cods"
+        save_table(table, path)
+        assert path.stat().st_size < 2_000
