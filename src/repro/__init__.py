@@ -13,6 +13,10 @@ The package implements the paper's platform end to end:
 * :mod:`repro.core` — the CODS contribution: data-level data evolution
   (distinction, bitmap filtering, key–foreign-key and general two-pass
   mergence) on compressed columns;
+* :mod:`repro.delta` — the write path: per-table delta stores with
+  ``insert``/``update``/``delete``, query-time merged reads, and
+  threshold-driven compaction back into fresh WAH columns (SMOs applied
+  to a table with pending writes auto-flush its delta first);
 * :mod:`repro.rowstore` / :mod:`repro.sql` — a row-store engine and a
   SQL subset powering the query-level baselines;
 * :mod:`repro.baselines` — the comparators of Figure 3 (commercial-style
@@ -35,6 +39,15 @@ Quickstart::
         "DECOMPOSE TABLE R INTO S (Employee, Skill), T (Employee, Address)"
     )
     print(engine.table("T").to_rows())
+
+Write-path quickstart — DML lands in a delta store, never in the
+compressed columns, until compaction folds it back::
+
+    mutable = engine.mutable("S")             # delta-backed DML handle
+    mutable.insert(("Harrison", "Juggling"))
+    mutable.update({"Skill": "Typing"}, None) # None = all rows
+    print(mutable.to_rows())                  # merged main + delta
+    mutable.compact()                         # fresh all-WAH table
 """
 
 from repro.baselines import (
@@ -46,6 +59,12 @@ from repro.baselines import (
 )
 from repro.bitmap import PlainBitmap, RLEVector, WAHBitmap
 from repro.core import EvolutionEngine, EvolutionStatus
+from repro.delta import (
+    CompactionPolicy,
+    DeltaStats,
+    DeltaStore,
+    MutableTable,
+)
 from repro.errors import (
     BitmapError,
     CodsError,
@@ -73,7 +92,7 @@ from repro.smo import (
     parse_script,
     parse_smo,
 )
-from repro.sql import SqlExecutor
+from repro.sql import MutableColumnAdapter, SqlExecutor
 from repro.storage import (
     Catalog,
     ColumnSchema,
@@ -89,6 +108,7 @@ from repro.storage import (
 from repro.workload import (
     EmployeeWorkload,
     GeneralMergeWorkload,
+    MixedReadWriteWorkload,
     SalesStarWorkload,
 )
 
@@ -101,10 +121,13 @@ __all__ = [
     "CodsError",
     "CodsSystem",
     "ColumnSchema",
+    "CompactionPolicy",
     "CopyTable",
     "CreateTable",
     "DataType",
     "DecomposeTable",
+    "DeltaStats",
+    "DeltaStore",
     "DropColumn",
     "DropTable",
     "EmployeeWorkload",
@@ -117,6 +140,9 @@ __all__ = [
     "GeneralMergeWorkload",
     "LosslessJoinError",
     "MergeTables",
+    "MixedReadWriteWorkload",
+    "MutableColumnAdapter",
+    "MutableTable",
     "PartitionTable",
     "PlainBitmap",
     "QueryLevelEvolution",

@@ -3,11 +3,15 @@
 `series_csv` writes Figure 3-style results in long form (one row per
 measured point); `table1_csv` writes the per-operator grid.  Both are
 plain CSV so any plotting tool can regenerate the paper's charts.
+`write_path_json` persists the write-path benchmark
+(``benchmarks/bench_write_path.py``) so the update-throughput
+trajectory can be tracked across revisions.
 """
 
 from __future__ import annotations
 
 import csv
+import json
 from pathlib import Path
 
 
@@ -37,6 +41,17 @@ def table1_csv(rows, path, series=("D", "C+I", "M")) -> None:
                 [record["operator"], record["rows"]]
                 + [record[label] for label in series]
             )
+
+
+def write_path_json(payload: dict, path) -> None:
+    """Write the write-path benchmark record as indented JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def load_write_path_json(path) -> dict:
+    """Read back a write-path benchmark record."""
+    return json.loads(Path(path).read_text())
 
 
 def load_series_csv(path) -> list[dict]:

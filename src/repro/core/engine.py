@@ -29,6 +29,7 @@ from repro.core.simple_ops import (
     union_tables,
 )
 from repro.core.status import EvolutionStatus
+from repro.delta import CompactionPolicy, MutableTable
 from repro.errors import EvolutionError
 from repro.fd import is_key_in_data
 from repro.smo.history import EvolutionHistory
@@ -66,6 +67,7 @@ class EvolutionEngine:
         self.verify_with_data = verify_with_data
         self.extra_fds = tuple(extra_fds)
         self._listeners: list = []
+        self._mutables: dict[str, MutableTable] = {}
 
     # -- catalog passthroughs -------------------------------------------
 
@@ -80,6 +82,96 @@ class EvolutionEngine:
         """Attach a status listener applied to every future operation."""
         self._listeners.append(listener)
 
+    # -- mutable tables (the write path) --------------------------------
+
+    def mutable(
+        self, name: str, policy: CompactionPolicy | None = None
+    ) -> MutableTable:
+        """The delta-backed DML handle for table ``name``.
+
+        One handle per table; compactions republish the table into the
+        catalog.  SMOs that consume the table invalidate the handle
+        (after auto-flushing any pending writes).
+        """
+        existing = self._mutables.get(name)
+        if existing is not None:
+            if policy is not None:
+                existing.policy = policy
+            return existing
+        mutable = MutableTable(self.catalog.table(name), policy)
+        mutable.on_compact = lambda table, reason: self.catalog.put(
+            table, f"COMPACT {table.name}: {reason}"
+        )
+        self._mutables[name] = mutable
+        return mutable
+
+    def delta_handle(self, name: str) -> MutableTable | None:
+        """The table's registered mutable handle, if any — a read-only
+        lookup that never creates one."""
+        return self._mutables.get(name)
+
+    def pending_delta(self, name: str) -> MutableTable | None:
+        """The table's mutable handle if it has unflushed writes."""
+        mutable = self._mutables.get(name)
+        if mutable is not None and mutable.has_pending_changes:
+            return mutable
+        return None
+
+    def delta_stats(self) -> list:
+        """Delta statistics of every registered mutable table."""
+        return [
+            self._mutables[name].delta_stats()
+            for name in sorted(self._mutables)
+        ]
+
+    def flush_delta(self, name: str) -> int:
+        """Fold table ``name``'s pending delta into the catalog and
+        invalidate its handle; returns the number of buffered rows
+        folded.  No-op (0) when the table has no delta."""
+        mutable = self._mutables.pop(name, None)
+        if mutable is None:
+            return 0
+        flushed = 0
+        if mutable.has_pending_changes:
+            flushed = mutable.delta_stats().delta_live
+            mutable.compact("flush before evolve")
+        mutable.invalidate()
+        return flushed
+
+    def discard_delta(self, name: str) -> bool:
+        """Drop table ``name``'s write buffer unflushed and invalidate
+        its handle (for DROP TABLE: compacting first would be wasted
+        work).  True if a handle existed."""
+        mutable = self._mutables.pop(name, None)
+        if mutable is None:
+            return False
+        mutable.invalidate()
+        return True
+
+    def _flush_before_evolve(
+        self, op: SchemaModificationOperator, status: EvolutionStatus
+    ) -> None:
+        """SMOs evolve the compressed main store, so any table they read
+        must have its delta folded in first (recorded in the status)."""
+        for attr in ("table", "left", "right"):
+            name = getattr(op, attr, None)
+            if not isinstance(name, str) or name not in self._mutables:
+                continue
+            mutable = self._mutables[name]
+            stats = mutable.delta_stats()
+            if not mutable.has_pending_changes or isinstance(op, DropTable):
+                # Nothing to fold — or the table is about to go away, in
+                # which case compacting first would be wasted work.
+                self.discard_delta(name)
+                continue
+            with status.step(
+                "delta flush",
+                f"{name}: +{stats.delta_live} buffered, "
+                f"-{stats.deleted_main} deleted",
+            ):
+                self.flush_delta(name)
+            status.flushed_delta(stats.delta_live + stats.deleted_main)
+
     # -- execution ---------------------------------------------------------
 
     def apply(self, op: SchemaModificationOperator) -> EvolutionStatus:
@@ -87,6 +179,12 @@ class EvolutionEngine:
         status = EvolutionStatus()
         for listener in self._listeners:
             status.subscribe(listener)
+        # Flush first: AddColumn-with-values validates against the row
+        # count the operator will actually see, which is the post-flush
+        # one.  A flush triggered by an operator that then fails
+        # validation is harmless — it preserves the merged content and
+        # invalidates the handle, so no write is ever lost.
+        self._flush_before_evolve(op, status)
         op.validate(self.catalog)
         with status.step("execute", op.describe()):
             self._dispatch(op, status)

@@ -37,6 +37,7 @@ class EvolutionStatus:
     bitmaps_created: int = 0       # new bitmaps built from scratch
     columns_decompressed: int = 0  # decode_vids calls (sequential scans)
     rows_materialized: int = 0     # tuples formed (query-level only)
+    delta_rows_flushed: int = 0    # buffered writes folded in pre-SMO
 
     def subscribe(self, listener) -> None:
         """Register a callable invoked with each :class:`StatusEvent`."""
@@ -78,6 +79,9 @@ class EvolutionStatus:
     def materialized_rows(self, count: int) -> None:
         self.rows_materialized += count
 
+    def flushed_delta(self, count: int) -> None:
+        self.delta_rows_flushed += count
+
     # -- reporting ---------------------------------------------------------
 
     def summary(self) -> dict:
@@ -88,6 +92,7 @@ class EvolutionStatus:
             "bitmaps_created": self.bitmaps_created,
             "columns_decompressed": self.columns_decompressed,
             "rows_materialized": self.rows_materialized,
+            "delta_rows_flushed": self.delta_rows_flushed,
         }
 
     def describe(self) -> str:

@@ -1,0 +1,27 @@
+"""Write-optimized delta stores over the read-optimized main store.
+
+The CODS storage of :mod:`repro.storage` is read-optimized: every column
+is a set of WAH-compressed per-value bitmaps, rebuilt wholesale on any
+change.  Following the main/delta architecture of read-optimized stores
+(Krueger et al., "Fast Updates on Read-Optimized Databases Using
+Multi-Core CPUs"), this package pairs each table with an uncompressed
+write buffer:
+
+* :class:`DeltaStore` — appended rows in plain column vectors plus a
+  deletion set ("validity bitmap") over the main store;
+* :class:`MutableTable` — the DML facade: ``insert``/``update``/
+  ``delete`` land in the delta, reads merge delta + main at query time;
+* :class:`CompactionPolicy` / :class:`DeltaStats` — when to fold the
+  delta back into freshly WAH-encoded columns (``compact()``).
+"""
+
+from repro.delta.mutable import MutableTable
+from repro.delta.policy import CompactionPolicy, DeltaStats
+from repro.delta.store import DeltaStore
+
+__all__ = [
+    "CompactionPolicy",
+    "DeltaStats",
+    "DeltaStore",
+    "MutableTable",
+]

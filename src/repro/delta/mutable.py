@@ -1,0 +1,361 @@
+"""The DML facade: a read-optimized main plus a write-optimized delta.
+
+A :class:`MutableTable` wraps an immutable :class:`~repro.storage.table.
+Table` (the compressed main store) and a :class:`~repro.delta.store.
+DeltaStore` (the uncompressed write buffer).  Writes never touch the
+compressed columns; reads merge both sides at query time; ``compact()``
+folds the buffer into freshly WAH-encoded columns, re-using the
+streaming :class:`~repro.bitmap.builder.WAHBuilder` so the dense row
+vectors are never turned into dense bit arrays.
+
+Deletes and updates locate main-store victims in the *compressed*
+domain (``Predicate.bitmap``), so a DML statement only materializes the
+rows it actually touches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bitmap.builder import WAHBuilder
+from repro.bitmap.codecs import WAH
+from repro.delta.policy import CompactionPolicy, DeltaStats
+from repro.delta.store import DeltaStore
+from repro.errors import SchemaError, StorageError
+from repro.storage.column import BitmapColumn
+from repro.storage.dictionary import Dictionary
+from repro.storage.table import Table, canonical_sort_key
+from repro.storage.types import coerce
+
+
+def _delta_column(name, dtype, values, codec_name) -> BitmapColumn:
+    """Encode plain row-ordered values into per-value bitmaps.
+
+    The WAH path streams each value's positions through a
+    :class:`WAHBuilder`; other codecs fall back to the generic
+    constructor.
+    """
+    if codec_name != WAH:
+        return BitmapColumn.from_values(name, dtype, values, codec_name)
+    dictionary = Dictionary()
+    positions: list[list[int]] = []
+    for row, value in enumerate(values):
+        vid = dictionary.add(value)
+        if vid == len(positions):
+            positions.append([])
+        positions[vid].append(row)
+    nrows = len(values)
+    bitmaps = []
+    for vid_positions in positions:
+        builder = WAHBuilder()
+        builder.append_positions(
+            np.asarray(vid_positions, dtype=np.int64), nrows
+        )
+        bitmaps.append(builder.build())
+    return BitmapColumn(name, dtype, dictionary, bitmaps, nrows, codec_name)
+
+
+class MutableTable:
+    """A table that accepts DML, backed by a main/delta split.
+
+    ``on_compact(table, reason)`` is invoked whenever the delta is
+    folded into a fresh main table (the engine uses it to republish the
+    table in its catalog).  A handle released by the engine — because
+    an SMO consumed or dropped the table — is *invalidated*: further
+    writes raise, so a stale handle can never republish a pre-evolution
+    table.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        policy: CompactionPolicy | None = None,
+        on_compact=None,
+    ):
+        self._main = table
+        self._delta = DeltaStore(table.schema)
+        self.policy = policy if policy is not None else CompactionPolicy()
+        self.on_compact = on_compact
+        self.compactions = 0
+        self._invalidated = False
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def schema(self):
+        return self._main.schema
+
+    @property
+    def name(self) -> str:
+        return self._main.schema.name
+
+    @property
+    def main(self) -> Table:
+        """The current compressed main store."""
+        return self._main
+
+    @property
+    def delta(self) -> DeltaStore:
+        """The current write buffer."""
+        return self._delta
+
+    @property
+    def nrows(self) -> int:
+        """Visible rows across both sides."""
+        return (
+            self._main.nrows
+            - len(self._delta.deleted_main)
+            + self._delta.n_live
+        )
+
+    @property
+    def has_pending_changes(self) -> bool:
+        return not self._delta.is_empty
+
+    @property
+    def is_valid(self) -> bool:
+        return not self._invalidated
+
+    def invalidate(self) -> None:
+        """Detach the handle from its table (writes will raise)."""
+        self._invalidated = True
+        self.on_compact = None
+
+    def _check_valid(self) -> None:
+        if self._invalidated:
+            raise StorageError(
+                f"mutable handle for {self.name!r} was invalidated by a "
+                "schema change; request a fresh one from the engine"
+            )
+
+    def delta_stats(self) -> DeltaStats:
+        return DeltaStats(
+            table=self.name,
+            main_rows=self._main.nrows,
+            delta_rows=self._delta.n_appended,
+            delta_live=self._delta.n_live,
+            deleted_main=len(self._delta.deleted_main),
+            deleted_delta=len(self._delta.deleted_delta),
+            compactions=self.compactions,
+        )
+
+    # ------------------------------------------------------------------
+    # Merged reads (query-time merge, snapshot per call)
+    # ------------------------------------------------------------------
+
+    def to_rows(self) -> list[tuple]:
+        """All visible rows: surviving main rows in row order, then live
+        delta rows in insertion order.  The returned list is a snapshot —
+        later writes do not mutate it."""
+        if self._delta.deleted_main:
+            deleted = self._delta.deleted_main
+            main_rows = [
+                row
+                for position, row in enumerate(self._main.to_rows())
+                if position not in deleted
+            ]
+        else:
+            main_rows = self._main.to_rows()
+        return main_rows + self._delta.live_rows()
+
+    def scan(self):
+        """Iterate a snapshot of the visible rows."""
+        return iter(self.to_rows())
+
+    def head(self, limit: int = 10) -> list[tuple]:
+        return self.to_rows()[:limit]
+
+    def sorted_rows(self) -> list[tuple]:
+        return sorted(self.to_rows(), key=canonical_sort_key)
+
+    # ------------------------------------------------------------------
+    # DML
+    # ------------------------------------------------------------------
+
+    def insert(self, row) -> None:
+        """Append one row tuple (schema column order)."""
+        self._check_valid()
+        self._delta.append(row)
+        self._maybe_autocompact()
+
+    def insert_rows(self, rows) -> int:
+        """Append an iterable of row tuples atomically (a malformed row
+        rejects the whole batch); returns the count."""
+        self._check_valid()
+        count = self._delta.append_rows(rows)
+        self._maybe_autocompact()
+        return count
+
+    def delete(self, predicate=None) -> int:
+        """Delete visible rows matching ``predicate`` (all when None);
+        returns the number deleted.
+
+        Main-store victims are found in the compressed domain — the
+        predicate's bitmap, AND-ed with the validity bitmap — without
+        materializing any row.
+        """
+        self._check_valid()
+        count = 0
+        for position in self._matching_main_positions(predicate):
+            if self._delta.delete_main(int(position)):
+                count += 1
+        for index in self._matching_delta_indices(predicate):
+            if self._delta.delete_delta(index):
+                count += 1
+        self._maybe_autocompact()
+        return count
+
+    def update(self, assignments: dict, predicate=None) -> int:
+        """Set ``assignments`` (column -> new value) on rows matching
+        ``predicate``; returns the number updated.
+
+        An update is a delete of the old version plus an append of the
+        new one — the standard out-of-place write of a main/delta store,
+        so the compressed main is never patched.
+        """
+        self._check_valid()
+        if not assignments:
+            return 0
+        names = self.schema.column_names
+        for column in assignments:
+            if column not in names:
+                raise SchemaError(
+                    f"no column {column!r} in table {self.name!r}"
+                )
+        coerced = {
+            column: coerce(value, self.schema.column(column).dtype)
+            for column, value in assignments.items()
+        }
+
+        main_positions = self._matching_main_positions(predicate)
+        old_main = (
+            self._main.select_rows(main_positions, compact=True).to_rows()
+            if len(main_positions)
+            else []
+        )
+        delta_indices = self._matching_delta_indices(predicate)
+        old_delta = [self._delta.row(index) for index in delta_indices]
+
+        for position in main_positions:
+            self._delta.delete_main(int(position))
+        for index in delta_indices:
+            self._delta.delete_delta(index)
+        count = 0
+        for row in old_main + old_delta:
+            updated = tuple(
+                coerced.get(name, value) for name, value in zip(names, row)
+            )
+            self._delta.append(updated)
+            count += 1
+        self._maybe_autocompact()
+        return count
+
+    def _matching_main_positions(self, predicate) -> np.ndarray:
+        """Sorted visible main positions satisfying ``predicate``."""
+        surviving = self._delta.surviving_main_positions(self._main.nrows)
+        if predicate is None:
+            return surviving
+        predicate.validate(self.schema)
+        matching = predicate.bitmap(self._main).positions()
+        return np.intersect1d(matching, surviving, assume_unique=True)
+
+    def _matching_delta_indices(self, predicate) -> list[int]:
+        """Live delta indices satisfying ``predicate`` (row at a time —
+        the buffer is uncompressed)."""
+        indices = self._delta.live_indices()
+        if predicate is None:
+            return indices
+        predicate.validate(self.schema)
+        columns = self._delta.columns
+        return [
+            index
+            for index in indices
+            if predicate.matches(lambda attr, i=index: columns[attr][i])
+        ]
+
+    # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+
+    def compact(self, reason: str = "manual") -> Table:
+        """Fold the delta into a fresh all-WAH main table.
+
+        Surviving main rows are kept by bitmap filtering (never
+        decompressed), buffered rows are WAH-encoded via the streaming
+        builder, and the two parts are concatenated per column.
+        Afterwards the buffer is empty and the returned table *is* the
+        new main.
+        """
+        self._check_valid()
+        if self._delta.is_empty:
+            return self._main
+        keep = self._delta.surviving_main_positions(self._main.nrows)
+        columns = {}
+        for column_schema in self.schema.columns:
+            main_part = self._main.column(column_schema.name)
+            if len(keep) != self._main.nrows:
+                main_part = main_part.select(keep, compact=True)
+            delta_part = _delta_column(
+                column_schema.name,
+                column_schema.dtype,
+                self._delta.live_values(column_schema.name),
+                main_part.codec_name,
+            )
+            if delta_part.nrows:
+                merged = main_part.concat(delta_part)
+            else:
+                merged = main_part
+            columns[column_schema.name] = merged
+        nrows = len(keep) + self._delta.n_live
+        self._main = Table(self.schema, columns, nrows)
+        self._delta = DeltaStore(self.schema)
+        self.compactions += 1
+        if self.on_compact is not None:
+            self.on_compact(self._main, reason)
+        return self._main
+
+    def restore_delta(self, store: DeltaStore) -> None:
+        """Adopt a persisted write buffer (see ``storage.filefmt``).
+
+        Only valid while the current buffer is empty — a delta belongs
+        to exactly one main-store generation.
+        """
+        self._check_valid()
+        if self.has_pending_changes:
+            raise SchemaError(
+                f"table {self.name!r} already has pending changes"
+            )
+        if store.schema.column_names != self.schema.column_names:
+            raise SchemaError(
+                f"delta schema does not match table {self.name!r}"
+            )
+        self._delta = store
+
+    def _maybe_autocompact(self) -> None:
+        reason = self.policy.should_compact(self.delta_stats())
+        if reason is not None:
+            self.compact(f"auto: {reason}")
+
+    # ------------------------------------------------------------------
+    # Comparison helpers (tests, verification)
+    # ------------------------------------------------------------------
+
+    def same_content(self, other, ordered: bool = False) -> bool:
+        """Logical equality against a :class:`Table` or another
+        :class:`MutableTable` (merged view on both sides)."""
+        if self.schema.column_names != other.schema.column_names:
+            return False
+        if self.nrows != other.nrows:
+            return False
+        if ordered:
+            return self.to_rows() == other.to_rows()
+        return self.sorted_rows() == other.sorted_rows()
+
+    def __repr__(self) -> str:
+        return (
+            f"MutableTable({self.name!r}, main={self._main.nrows}, "
+            f"delta=+{self._delta.n_live}/-{len(self._delta.deleted_main)}, "
+            f"compactions={self.compactions})"
+        )

@@ -1,0 +1,162 @@
+"""The per-table write buffer.
+
+A :class:`DeltaStore` is the uncompressed side of the main/delta split:
+appended rows live in plain row-ordered column vectors (no dictionaries,
+no bitmaps), and deletions — both of main-store rows and of buffered
+rows — are recorded positionally.  All operations are ``O(1)`` per row;
+the compressed-domain work is deferred to compaction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.storage.schema import TableSchema
+from repro.storage.types import coerce
+
+
+class DeltaStore:
+    """Uncompressed write buffer for one table.
+
+    ``columns`` maps each column name to a plain Python list in append
+    order; ``deleted_main`` holds deleted row positions of the main
+    store (the inverse of its validity bitmap) and ``deleted_delta``
+    holds deleted indices of the buffer itself (a row inserted and then
+    deleted before compaction).
+    """
+
+    __slots__ = ("schema", "columns", "deleted_main", "deleted_delta")
+
+    def __init__(self, schema: TableSchema):
+        self.schema = schema
+        self.columns: dict[str, list] = {
+            name: [] for name in schema.column_names
+        }
+        self.deleted_main: set[int] = set()
+        self.deleted_delta: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+
+    def _coerce_row(self, row) -> tuple:
+        row = tuple(row)
+        if len(row) != len(self.schema.columns):
+            raise StorageError(
+                f"row arity {len(row)} != {len(self.schema.columns)} for "
+                f"table {self.schema.name!r}"
+            )
+        return tuple(
+            coerce(value, column.dtype)
+            for value, column in zip(row, self.schema.columns)
+        )
+
+    def append(self, row) -> int:
+        """Buffer one row tuple (schema column order); returns its
+        delta index."""
+        coerced = self._coerce_row(row)
+        index = self.n_appended
+        for value, name in zip(coerced, self.schema.column_names):
+            self.columns[name].append(value)
+        return index
+
+    def append_rows(self, rows) -> int:
+        """Buffer many rows atomically: every row is coerced before any
+        is admitted, so a malformed row leaves no partial batch behind.
+        Returns the count."""
+        coerced = [self._coerce_row(row) for row in rows]
+        for row in coerced:
+            for value, name in zip(row, self.schema.column_names):
+                self.columns[name].append(value)
+        return len(coerced)
+
+    def delete_main(self, position: int) -> bool:
+        """Mark one main-store row deleted; True if newly deleted."""
+        if position in self.deleted_main:
+            return False
+        self.deleted_main.add(position)
+        return True
+
+    def delete_delta(self, index: int) -> bool:
+        """Delete one buffered row by delta index; True if newly deleted."""
+        if index < 0 or index >= self.n_appended:
+            raise StorageError(f"delta index {index} out of range")
+        if index in self.deleted_delta:
+            return False
+        self.deleted_delta.add(index)
+        return True
+
+    def clear(self) -> None:
+        """Reset to empty (after the delta is folded into the main)."""
+        for values in self.columns.values():
+            values.clear()
+        self.deleted_main.clear()
+        self.deleted_delta.clear()
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    @property
+    def n_appended(self) -> int:
+        """Rows ever buffered (including since-deleted ones)."""
+        return len(next(iter(self.columns.values())))
+
+    @property
+    def n_live(self) -> int:
+        """Buffered rows still visible."""
+        return self.n_appended - len(self.deleted_delta)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when compaction would be a no-op."""
+        return self.n_appended == 0 and not self.deleted_main
+
+    def live_indices(self) -> list[int]:
+        """Delta indices of visible buffered rows, in insertion order."""
+        return [
+            index
+            for index in range(self.n_appended)
+            if index not in self.deleted_delta
+        ]
+
+    def row(self, index: int) -> tuple:
+        """One buffered row by delta index (live or not)."""
+        if index < 0 or index >= self.n_appended:
+            raise StorageError(f"delta index {index} out of range")
+        return tuple(
+            self.columns[name][index] for name in self.schema.column_names
+        )
+
+    def live_rows(self) -> list[tuple]:
+        """Visible buffered rows as tuples, in insertion order."""
+        names = self.schema.column_names
+        return [
+            tuple(self.columns[name][index] for name in names)
+            for index in self.live_indices()
+        ]
+
+    def live_values(self, column: str) -> list:
+        """Visible buffered values of one column, in insertion order."""
+        values = self.columns[column]
+        return [values[index] for index in self.live_indices()]
+
+    def surviving_main_positions(self, main_nrows: int) -> np.ndarray:
+        """Sorted main-store positions still visible (the validity
+        bitmap as a position array, ready for bitmap filtering)."""
+        if not self.deleted_main:
+            return np.arange(main_nrows, dtype=np.int64)
+        mask = np.ones(main_nrows, dtype=bool)
+        deleted = np.fromiter(
+            self.deleted_main, dtype=np.int64, count=len(self.deleted_main)
+        )
+        mask[deleted[deleted < main_nrows]] = False
+        return np.flatnonzero(mask).astype(np.int64)
+
+    def __repr__(self) -> str:
+        return (
+            f"DeltaStore({self.schema.name!r}, appended={self.n_appended}, "
+            f"deleted_delta={len(self.deleted_delta)}, "
+            f"deleted_main={len(self.deleted_main)})"
+        )

@@ -16,8 +16,9 @@ import argparse
 import sys
 
 from repro.core.engine import EvolutionEngine
+from repro.delta import CompactionPolicy
 from repro.errors import CodsError
-from repro.smo.parser import parse_smo
+from repro.smo.parser import TokenStream, literal_value, parse_predicate, parse_smo
 from repro.storage.csvio import load_csv
 from repro.storage.table import Table, table_from_python
 from repro.storage.types import DataType
@@ -32,6 +33,10 @@ Commands (mirroring the Figure 4 buttons):
   queue               show queued operators
   execute             run the queued operators (with live status)
   history             show the evolution history
+  insert <t> (v, ...) [, (v, ...)]  buffer rows in the table's delta
+  delete <t> [WHERE <predicate>]    delete rows (delta-masked)
+  compact <t>         fold the delta into fresh WAH columns
+  deltastat [t]       show main/delta statistics
   example             load the paper's Figure 1 table R
   help                this text
   quit                exit\
@@ -71,6 +76,11 @@ class DemoSession:
         self.queue: list = []
         self.out = out
         self.engine.subscribe(self._on_status)
+        # Size-only trigger: ratio policies would fold the delta straight
+        # back into the tiny demo tables, hiding the buffering from view.
+        self.delta_policy = CompactionPolicy(
+            max_delta_rows=1024, max_delta_ratio=None, max_deleted_ratio=None
+        )
 
     def _print(self, text: str = "") -> None:
         print(text, file=self.out)
@@ -86,23 +96,35 @@ class DemoSession:
         self._print(self.engine.catalog.describe())
 
     def cmd_display(self, name: str) -> None:
-        table = self.engine.table(name)
-        names = table.schema.column_names
+        pending = self.engine.pending_delta(name)
+        if pending is not None:
+            rows, nrows = pending.to_rows(), pending.nrows
+            names = pending.schema.column_names
+        else:
+            table = self.engine.table(name)
+            rows, nrows = table.to_rows(), table.nrows
+            names = table.schema.column_names
         widths = [
-            max(len(str(n)), *(len(str(v)) for v in col.to_values()), 1)
-            if table.nrows
+            max(len(str(n)), *(len(str(row[i])) for row in rows), 1)
+            if rows
             else len(str(n))
-            for n, col in zip(names, table.columns())
+            for i, n in enumerate(names)
         ]
         header = " | ".join(n.ljust(w) for n, w in zip(names, widths))
         self._print(header)
         self._print("-+-".join("-" * w for w in widths))
-        for row in table.head(20):
+        for row in rows[:20]:
             self._print(
                 " | ".join(str(v).ljust(w) for v, w in zip(row, widths))
             )
-        if table.nrows > 20:
-            self._print(f"… ({table.nrows} rows total)")
+        if nrows > 20:
+            self._print(f"… ({nrows} rows total)")
+        if pending is not None:
+            stats = pending.delta_stats()
+            self._print(
+                f"(merged view: {stats.main_rows} main rows, "
+                f"+{stats.delta_live} buffered, -{stats.deleted_main} deleted)"
+            )
 
     def cmd_load(self, path: str, name: str | None = None) -> None:
         table = load_csv(path, name)
@@ -136,6 +158,78 @@ class DemoSession:
             interesting = {k: v for k, v in counters.items() if v}
             self._print(f"  done. counters: {interesting or '{}'}")
         self.queue.clear()
+
+    def cmd_insert(self, rest: str) -> None:
+        tokens = TokenStream(rest.strip())
+        name = tokens.expect_ident()
+        rows = [self._parse_row(tokens)]
+        while tokens.punct_is(","):
+            tokens.next()
+            rows.append(self._parse_row(tokens))
+        tokens.done()
+        mutable = self.engine.mutable(name, self.delta_policy)
+        count = mutable.insert_rows(rows)
+        stats = mutable.delta_stats()
+        self._print(
+            f"buffered {count} row(s) in {name}'s delta "
+            f"({stats.delta_live} pending, {stats.compactions} compactions)"
+        )
+
+    @staticmethod
+    def _parse_row(tokens: TokenStream) -> tuple:
+        tokens.expect_punct("(")
+        values = [literal_value(*tokens.next())]
+        while tokens.punct_is(","):
+            tokens.next()
+            values.append(literal_value(*tokens.next()))
+        tokens.expect_punct(")")
+        return tuple(values)
+
+    def cmd_delete(self, rest: str) -> None:
+        tokens = TokenStream(rest.strip())
+        name = tokens.expect_ident()
+        predicate = None
+        if tokens.keyword_is("WHERE"):
+            tokens.next()
+            predicate = parse_predicate(tokens)
+        tokens.done()
+        count = self.engine.mutable(name, self.delta_policy).delete(predicate)
+        self._print(f"deleted {count} row(s) from {name}")
+
+    def cmd_compact(self, name: str) -> None:
+        mutable = self.engine.delta_handle(name)
+        if mutable is None or not mutable.has_pending_changes:
+            self.engine.table(name)  # raises for unknown tables
+            self._print(f"{name}: delta is empty, nothing to compact")
+            return
+        stats = mutable.delta_stats()
+        table = mutable.compact()
+        self._print(
+            f"compacted {name}: +{stats.delta_live} buffered, "
+            f"-{stats.deleted_main} deleted -> {table.nrows} rows, all WAH"
+        )
+
+    def cmd_deltastat(self, name: str = "") -> None:
+        if name:
+            mutable = self.engine.delta_handle(name)
+            if mutable is None:
+                self.engine.table(name)  # raises for unknown tables
+                self._print(f"(no delta state for {name})")
+                return
+            stats_list = [mutable.delta_stats()]
+        else:
+            stats_list = self.engine.delta_stats()
+        if not stats_list:
+            self._print("(no tables with delta state)")
+            return
+        for stats in stats_list:
+            self._print(
+                f"{stats.table}: main={stats.main_rows} "
+                f"delta=+{stats.delta_live} -{stats.deleted_main} "
+                f"live={stats.live_rows} "
+                f"ratio={stats.delta_ratio:.3f} "
+                f"compactions={stats.compactions}"
+            )
 
     def cmd_history(self) -> None:
         text = self.engine.history.describe()
@@ -177,6 +271,14 @@ class DemoSession:
                 self.cmd_queue()
             elif verb == "execute":
                 self.cmd_execute()
+            elif verb == "insert":
+                self.cmd_insert(rest)
+            elif verb == "delete":
+                self.cmd_delete(rest)
+            elif verb == "compact":
+                self.cmd_compact(rest.strip())
+            elif verb == "deltastat":
+                self.cmd_deltastat(rest.strip())
             elif verb == "history":
                 self.cmd_history()
             elif verb == "example":

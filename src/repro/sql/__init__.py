@@ -3,17 +3,20 @@
 from repro.sql.adapter import (
     ColumnStoreAdapter,
     EngineAdapter,
+    MutableColumnAdapter,
     RowEngineAdapter,
 )
 from repro.sql.ast import (
     CreateIndex,
     CreateTable,
+    Delete,
     DropTable,
     InsertSelect,
     InsertValues,
     JoinClause,
     RenameTable,
     Select,
+    Update,
 )
 from repro.sql.executor import SqlExecutor
 from repro.sql.parser import parse_sql, parse_sql_script
@@ -22,14 +25,17 @@ __all__ = [
     "ColumnStoreAdapter",
     "CreateIndex",
     "CreateTable",
+    "Delete",
     "DropTable",
     "EngineAdapter",
     "InsertSelect",
     "InsertValues",
     "JoinClause",
+    "MutableColumnAdapter",
     "RenameTable",
     "Select",
     "SqlExecutor",
+    "Update",
     "parse_sql",
     "parse_sql_script",
 ]

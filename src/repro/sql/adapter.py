@@ -1,18 +1,22 @@
 """Engine adapters: the storage interface the SQL executor targets.
 
-Two adapters let the same SQL drive both baselines of Figure 2's right
-side: a row store (tuples stay tuples) and a column store executing at
-the *query level* (columns are decompressed into tuples, results are
-re-compressed into columns — the cost CODS avoids).
+Three adapters let the same SQL drive every storage engine: a row store
+(tuples stay tuples), a column store executing at the *query level*
+(columns are decompressed into tuples, results are re-compressed into
+columns — the cost CODS avoids), and the delta-backed column store
+(:class:`MutableColumnAdapter`) whose DML lands in per-table write
+buffers instead of rebuilding compressed columns.
 """
 
 from __future__ import annotations
 
+from repro.delta import CompactionPolicy
 from repro.errors import SchemaError, SqlExecutionError
 from repro.rowstore.engine import RowEngine
 from repro.storage.catalog import Catalog
 from repro.storage.schema import TableSchema
 from repro.storage.table import Table
+from repro.storage.types import coerce
 
 
 class EngineAdapter:
@@ -37,6 +41,16 @@ class EngineAdapter:
         """Bulk-insert an iterable of row tuples; returns the count."""
         raise NotImplementedError
 
+    def update_rows(self, name: str, assignments, predicate) -> int:
+        """Apply ``assignments`` ((column, literal) pairs) to matching
+        rows; returns the affected count."""
+        raise NotImplementedError
+
+    def delete_rows(self, name: str, predicate) -> int:
+        """Delete matching rows (all when ``predicate`` is None);
+        returns the affected count."""
+        raise NotImplementedError
+
     def scan_rows(self, name: str):
         """Iterate all rows of a table as tuples (schema column order)."""
         raise NotImplementedError
@@ -47,6 +61,45 @@ class EngineAdapter:
     def rename_column(self, table: str, old: str, new: str) -> None:
         """Metadata-only column rename (real systems do this for free)."""
         raise NotImplementedError
+
+
+def _patch_rows(schema, rows, assignments, predicate):
+    """Row-at-a-time UPDATE over materialized tuples: returns the new
+    row list and the affected count.  Shared by every adapter that
+    stores (or rebuilds from) plain tuples."""
+    positions = {n: i for i, n in enumerate(schema.column_names)}
+    updates = [
+        (positions[column], coerce(value, schema.column(column).dtype))
+        for column, value in assignments
+    ]
+    out = list(rows)
+    count = 0
+    for row_id, row in enumerate(out):
+        if predicate is not None and not predicate.matches(
+            lambda a, r=row: r[positions[a]]
+        ):
+            continue
+        patched = list(row)
+        for position, value in updates:
+            patched[position] = value
+        out[row_id] = tuple(patched)
+        count += 1
+    return out, count
+
+
+def _filter_rows(schema, rows, predicate):
+    """Row-at-a-time DELETE: returns the kept rows and the deleted
+    count (``predicate`` None deletes everything)."""
+    rows = list(rows)
+    if predicate is None:
+        return [], len(rows)
+    positions = {n: i for i, n in enumerate(schema.column_names)}
+    kept = [
+        row
+        for row in rows
+        if not predicate.matches(lambda a, r=row: r[positions[a]])
+    ]
+    return kept, len(rows) - len(kept)
 
 
 class RowEngineAdapter(EngineAdapter):
@@ -72,6 +125,31 @@ class RowEngineAdapter(EngineAdapter):
 
     def insert_rows(self, name: str, rows) -> int:
         return self.engine.insert_rows(name, rows)
+
+    def update_rows(self, name: str, assignments, predicate) -> int:
+        heap = self.engine.table(name)
+        heap.rows, count = _patch_rows(
+            heap.schema, heap.rows, assignments, predicate
+        )
+        if count:
+            # Row ids are stable under UPDATE, so only indexes on
+            # assigned columns go stale.
+            assigned = {column for column, _value in assignments}
+            self._rebuild_indexes(heap, only=assigned)
+        return count
+
+    def delete_rows(self, name: str, predicate) -> int:
+        heap = self.engine.table(name)
+        heap.rows, count = _filter_rows(heap.schema, heap.rows, predicate)
+        if count:
+            self._rebuild_indexes(heap)  # deletes shift every row id
+        return count
+
+    @staticmethod
+    def _rebuild_indexes(heap, only=None) -> None:
+        for column in list(heap.indexes):
+            if only is None or column in only:
+                heap.create_index(column)
 
     def scan_rows(self, name: str):
         return self.engine.table(name).scan()
@@ -127,6 +205,32 @@ class ColumnStoreAdapter(EngineAdapter):
         self.catalog.put(rebuilt, f"INSERT {name}")
         return len(incoming)
 
+    def update_rows(self, name: str, assignments, predicate) -> int:
+        table = self.catalog.table(name)
+        rows = table.to_rows()
+        self.rows_materialized += len(rows)
+        patched, count = _patch_rows(
+            table.schema, rows, assignments, predicate
+        )
+        if count:
+            self.rows_recompressed += len(patched)
+            self.catalog.put(
+                Table.from_rows(table.schema, patched), f"UPDATE {name}"
+            )
+        return count
+
+    def delete_rows(self, name: str, predicate) -> int:
+        table = self.catalog.table(name)
+        rows = table.to_rows()
+        self.rows_materialized += len(rows)
+        kept, count = _filter_rows(table.schema, rows, predicate)
+        if count:
+            self.rows_recompressed += len(kept)
+            self.catalog.put(
+                Table.from_rows(table.schema, kept), f"DELETE FROM {name}"
+            )
+        return count
+
     def scan_rows(self, name: str):
         table = self.catalog.table(name)
         self.rows_materialized += table.nrows
@@ -140,6 +244,83 @@ class ColumnStoreAdapter(EngineAdapter):
             raise SchemaError(f"no column {column!r} in table {table!r}")
 
     def rename_column(self, table: str, old: str, new: str) -> None:
+        renamed = self.catalog.table(table).with_renamed_column(old, new)
+        self.catalog.put(renamed, f"RENAME COLUMN {old} TO {new}")
+
+
+class MutableColumnAdapter(EngineAdapter):
+    """Adapter over the CODS column store's *write path*.
+
+    DML routes through :class:`repro.delta.MutableTable`: inserts,
+    updates and deletes land in per-table delta stores in ``O(rows
+    touched)``, scans merge delta + main at query time, and compaction
+    (auto or via :meth:`compact`) republishes freshly WAH-encoded
+    tables into the engine's catalog.  Contrast with
+    :class:`ColumnStoreAdapter`, which rebuilds every compressed column
+    on each write.
+    """
+
+    def __init__(self, engine=None, policy: CompactionPolicy | None = None):
+        from repro.core.engine import EvolutionEngine
+
+        self.evolution_engine = (
+            engine if engine is not None else EvolutionEngine()
+        )
+        self.policy = policy
+
+    @property
+    def catalog(self) -> Catalog:
+        return self.evolution_engine.catalog
+
+    def _mutable(self, name: str):
+        return self.evolution_engine.mutable(name, self.policy)
+
+    def has_table(self, name: str) -> bool:
+        return name in self.catalog
+
+    def schema(self, name: str) -> TableSchema:
+        return self.catalog.schema(name)
+
+    def create_table(self, schema: TableSchema) -> None:
+        self.catalog.create(Table.empty(schema))
+
+    def drop_table(self, name: str) -> None:
+        # The delta dies with the table; compacting it first would be
+        # wasted work.
+        self.evolution_engine.discard_delta(name)
+        self.catalog.drop(name)
+
+    def rename_table(self, old: str, new: str) -> None:
+        self.evolution_engine.flush_delta(old)
+        self.catalog.rename(old, new)
+
+    def insert_rows(self, name: str, rows) -> int:
+        return self._mutable(name).insert_rows(rows)
+
+    def update_rows(self, name: str, assignments, predicate) -> int:
+        return self._mutable(name).update(dict(assignments), predicate)
+
+    def delete_rows(self, name: str, predicate) -> int:
+        return self._mutable(name).delete(predicate)
+
+    def scan_rows(self, name: str):
+        pending = self.evolution_engine.pending_delta(name)
+        if pending is not None:
+            return pending.scan()
+        return iter(self.catalog.table(name).to_rows())
+
+    def compact(self, name: str) -> Table:
+        """Force-fold table ``name``'s delta; returns the new main."""
+        return self._mutable(name).compact()
+
+    def create_index(self, table: str, column: str) -> None:
+        # As in ColumnStoreAdapter: the per-value bitmaps are the index.
+        schema = self.catalog.schema(table)
+        if not schema.has_column(column):
+            raise SchemaError(f"no column {column!r} in table {table!r}")
+
+    def rename_column(self, table: str, old: str, new: str) -> None:
+        self.evolution_engine.flush_delta(table)
         renamed = self.catalog.table(table).with_renamed_column(old, new)
         self.catalog.put(renamed, f"RENAME COLUMN {old} TO {new}")
 

@@ -3,7 +3,9 @@
 The subset covers exactly what query-level data evolution needs (the
 queries of paper Section 1 plus joins for MERGE): CREATE/DROP/ALTER
 TABLE, CREATE INDEX, INSERT (VALUES and SELECT), and SELECT with
-DISTINCT, JOIN ON equal attributes, WHERE, ORDER BY and LIMIT.
+DISTINCT, JOIN ON equal attributes, WHERE, ORDER BY and LIMIT — plus
+the write path's UPDATE and DELETE (serviced by the delta store on the
+column engine).
 """
 
 from __future__ import annotations
@@ -48,6 +50,23 @@ class InsertSelect:
 
 
 @dataclass(frozen=True)
+class Update:
+    """``UPDATE <table> SET col = literal, … [WHERE …]``."""
+
+    table: str
+    assignments: tuple[tuple[str, object], ...]
+    where: Predicate | None = None
+
+
+@dataclass(frozen=True)
+class Delete:
+    """``DELETE FROM <table> [WHERE …]``."""
+
+    table: str
+    where: Predicate | None = None
+
+
+@dataclass(frozen=True)
 class CreateTable:
     schema: TableSchema
 
@@ -74,6 +93,8 @@ Statement = (
     Select
     | InsertValues
     | InsertSelect
+    | Update
+    | Delete
     | CreateTable
     | DropTable
     | RenameTable

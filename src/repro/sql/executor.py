@@ -13,12 +13,14 @@ from repro.sql.adapter import EngineAdapter, require_table
 from repro.sql.ast import (
     CreateIndex,
     CreateTable,
+    Delete,
     DropTable,
     InsertSelect,
     InsertValues,
     RenameTable,
     Select,
     Statement,
+    Update,
 )
 from repro.sql.parser import parse_sql, parse_sql_script
 
@@ -34,8 +36,8 @@ class SqlExecutor:
     def execute(self, statement_or_text):
         """Execute one statement (text or AST).
 
-        Returns a list of tuples for SELECT, a row count for INSERT,
-        ``None`` for DDL.
+        Returns a list of tuples for SELECT, an affected-row count for
+        INSERT/UPDATE/DELETE, ``None`` for DDL.
         """
         statement = (
             parse_sql(statement_or_text)
@@ -61,6 +63,24 @@ class SqlExecutor:
             require_table(self.adapter, statement.table)
             rows = self._run_select(statement.select)
             return self.adapter.insert_rows(statement.table, rows)
+        if isinstance(statement, Update):
+            require_table(self.adapter, statement.table)
+            schema = self.adapter.schema(statement.table)
+            for column, _value in statement.assignments:
+                if not schema.has_column(column):
+                    raise SqlExecutionError(
+                        f"no column {column!r} in table {statement.table!r}"
+                    )
+            if statement.where is not None:
+                statement.where.validate(schema)
+            return self.adapter.update_rows(
+                statement.table, statement.assignments, statement.where
+            )
+        if isinstance(statement, Delete):
+            require_table(self.adapter, statement.table)
+            if statement.where is not None:
+                statement.where.validate(self.adapter.schema(statement.table))
+            return self.adapter.delete_rows(statement.table, statement.where)
         if isinstance(statement, CreateTable):
             self.adapter.create_table(statement.schema)
             return None

@@ -14,6 +14,7 @@ from repro.smo.parser import TokenStream, literal_value, parse_predicate
 from repro.sql.ast import (
     CreateIndex,
     CreateTable,
+    Delete,
     DropTable,
     InsertSelect,
     InsertValues,
@@ -21,6 +22,7 @@ from repro.sql.ast import (
     RenameTable,
     Select,
     Statement,
+    Update,
 )
 from repro.storage.schema import ColumnSchema, TableSchema
 from repro.storage.types import parse_type_name
@@ -104,6 +106,15 @@ def _parse_values_row(tokens: TokenStream) -> tuple:
     return tuple(values)
 
 
+def _parse_assignment(tokens: TokenStream) -> tuple[str, object]:
+    column = tokens.expect_ident()
+    kind, op = tokens.next()
+    if kind != "op" or op != "=":
+        raise SqlSyntaxError(f"expected '=' after {column!r} in SET")
+    kind, value = tokens.next()
+    return column, literal_value(kind, value)
+
+
 def _parse_create_columns(tokens: TokenStream):
     tokens.expect_punct("(")
     columns = []
@@ -143,7 +154,9 @@ def _parse_sql(text: str) -> Statement:
         stripped,
     )
     tokens = TokenStream(stripped)
-    verb = tokens.expect_keyword("SELECT", "INSERT", "CREATE", "DROP", "ALTER")
+    verb = tokens.expect_keyword(
+        "SELECT", "INSERT", "UPDATE", "DELETE", "CREATE", "DROP", "ALTER"
+    )
 
     if verb == "SELECT":
         tokens.index = 0
@@ -175,6 +188,30 @@ def _parse_sql(text: str) -> Statement:
                 select.where, select.order_by, select.limit,
             )
         return InsertSelect(table, select)
+
+    if verb == "UPDATE":
+        table = tokens.expect_ident()
+        tokens.expect_keyword("SET")
+        assignments = [_parse_assignment(tokens)]
+        while tokens.punct_is(","):
+            tokens.next()
+            assignments.append(_parse_assignment(tokens))
+        where = None
+        if tokens.keyword_is("WHERE"):
+            tokens.next()
+            where = parse_predicate(tokens)
+        tokens.done()
+        return Update(table, tuple(assignments), where)
+
+    if verb == "DELETE":
+        tokens.expect_keyword("FROM")
+        table = tokens.expect_ident()
+        where = None
+        if tokens.keyword_is("WHERE"):
+            tokens.next()
+            where = parse_predicate(tokens)
+        tokens.done()
+        return Delete(table, where)
 
     if verb == "CREATE":
         kind = tokens.expect_keyword("TABLE", "INDEX")

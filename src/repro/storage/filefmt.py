@@ -13,6 +13,14 @@ Layout (all integers little-endian):
 Bitmaps are stored in their *compressed* form byte-for-byte, so loading
 a table never decompresses anything — matching the paper's premise that
 data can move between disk and the evolution engine fully compressed.
+
+Tables with a pending write buffer (:mod:`repro.delta`) persist that
+state in a ``.delta`` sidecar next to the ``.cods`` file:
+
+    magic "CODD" | u16 format version | u32 payload JSON length | JSON
+
+The delta is uncompressed in memory, so it is stored uncompressed too:
+the JSON carries the appended column vectors plus both deletion sets.
 """
 
 from __future__ import annotations
@@ -32,6 +40,14 @@ from repro.storage.types import DataType
 
 _MAGIC = b"CODS"
 _VERSION = 1
+_DELTA_MAGIC = b"CODD"
+_DELTA_VERSION = 1
+
+
+def delta_sidecar_path(path) -> Path:
+    """The ``.delta`` sidecar belonging to a ``.cods`` table file."""
+    path = Path(path)
+    return path.with_name(path.name + ".delta")
 
 
 def _encode_value(value):
@@ -152,6 +168,101 @@ def load_table(path) -> Table:
     return Table(schema, columns, nrows)
 
 
+def save_delta(store, path) -> None:
+    """Serialize a :class:`repro.delta.DeltaStore` (uncompressed)."""
+    path = Path(path)
+    payload = {
+        "table": store.schema.name,
+        "columns": {
+            name: [_encode_value(v) for v in values]
+            for name, values in store.columns.items()
+        },
+        "deleted_main": sorted(store.deleted_main),
+        "deleted_delta": sorted(store.deleted_delta),
+    }
+    with path.open("wb") as handle:
+        handle.write(_DELTA_MAGIC)
+        handle.write(struct.pack("<H", _DELTA_VERSION))
+        _write_block(handle, json.dumps(payload).encode())
+
+
+def load_delta(path, schema: TableSchema):
+    """Inverse of :func:`save_delta`; validated against ``schema``."""
+    from repro.delta.store import DeltaStore
+
+    path = Path(path)
+    with path.open("rb") as handle:
+        if handle.read(4) != _DELTA_MAGIC:
+            raise SerializationError(f"{path}: not a .delta file")
+        (version,) = struct.unpack("<H", handle.read(2))
+        if version != _DELTA_VERSION:
+            raise SerializationError(
+                f"{path}: unsupported delta format version {version}"
+            )
+        payload = json.loads(_read_block(handle).decode())
+    if set(payload["columns"]) != set(schema.column_names):
+        raise SerializationError(
+            f"{path}: delta columns {sorted(payload['columns'])} do not "
+            f"match schema {list(schema.column_names)}"
+        )
+    store = DeltaStore(schema)
+    columns = {
+        name: [_decode_value(v) for v in values]
+        for name, values in payload["columns"].items()
+    }
+    lengths = {len(values) for values in columns.values()}
+    if len(lengths) > 1:
+        raise SerializationError(f"{path}: ragged delta columns")
+    n_appended = lengths.pop() if lengths else 0
+    for index in range(n_appended):
+        store.append(
+            tuple(columns[name][index] for name in schema.column_names)
+        )
+    store.deleted_main.update(int(p) for p in payload["deleted_main"])
+    for index in payload["deleted_delta"]:
+        store.delete_delta(int(index))
+    return store
+
+
+def _load_delta_for_table(sidecar, table):
+    """Load a sidecar and validate it against the main it masks."""
+    loaded = load_delta(sidecar, table.schema)
+    out_of_range = [p for p in loaded.deleted_main if p >= table.nrows]
+    if out_of_range:
+        raise SerializationError(
+            f"{sidecar}: deleted positions {out_of_range} beyond the "
+            f"main store's {table.nrows} rows"
+        )
+    return loaded
+
+
+def save_mutable_table(mutable, path) -> None:
+    """Persist a :class:`repro.delta.MutableTable`: the compressed main
+    as a ``.cods`` file plus (when non-empty) the delta sidecar.  A
+    stale sidecar from an earlier save is removed."""
+    path = Path(path)
+    save_table(mutable.main, path)
+    sidecar = delta_sidecar_path(path)
+    if mutable.has_pending_changes:
+        save_delta(mutable.delta, sidecar)
+    elif sidecar.exists():
+        sidecar.unlink()
+
+
+def load_mutable_table(path, policy=None):
+    """Inverse of :func:`save_mutable_table`: restores the write buffer
+    from the sidecar when present."""
+    from repro.delta.mutable import MutableTable
+
+    path = Path(path)
+    table = load_table(path)
+    mutable = MutableTable(table, policy)
+    sidecar = delta_sidecar_path(path)
+    if sidecar.exists():
+        mutable.restore_delta(_load_delta_for_table(sidecar, table))
+    return mutable
+
+
 def save_catalog(catalog, directory) -> None:
     """Save every table of a catalog into ``directory`` as .cods files."""
     directory = Path(directory)
@@ -175,3 +286,35 @@ def load_catalog(directory):
     for name in manifest["tables"]:
         catalog.put(load_table(directory / f"{name}.cods"), f"LOAD {name}")
     return catalog
+
+
+def save_engine(engine, directory) -> None:
+    """Save an evolution engine's catalog plus, for every table with
+    unflushed writes, its delta sidecar."""
+    directory = Path(directory)
+    save_catalog(engine.catalog, directory)
+    for name in engine.catalog.table_names():
+        sidecar = delta_sidecar_path(directory / f"{name}.cods")
+        pending = engine.pending_delta(name)
+        if pending is not None:
+            save_delta(pending.delta, sidecar)
+        elif sidecar.exists():
+            sidecar.unlink()
+
+
+def load_engine(directory, policy=None):
+    """Inverse of :func:`save_engine`: a fresh
+    :class:`~repro.core.engine.EvolutionEngine` with the write buffers
+    re-attached."""
+    from repro.core.engine import EvolutionEngine
+
+    directory = Path(directory)
+    engine = EvolutionEngine(load_catalog(directory))
+    for name in engine.catalog.table_names():
+        sidecar = delta_sidecar_path(directory / f"{name}.cods")
+        if sidecar.exists():
+            table = engine.catalog.table(name)
+            engine.mutable(name, policy).restore_delta(
+                _load_delta_for_table(sidecar, table)
+            )
+    return engine

@@ -17,6 +17,15 @@ from repro.storage.schema import ColumnSchema, TableSchema
 from repro.storage.types import DataType, coerce
 
 
+def canonical_sort_key(row) -> tuple:
+    """Total order over heterogeneous row tuples: NULLs first, then by
+    value type, then by value.  Shared by every ``sorted_rows``
+    implementation so multiset comparisons agree across table kinds."""
+    return tuple(
+        (value is not None, str(type(value)), value) for value in row
+    )
+
+
 class Table:
     """An immutable-by-convention column-store table."""
 
@@ -224,10 +233,7 @@ class Table:
 
     def sorted_rows(self) -> list[tuple]:
         """All rows sorted canonically (None sorts first)."""
-        def key(row):
-            return tuple((value is not None, str(type(value)), value)
-                         for value in row)
-        return sorted(self.to_rows(), key=key)
+        return sorted(self.to_rows(), key=canonical_sort_key)
 
     def same_content(self, other: "Table", ordered: bool = False) -> bool:
         """Logical equality: same schema shape and same multiset of rows

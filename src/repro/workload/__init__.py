@@ -10,11 +10,14 @@ from repro.workload.generator import (
     GeneralMergeWorkload,
     SalesStarWorkload,
 )
+from repro.workload.readwrite import MixedReadWriteWorkload, WriteOp
 
 __all__ = [
     "EmployeeWorkload",
     "GeneralMergeWorkload",
+    "MixedReadWriteWorkload",
     "SalesStarWorkload",
+    "WriteOp",
     "make_indices",
     "uniform_indices",
     "zipf_indices",

@@ -1,0 +1,140 @@
+"""Mixed read/write workloads for the delta-store write path.
+
+Extends the Figure 3 employee workload with a deterministic stream of
+DML operations — the traffic shape of an operational system in front of
+the read-optimized store: point inserts of new (employee, skill) facts,
+skill reassignments (updates), employee off-boarding (deletes) and full
+scans interleaved throughout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.smo.predicate import Comparison
+from repro.storage.table import Table
+from repro.workload.generator import EmployeeWorkload
+
+INSERT, UPDATE, DELETE, SCAN = "insert", "update", "delete", "scan"
+
+
+@dataclass(frozen=True)
+class WriteOp:
+    """One operation of the stream.
+
+    ``kind`` selects which payload fields apply: INSERT carries ``row``;
+    UPDATE carries ``assignments`` and ``predicate``; DELETE carries
+    ``predicate``; SCAN carries nothing.
+    """
+
+    kind: str
+    row: tuple | None = None
+    assignments: dict | None = None
+    predicate: Comparison | None = None
+
+
+@dataclass(frozen=True)
+class MixedReadWriteWorkload:
+    """A base table plus a deterministic DML/scan stream.
+
+    Fractions are of ``n_operations``; whatever is left after inserts,
+    updates and deletes becomes full scans.  The same seed always yields
+    the same table and the same stream.
+    """
+
+    nrows: int
+    n_operations: int
+    n_employees: int = 100
+    insert_fraction: float = 0.5
+    update_fraction: float = 0.2
+    delete_fraction: float = 0.1
+    seed: int = 2010
+
+    def __post_init__(self):
+        total = (
+            self.insert_fraction + self.update_fraction + self.delete_fraction
+        )
+        if total > 1.0 + 1e-9:
+            raise WorkloadError(
+                f"insert/update/delete fractions sum to {total:.3f} > 1"
+            )
+
+    def build(self) -> Table:
+        """The initial ``R(Employee, Skill, Address)`` main store."""
+        return EmployeeWorkload(
+            self.nrows, self.n_employees, seed=self.seed
+        ).build()
+
+    def operations(self) -> list[WriteOp]:
+        """The full operation stream, deterministically shuffled."""
+        rng = np.random.default_rng(self.seed + 1)
+        counts = {
+            INSERT: int(self.n_operations * self.insert_fraction),
+            UPDATE: int(self.n_operations * self.update_fraction),
+            DELETE: int(self.n_operations * self.delete_fraction),
+        }
+        counts[SCAN] = self.n_operations - sum(counts.values())
+        kinds = np.concatenate(
+            [np.full(count, kind, dtype=object)
+             for kind, count in counts.items()]
+        )
+        rng.shuffle(kinds)
+        next_new_employee = self.n_employees
+        ops = []
+        for kind in kinds:
+            if kind == INSERT:
+                # New employees arrive alongside new facts for old ones.
+                if rng.random() < 0.5:
+                    employee = next_new_employee
+                    next_new_employee += 1
+                else:
+                    employee = int(rng.integers(0, self.n_employees))
+                ops.append(WriteOp(INSERT, row=(
+                    f"emp{employee:07d}",
+                    f"skill{int(rng.integers(0, 100)):07d}",
+                    f"addr{int(rng.integers(0, 50)):07d}",
+                )))
+            elif kind == UPDATE:
+                ops.append(WriteOp(
+                    UPDATE,
+                    assignments={
+                        "Skill": f"skill{int(rng.integers(0, 100)):07d}"
+                    },
+                    predicate=self._employee_predicate(rng),
+                ))
+            elif kind == DELETE:
+                ops.append(WriteOp(
+                    DELETE, predicate=self._employee_predicate(rng)
+                ))
+            else:
+                ops.append(WriteOp(SCAN))
+        return ops
+
+    def _employee_predicate(self, rng) -> Comparison:
+        employee = int(rng.integers(0, self.n_employees))
+        return Comparison("Employee", "=", f"emp{employee:07d}")
+
+    def apply_to(self, mutable) -> dict:
+        """Drive the whole stream against a DML target exposing
+        ``insert/update/delete/to_rows`` (a :class:`repro.delta.
+        MutableTable`); returns per-kind operation counts plus the rows
+        affected."""
+        counters = {INSERT: 0, UPDATE: 0, DELETE: 0, SCAN: 0}
+        affected = 0
+        for op in self.operations():
+            counters[op.kind] += 1
+            if op.kind == INSERT:
+                mutable.insert(op.row)
+                affected += 1
+            elif op.kind == UPDATE:
+                affected += mutable.update(op.assignments, op.predicate)
+            elif op.kind == DELETE:
+                affected += mutable.delete(op.predicate)
+            else:
+                for _row in mutable.scan():
+                    pass
+        counters["rows_affected"] = affected
+        return counters

@@ -1,0 +1,212 @@
+"""Property tests: delta/main merged reads match an eager row-list
+oracle under any interleaving of insert/update/delete/compact, and
+compaction preserves content (``same_content``)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.delta import CompactionPolicy, MutableTable
+from repro.smo.predicate import And, Comparison, Not, Or
+from repro.storage import DataType, Table, table_from_python
+
+KS = list(range(5))
+SS = ["a", "b", "c"]
+
+
+def base_table(rows):
+    return table_from_python(
+        "R",
+        {
+            "K": (DataType.INT, [k for k, _s in rows]),
+            "S": (DataType.STRING, [s for _k, s in rows]),
+        },
+    )
+
+
+class Oracle:
+    """Eager row-list semantics: the specification the delta store must
+    match.  Updates patch rows in place; row *multisets* are compared,
+    so out-of-place updates in the implementation are equivalent."""
+
+    def __init__(self, rows):
+        self.rows = [tuple(row) for row in rows]
+
+    def insert(self, row):
+        self.rows.append(tuple(row))
+
+    def delete(self, predicate):
+        if predicate is None:
+            count = len(self.rows)
+            self.rows = []
+            return count
+        kept = [row for row in self.rows if not self._matches(predicate, row)]
+        count = len(self.rows) - len(kept)
+        self.rows = kept
+        return count
+
+    def update(self, assignments, predicate):
+        count = 0
+        for index, row in enumerate(self.rows):
+            if predicate is None or self._matches(predicate, row):
+                self.rows[index] = (
+                    assignments.get("K", row[0]),
+                    assignments.get("S", row[1]),
+                )
+                count += 1
+        return count
+
+    @staticmethod
+    def _matches(predicate, row):
+        return predicate.matches(lambda attr: row[0 if attr == "K" else 1])
+
+
+comparisons = st.one_of(
+    st.tuples(
+        st.just("K"),
+        st.sampled_from(["=", "!=", "<", "<=", ">", ">="]),
+        st.sampled_from(KS),
+    ).map(lambda t: Comparison(*t)),
+    st.tuples(
+        st.just("S"),
+        st.sampled_from(["=", "!="]),
+        st.sampled_from(SS),
+    ).map(lambda t: Comparison(*t)),
+    st.tuples(
+        st.just("K"),
+        st.lists(st.sampled_from(KS), min_size=1, max_size=3),
+    ).map(lambda t: Comparison(t[0], "IN", tuple(t[1]))),
+)
+
+predicates = st.recursive(
+    comparisons,
+    lambda inner: st.one_of(
+        st.tuples(inner, inner).map(lambda t: And(*t)),
+        st.tuples(inner, inner).map(lambda t: Or(*t)),
+        inner.map(Not),
+    ),
+    max_leaves=3,
+)
+
+rows = st.tuples(st.sampled_from(KS), st.sampled_from(SS))
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), rows),
+        st.tuples(st.just("delete"), st.none() | predicates),
+        st.tuples(
+            st.just("update"),
+            st.tuples(
+                st.dictionaries(
+                    st.sampled_from(["K", "S"]),
+                    st.sampled_from(KS) | st.sampled_from(SS),
+                    min_size=1,
+                    max_size=2,
+                ),
+                st.none() | predicates,
+            ),
+        ),
+        st.tuples(st.just("compact"), st.none()),
+    ),
+    max_size=12,
+)
+
+
+def coerced_assignments(raw):
+    """Keep only type-correct assignments (K int, S string)."""
+    out = {}
+    for column, value in raw.items():
+        if column == "K" and isinstance(value, int):
+            out[column] = value
+        if column == "S" and isinstance(value, str):
+            out[column] = value
+    return out
+
+
+def apply_stream(mutable, oracle, stream):
+    for kind, payload in stream:
+        if kind == "insert":
+            mutable.insert(payload)
+            oracle.insert(payload)
+        elif kind == "delete":
+            assert mutable.delete(payload) == oracle.delete(payload)
+        elif kind == "update":
+            raw, predicate = payload
+            assignments = coerced_assignments(raw)
+            if not assignments:
+                continue
+            assert mutable.update(assignments, predicate) == oracle.update(
+                assignments, predicate
+            )
+        else:
+            mutable.compact()
+        assert mutable.nrows == len(oracle.rows)
+        assert sorted(mutable.to_rows()) == sorted(oracle.rows)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    initial=st.lists(rows, max_size=8),
+    stream=operations,
+)
+def test_any_interleaving_matches_oracle(initial, stream):
+    mutable = MutableTable(base_table(initial), CompactionPolicy.never())
+    oracle = Oracle(initial)
+    apply_stream(mutable, oracle, stream)
+
+    # Final compaction folds everything into a pure-WAH table that is
+    # same_content-equal to the oracle's eager table.
+    compacted = mutable.compact()
+    expected = Table.from_rows(compacted.schema, oracle.rows)
+    assert compacted.same_content(expected)
+    assert all(
+        compacted.column(name).codec_name == "wah"
+        for name in compacted.column_names
+    )
+    assert not mutable.has_pending_changes
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    initial=st.lists(rows, max_size=8),
+    stream=operations,
+    threshold=st.integers(min_value=1, max_value=4),
+)
+def test_autocompaction_is_transparent(initial, stream, threshold):
+    """Whatever the compaction policy does in the background, reads
+    never change."""
+    eager = MutableTable(
+        base_table(initial), CompactionPolicy(threshold, 0.25, 0.25)
+    )
+    oracle = Oracle(initial)
+    apply_stream(eager, oracle, stream)
+    assert sorted(eager.to_rows()) == sorted(oracle.rows)
+
+
+@settings(max_examples=30, deadline=None)
+@given(initial=st.lists(rows, min_size=1, max_size=8), stream=operations)
+def test_persistence_preserves_any_state(tmp_path_factory, initial, stream):
+    from repro.storage import load_mutable_table, save_mutable_table
+
+    mutable = MutableTable(base_table(initial), CompactionPolicy.never())
+    oracle = Oracle(initial)
+    apply_stream(mutable, oracle, stream)
+
+    path = tmp_path_factory.mktemp("delta") / "r.cods"
+    save_mutable_table(mutable, path)
+    restored = load_mutable_table(path, CompactionPolicy.never())
+    assert sorted(restored.to_rows()) == sorted(oracle.rows)
+
+
+@pytest.mark.parametrize("threshold", [1, 3, 7])
+def test_repeated_compaction_is_idempotent(threshold):
+    mutable = MutableTable(
+        base_table([(1, "a"), (2, "b")]), CompactionPolicy.never()
+    )
+    for index in range(threshold):
+        mutable.insert((index, "c"))
+    first = mutable.compact()
+    second = mutable.compact()
+    assert first is second  # no pending changes -> same main returned
