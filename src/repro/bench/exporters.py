@@ -43,15 +43,36 @@ def table1_csv(rows, path, series=("D", "C+I", "M")) -> None:
             )
 
 
-def write_path_json(payload: dict, path) -> None:
-    """Write the write-path benchmark record as indented JSON."""
+def bench_json(payload: dict, path) -> None:
+    """Write any benchmark record as indented JSON."""
     path = Path(path)
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
+def load_bench_json(path) -> dict:
+    """Read back a benchmark record written by :func:`bench_json`."""
+    return json.loads(Path(path).read_text())
+
+
+def write_path_json(payload: dict, path) -> None:
+    """Write the write-path benchmark record as indented JSON."""
+    bench_json(payload, path)
+
+
 def load_write_path_json(path) -> dict:
     """Read back a write-path benchmark record."""
-    return json.loads(Path(path).read_text())
+    return load_bench_json(path)
+
+
+def snapshot_scan_json(payload: dict, path) -> None:
+    """Write the snapshot-scan benchmark record
+    (``benchmarks/bench_snapshot_scan.py``) as indented JSON."""
+    bench_json(payload, path)
+
+
+def load_snapshot_scan_json(path) -> dict:
+    """Read back a snapshot-scan benchmark record."""
+    return load_bench_json(path)
 
 
 def load_series_csv(path) -> list[dict]:

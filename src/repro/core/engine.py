@@ -25,7 +25,6 @@ from repro.core.simple_ops import (
     copy_table,
     drop_column,
     partition_table,
-    rename_column,
     union_tables,
 )
 from repro.core.status import EvolutionStatus
@@ -148,11 +147,47 @@ class EvolutionEngine:
         mutable.invalidate()
         return True
 
+    def rename_table_metadata(
+        self, old: str, new: str, operation: str | None = None
+    ) -> None:
+        """RENAME TABLE as a pure metadata operation: the catalog entry
+        is re-keyed and any pending delta is rewired in place — O(1),
+        never a compaction (see ``docs/ARCHITECTURE.md``, "Renames are
+        metadata-only")."""
+        self.catalog.rename(
+            old, new, operation or f"RENAME TABLE {old} TO {new}"
+        )
+        mutable = self._mutables.pop(old, None)
+        if mutable is not None:
+            mutable.rewire_metadata(self.catalog.table(new))
+            self._mutables[new] = mutable
+
+    def rename_column_metadata(
+        self, table: str, old: str, new: str, operation: str | None = None
+    ) -> None:
+        """RENAME COLUMN as a pure metadata operation, delta-preserving
+        like :meth:`rename_table_metadata`."""
+        renamed = self.catalog.table(table).with_renamed_column(old, new)
+        self.catalog.put(
+            renamed, operation or f"RENAME COLUMN {old} TO {new}"
+        )
+        mutable = self._mutables.get(table)
+        if mutable is not None:
+            mutable.rewire_metadata(renamed, {old: new})
+
     def _flush_before_evolve(
         self, op: SchemaModificationOperator, status: EvolutionStatus
     ) -> None:
         """SMOs evolve the compressed main store, so any table they read
-        must have its delta folded in first (recorded in the status)."""
+        must have its delta folded in first (recorded in the status).
+
+        Renames are exempt: they are metadata-only, so the delta is
+        rewired in place by ``_dispatch`` instead of being compacted.
+        Pinned MVCC snapshots never block the flush — they keep reading
+        the generation they pinned (and are noted in the status).
+        """
+        if isinstance(op, (RenameTable, RenameColumn)):
+            return
         for attr in ("table", "left", "right"):
             name = getattr(op, attr, None)
             if not isinstance(name, str) or name not in self._mutables:
@@ -164,10 +199,15 @@ class EvolutionEngine:
                 # which case compacting first would be wasted work.
                 self.discard_delta(name)
                 continue
+            pinned = (
+                f", {stats.open_snapshots} pinned snapshot(s) retained"
+                if stats.open_snapshots
+                else ""
+            )
             with status.step(
                 "delta flush",
                 f"{name}: +{stats.delta_live} buffered, "
-                f"-{stats.deleted_main} deleted",
+                f"-{stats.deleted_main} deleted{pinned}",
             ):
                 self.flush_delta(name)
             status.flushed_delta(stats.delta_live + stats.deleted_main)
@@ -217,7 +257,7 @@ class EvolutionEngine:
         elif isinstance(op, DropTable):
             self.catalog.drop(op.table, op.describe())
         elif isinstance(op, RenameTable):
-            self.catalog.rename(op.table, op.new_name, op.describe())
+            self.rename_table_metadata(op.table, op.new_name, op.describe())
         elif isinstance(op, CopyTable):
             table = copy_table(self.catalog.table(op.table), op.new_name, status)
             self.catalog.create(table, op.describe())
@@ -239,11 +279,13 @@ class EvolutionEngine:
                 drop_column(table, op.column, status), op.describe()
             )
         elif isinstance(op, RenameColumn):
-            table = self.catalog.drop(op.table, op.describe())
-            self.catalog.put(
-                rename_column(table, op.column, op.new_name, status),
-                op.describe(),
-            )
+            with status.step(
+                "metadata",
+                f"renaming column {op.column!r} to {op.new_name!r}",
+            ):
+                self.rename_column_metadata(
+                    op.table, op.column, op.new_name, op.describe()
+                )
         else:  # pragma: no cover - future operators
             raise EvolutionError(f"unsupported operator {op!r}")
 

@@ -3,10 +3,21 @@
 A :class:`MutableTable` wraps an immutable :class:`~repro.storage.table.
 Table` (the compressed main store) and a :class:`~repro.delta.store.
 DeltaStore` (the uncompressed write buffer).  Writes never touch the
-compressed columns; reads merge both sides at query time; ``compact()``
+compressed columns; reads merge both sides at query time; compaction
 folds the buffer into freshly WAH-encoded columns, re-using the
 streaming :class:`~repro.bitmap.builder.WAHBuilder` so the dense row
 vectors are never turned into dense bit arrays.
+
+Reads are MVCC: :meth:`MutableTable.snapshot` pins a consistent view
+(main-store generation + delta epoch) that stays frozen while writes and
+compaction proceed, and :meth:`MutableTable.scan` iterates such a pinned
+view lazily instead of copying the merged rows.  Compaction can run
+*incrementally* — :meth:`MutableTable.compact_step` merges a budgeted
+number of columns per call and is safe to interleave with DML and pinned
+snapshots; superseded generations are retained until the last pinning
+snapshot closes.  The whole lifecycle is documented in
+``docs/ARCHITECTURE.md`` and the persisted form in
+``docs/delta-format.md``.
 
 Deletes and updates locate main-store victims in the *compressed*
 domain (``Predicate.bitmap``), so a DML statement only materializes the
@@ -19,7 +30,12 @@ import numpy as np
 
 from repro.bitmap.builder import WAHBuilder
 from repro.bitmap.codecs import WAH
-from repro.delta.policy import CompactionPolicy, DeltaStats
+from repro.delta.policy import (
+    CompactionPolicy,
+    CompactionProgress,
+    DeltaStats,
+)
+from repro.delta.snapshot import Snapshot, decoded_main_rows
 from repro.delta.store import DeltaStore
 from repro.errors import SchemaError, StorageError
 from repro.storage.column import BitmapColumn
@@ -55,6 +71,66 @@ def _delta_column(name, dtype, values, codec_name) -> BitmapColumn:
     return BitmapColumn(name, dtype, dictionary, bitmaps, nrows, codec_name)
 
 
+def _relabeled_table(table: Table, name: str, renames: dict) -> Table:
+    """O(1) relabeling of a table: renamed columns and/or table name,
+    sharing every compressed column."""
+    for old, new in renames.items():
+        table = table.with_renamed_column(old, new)
+    if table.schema.name != name:
+        table = table.renamed(name)
+    return table
+
+
+class _CompactionRun:
+    """Resumable state of one incremental compaction.
+
+    Pinned at ``begin``: the cutoff epoch, the surviving main positions
+    and live delta indices *as of that epoch*.  Writes that arrive while
+    the run is in flight get higher epochs and are carried over into the
+    fresh delta when the run finishes.
+    """
+
+    __slots__ = (
+        "cutoff_epoch",
+        "keep",
+        "cutoff_appended",
+        "live_cutoff",
+        "column_names",
+        "merged",
+        "next_index",
+    )
+
+    def __init__(self, main: Table, delta: DeltaStore):
+        self.cutoff_epoch = delta.epoch
+        self.keep = delta.surviving_main_positions(
+            main.nrows, self.cutoff_epoch
+        )
+        self.cutoff_appended = delta.n_appended
+        self.live_cutoff = delta.live_indices(self.cutoff_epoch)
+        self.column_names = list(main.schema.column_names)
+        self.merged: dict[str, BitmapColumn] = {}
+        self.next_index = 0
+
+    @property
+    def done(self) -> bool:
+        return self.next_index >= len(self.column_names)
+
+    def rename_columns(self, renames: dict[str, str]) -> None:
+        """Keep an in-flight run consistent with a metadata-only column
+        rename (see :meth:`MutableTable.rewire_metadata`)."""
+        if not renames:
+            return
+        self.column_names = [
+            renames.get(name, name) for name in self.column_names
+        ]
+        self.merged = {
+            renames.get(name, name): (
+                column.renamed(renames[name]) if name in renames else column
+            )
+            for name, column in self.merged.items()
+        }
+
+
 class MutableTable:
     """A table that accepts DML, backed by a main/delta split.
 
@@ -63,7 +139,8 @@ class MutableTable:
     table in its catalog).  A handle released by the engine — because
     an SMO consumed or dropped the table — is *invalidated*: further
     writes raise, so a stale handle can never republish a pre-evolution
-    table.
+    table.  Snapshots pinned before the invalidation stay readable —
+    they hold their own references to the pinned generation.
     """
 
     def __init__(
@@ -73,11 +150,22 @@ class MutableTable:
         on_compact=None,
     ):
         self._main = table
-        self._delta = DeltaStore(table.schema)
         self.policy = policy if policy is not None else CompactionPolicy()
+        self._delta = DeltaStore(
+            table.schema, index_threshold=self.policy.index_threshold
+        )
         self.on_compact = on_compact
         self.compactions = 0
         self._invalidated = False
+        self._generation = 0
+        self._snapshots: list[Snapshot] = []
+        self._retained: dict[int, tuple[Table, DeltaStore]] = {}
+        self._compaction_run: _CompactionRun | None = None
+        # Single-entry merged-view cache: (generation, epoch) -> rows.
+        # Visibility is fully determined by that pair, so the entry is
+        # valid until the next write (epoch bump) or compaction
+        # (generation bump).
+        self._merged_cache: tuple[tuple[int, int], list] | None = None
 
     # ------------------------------------------------------------------
     # Accessors
@@ -102,6 +190,16 @@ class MutableTable:
         return self._delta
 
     @property
+    def epoch(self) -> int:
+        """The write-versioning counter (monotonic across compactions)."""
+        return self._delta.epoch
+
+    @property
+    def generation(self) -> int:
+        """How many times the main store has been replaced."""
+        return self._generation
+
+    @property
     def nrows(self) -> int:
         """Visible rows across both sides."""
         return (
@@ -112,11 +210,23 @@ class MutableTable:
 
     @property
     def has_pending_changes(self) -> bool:
-        return not self._delta.is_empty
+        return (
+            not self._delta.is_empty or self._compaction_run is not None
+        )
 
     @property
     def is_valid(self) -> bool:
         return not self._invalidated
+
+    @property
+    def open_snapshots(self) -> int:
+        """Snapshots currently pinning a view of this table."""
+        return len(self._snapshots)
+
+    @property
+    def retained_versions(self) -> tuple[int, ...]:
+        """Superseded generations kept alive for pinned snapshots."""
+        return tuple(sorted(self._retained))
 
     def invalidate(self) -> None:
         """Detach the handle from its table (writes will raise)."""
@@ -139,36 +249,133 @@ class MutableTable:
             deleted_main=len(self._delta.deleted_main),
             deleted_delta=len(self._delta.deleted_delta),
             compactions=self.compactions,
+            epoch=self._delta.epoch,
+            open_snapshots=len(self._snapshots),
+            indexed_columns=len(self._delta.indexed_columns),
         )
 
     # ------------------------------------------------------------------
-    # Merged reads (query-time merge, snapshot per call)
+    # MVCC reads (snapshots pin a generation + epoch; no copy-on-read)
     # ------------------------------------------------------------------
 
-    def to_rows(self) -> list[tuple]:
-        """All visible rows: surviving main rows in row order, then live
-        delta rows in insertion order.  The returned list is a snapshot —
-        later writes do not mutate it."""
+    def snapshot(self) -> Snapshot:
+        """Pin the currently visible state.
+
+        The returned :class:`~repro.delta.Snapshot` keeps seeing exactly
+        today's rows while inserts, deletes, updates and compaction
+        proceed on this handle.  Close it (or use it as a context
+        manager) so superseded generations can be reclaimed.
+        """
+        snapshot = Snapshot(
+            self, self._main, self._delta, self._delta.epoch,
+            self._generation,
+        )
+        self._snapshots.append(snapshot)
+        return snapshot
+
+    def _serve_pinned_rows(self, generation: int, epoch: int):
+        """The cached merged view, when (generation, epoch) is still the
+        current visible state — lets a fresh snapshot share it instead
+        of rebuilding.  ``None`` when the state has moved on."""
+        if generation == self._generation and epoch == self._delta.epoch:
+            return self._merged_rows()
+        return None
+
+    def _release_snapshot(self, snapshot: Snapshot) -> None:
+        try:
+            self._snapshots.remove(snapshot)
+        except ValueError:  # already released
+            return
+        pinned = {s.generation for s in self._snapshots}
+        self._retained = {
+            generation: version
+            for generation, version in self._retained.items()
+            if generation in pinned
+        }
+
+    def _merged_rows(self) -> list[tuple]:
+        """The currently visible merged rows, cached per (generation,
+        epoch).  The list is immutable by contract — writes never touch
+        it, they bump the epoch and a later read rebuilds."""
+        key = (self._generation, self._delta.epoch)
+        cached = self._merged_cache
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        main_rows = decoded_main_rows(self._main)
         if self._delta.deleted_main:
             deleted = self._delta.deleted_main
             main_rows = [
                 row
-                for position, row in enumerate(self._main.to_rows())
+                for position, row in enumerate(main_rows)
                 if position not in deleted
             ]
+            rows = main_rows + self._delta.live_rows()
         else:
-            main_rows = self._main.to_rows()
-        return main_rows + self._delta.live_rows()
+            live = self._delta.live_rows()
+            rows = main_rows + live if live else main_rows
+        self._merged_cache = (key, rows)
+        return rows
 
     def scan(self):
-        """Iterate a snapshot of the visible rows."""
-        return iter(self.to_rows())
+        """Iterate the rows visible right now as a pinned MVCC view:
+        the merged row list of the current (generation, epoch) — built
+        at most once per visible state — so later writes and compactions
+        never change what this iterator yields, and no per-scan copy is
+        made."""
+        return iter(self._merged_rows())
+
+    def to_rows(self) -> list[tuple]:
+        """All visible rows as an eager merged copy: surviving main rows
+        in row order, then live delta rows in insertion order.  The
+        returned list is the caller's (defensive copy of the cached
+        merged view) — this is the pre-MVCC copy-on-read entry point;
+        ``scan()``/``snapshot()`` avoid the copy."""
+        return list(self._merged_rows())
+
+    def copy_on_read_rows(self) -> list[tuple]:
+        """The pre-MVCC merged read, bypassing every read-path cache:
+        decode the main store and rebuild the merged list from scratch.
+        Benchmarks use this as the copy-on-read baseline; everything
+        else should call :meth:`to_rows` or :meth:`scan`."""
+        main_rows = self._main.to_rows()
+        deleted = self._delta.deleted_main
+        if deleted:
+            main_rows = [
+                row
+                for position, row in enumerate(main_rows)
+                if position not in deleted
+            ]
+        return main_rows + self._delta.live_rows()
 
     def head(self, limit: int = 10) -> list[tuple]:
-        return self.to_rows()[:limit]
+        out = []
+        for row in self.scan():
+            out.append(row)
+            if len(out) >= limit:
+                break
+        return out
 
     def sorted_rows(self) -> list[tuple]:
         return sorted(self.to_rows(), key=canonical_sort_key)
+
+    def matching_rows(self, predicate=None) -> list[tuple]:
+        """Visible rows satisfying ``predicate`` (all when ``None``).
+
+        The main side is evaluated in the compressed domain and only the
+        matching rows are materialized; the delta side uses the buffer's
+        hash indexes once built (row-wise below the threshold)."""
+        if predicate is None:
+            return self.to_rows()
+        positions = self._matching_main_positions(predicate)
+        rows = (
+            self._main.select_rows(positions, compact=True).to_rows()
+            if len(positions)
+            else []
+        )
+        return rows + [
+            self._delta.row(index)
+            for index in self._matching_delta_indices(predicate)
+        ]
 
     # ------------------------------------------------------------------
     # DML
@@ -262,21 +469,16 @@ class MutableTable:
         return np.intersect1d(matching, surviving, assume_unique=True)
 
     def _matching_delta_indices(self, predicate) -> list[int]:
-        """Live delta indices satisfying ``predicate`` (row at a time —
-        the buffer is uncompressed)."""
-        indices = self._delta.live_indices()
+        """Live delta indices satisfying ``predicate`` — through the
+        buffer's per-column hash indexes once it has grown past the
+        policy's ``index_threshold``, row at a time below it."""
         if predicate is None:
-            return indices
+            return self._delta.live_indices()
         predicate.validate(self.schema)
-        columns = self._delta.columns
-        return [
-            index
-            for index in indices
-            if predicate.matches(lambda attr, i=index: columns[attr][i])
-        ]
+        return self._delta.matching_live_indices(predicate)
 
     # ------------------------------------------------------------------
-    # Compaction
+    # Compaction (full or incremental; safe under pinned snapshots)
     # ------------------------------------------------------------------
 
     def compact(self, reason: str = "manual") -> Table:
@@ -285,36 +487,116 @@ class MutableTable:
         Surviving main rows are kept by bitmap filtering (never
         decompressed), buffered rows are WAH-encoded via the streaming
         builder, and the two parts are concatenated per column.
-        Afterwards the buffer is empty and the returned table *is* the
-        new main.
+        Afterwards the buffer holds only writes that raced the fold (in
+        the single-threaded case: none) and the returned table *is* the
+        new main.  An in-flight incremental run is driven to completion
+        first.
         """
         self._check_valid()
-        if self._delta.is_empty:
+        if self._compaction_run is None and self._delta.is_empty:
             return self._main
-        keep = self._delta.surviving_main_positions(self._main.nrows)
-        columns = {}
-        for column_schema in self.schema.columns:
-            main_part = self._main.column(column_schema.name)
-            if len(keep) != self._main.nrows:
-                main_part = main_part.select(keep, compact=True)
-            delta_part = _delta_column(
-                column_schema.name,
-                column_schema.dtype,
-                self._delta.live_values(column_schema.name),
-                main_part.codec_name,
-            )
-            if delta_part.nrows:
-                merged = main_part.concat(delta_part)
-            else:
-                merged = main_part
-            columns[column_schema.name] = merged
-        nrows = len(keep) + self._delta.n_live
-        self._main = Table(self.schema, columns, nrows)
-        self._delta = DeltaStore(self.schema)
+        full_budget = max(1, len(self.schema.columns))
+        while self._compaction_run is not None or not self._delta.is_empty:
+            self.compact_step(columns=full_budget, reason=reason)
+        return self._main
+
+    def compact_step(
+        self, columns: int | None = None, reason: str = "incremental"
+    ) -> CompactionProgress:
+        """Advance (or begin) an incremental compaction by merging up to
+        ``columns`` columns (default: the policy's ``step_columns``).
+
+        The first call pins the fold at the current epoch; DML may keep
+        landing between steps (it carries over into the fresh buffer
+        when the run finishes), and snapshots pinned at any point keep
+        their frozen view throughout.  Returns the run's progress; when
+        ``done``, the new main has been published.
+        """
+        self._check_valid()
+        if self._compaction_run is None:
+            if self._delta.is_empty:
+                return CompactionProgress(0, 0, True)
+            self._compaction_run = _CompactionRun(self._main, self._delta)
+        run = self._compaction_run
+        budget = (
+            columns if columns is not None else max(1, self.policy.step_columns)
+        )
+        for _ in range(budget):
+            if run.done:
+                break
+            name = run.column_names[run.next_index]
+            run.merged[name] = self._merge_column(name, run)
+            run.next_index += 1
+        total = len(run.column_names)
+        if run.done:
+            self._finish_compaction(run, reason)
+            return CompactionProgress(total, total, True)
+        return CompactionProgress(run.next_index, total, False)
+
+    def _merge_column(self, name: str, run: _CompactionRun) -> BitmapColumn:
+        """Merge one column: surviving main rows (bitmap-filtered, never
+        decompressed) concatenated with the WAH-encoded cutoff-live
+        buffered values."""
+        column_schema = self.schema.column(name)
+        main_part = self._main.column(name)
+        if len(run.keep) != self._main.nrows:
+            main_part = main_part.select(run.keep, compact=True)
+        values = [self._delta.columns[name][i] for i in run.live_cutoff]
+        delta_part = _delta_column(
+            name, column_schema.dtype, values, main_part.codec_name
+        )
+        if delta_part.nrows:
+            return main_part.concat(delta_part)
+        return main_part
+
+    def _finish_compaction(self, run: _CompactionRun, reason: str) -> None:
+        """Publish the merged table, carry post-cutoff writes into a
+        fresh buffer (remapping deletions of folded rows onto the new
+        main's positions), and retain the old generation if snapshots
+        still pin it."""
+        old_main, old_delta = self._main, self._delta
+        nrows = len(run.keep) + len(run.live_cutoff)
+        new_main = Table(self.schema, run.merged, nrows)
+
+        main_remap = {int(p): i for i, p in enumerate(run.keep)}
+        delta_remap = {
+            d: len(run.keep) + k for k, d in enumerate(run.live_cutoff)
+        }
+        deleted_main: dict[int, int] = {}
+        for position, at in old_delta.deleted_main.items():
+            if at > run.cutoff_epoch:
+                deleted_main[main_remap[position]] = at
+        new_deleted_delta: dict[int, int] = {}
+        for index, at in old_delta.deleted_delta.items():
+            if index >= run.cutoff_appended:
+                new_deleted_delta[index - run.cutoff_appended] = at
+            elif at > run.cutoff_epoch:
+                # A pre-cutoff buffered row deleted mid-run: it was folded
+                # into the new main, so the deletion masks its new position.
+                deleted_main[delta_remap[index]] = at
+        carried = {
+            name: old_delta.columns[name][run.cutoff_appended:]
+            for name in self.schema.column_names
+        }
+        new_delta = DeltaStore.restore(
+            self.schema,
+            carried,
+            old_delta.insert_epochs[run.cutoff_appended:],
+            deleted_main,
+            new_deleted_delta,
+            old_delta.epoch,
+            index_threshold=old_delta.index_threshold,
+        )
+
+        if any(s.generation == self._generation for s in self._snapshots):
+            self._retained[self._generation] = (old_main, old_delta)
+        self._main = new_main
+        self._delta = new_delta
+        self._generation += 1
+        self._compaction_run = None
         self.compactions += 1
         if self.on_compact is not None:
             self.on_compact(self._main, reason)
-        return self._main
 
     def restore_delta(self, store: DeltaStore) -> None:
         """Adopt a persisted write buffer (see ``storage.filefmt``).
@@ -332,6 +614,45 @@ class MutableTable:
                 f"delta schema does not match table {self.name!r}"
             )
         self._delta = store
+        self._merged_cache = None  # epochs restart with the new buffer
+
+    def rewire_metadata(
+        self, new_main: Table, renames: dict[str, str] | None = None
+    ) -> None:
+        """Adopt a renamed main store *without* flushing the delta.
+
+        ``new_main`` must hold the same rows as the current main — only
+        the table name and/or column names (per ``renames``) may differ.
+        The buffer, its epochs, its indexes and any in-flight
+        incremental compaction are rewired in place, making RENAME
+        TABLE / RENAME COLUMN O(1) metadata operations even with pending
+        writes (the invariant documented in ``docs/ARCHITECTURE.md``).
+        Pinned snapshots follow the rename — names are metadata, not
+        data, so every retained generation is relabeled in place (their
+        rows never change).
+        """
+        self._check_valid()
+        if new_main.nrows != self._main.nrows:
+            raise StorageError(
+                f"rewire_metadata: {new_main.nrows} rows != "
+                f"{self._main.nrows} (renames are metadata-only)"
+            )
+        renames = renames or {}
+        self._delta.adopt_schema(new_main.schema, renames)
+        if self._compaction_run is not None:
+            self._compaction_run.rename_columns(renames)
+        self._main = new_main
+        for generation, (main, delta) in list(self._retained.items()):
+            relabeled = _relabeled_table(
+                main, new_main.schema.name, renames
+            )
+            delta.adopt_schema(relabeled.schema, renames)
+            self._retained[generation] = (relabeled, delta)
+        for snapshot in self._snapshots:
+            if snapshot.generation == self._generation:
+                snapshot._rewire(new_main)
+            else:
+                snapshot._rewire(self._retained[snapshot.generation][0])
 
     def _maybe_autocompact(self) -> None:
         reason = self.policy.should_compact(self.delta_stats())
@@ -357,5 +678,6 @@ class MutableTable:
         return (
             f"MutableTable({self.name!r}, main={self._main.nrows}, "
             f"delta=+{self._delta.n_live}/-{len(self._delta.deleted_main)}, "
+            f"epoch={self._delta.epoch}, "
             f"compactions={self.compactions})"
         )

@@ -1,11 +1,16 @@
-"""Compaction policies: when to fold the delta back into the main.
+"""Compaction policies: when — and how much at a time — to fold the
+delta back into the main.
 
 The write buffer trades read speed for write speed — merged scans touch
 the uncompressed delta row by row, and deleted main rows still occupy
 their bitmap positions.  A :class:`CompactionPolicy` bounds that debt by
 size (absolute buffered rows) and by ratio (buffered or deleted rows
 relative to the main store), the knobs of Krueger et al.'s merge
-scheduler.
+scheduler.  It also carries the *incremental* knobs: ``step_columns``
+budgets how many columns one :meth:`repro.delta.MutableTable.
+compact_step` call merges, and ``index_threshold`` sets the buffer size
+past which per-column hash indexes take over predicate evaluation (see
+``docs/ARCHITECTURE.md``, "The compaction lifecycle").
 """
 
 from __future__ import annotations
@@ -24,6 +29,9 @@ class DeltaStats:
     deleted_main: int     # main rows masked by the validity bitmap
     deleted_delta: int    # buffered rows deleted before compaction
     compactions: int      # compactions performed so far
+    epoch: int = 0        # write-versioning counter (monotonic)
+    open_snapshots: int = 0   # pinned MVCC snapshots
+    indexed_columns: int = 0  # delta columns with a built hash index
 
     @property
     def live_rows(self) -> int:
@@ -52,16 +60,46 @@ class DeltaStats:
             "delta_ratio": round(self.delta_ratio, 6),
             "deleted_ratio": round(self.deleted_ratio, 6),
             "compactions": self.compactions,
+            "epoch": self.epoch,
+            "open_snapshots": self.open_snapshots,
+            "indexed_columns": self.indexed_columns,
         }
 
 
 @dataclass(frozen=True)
+class CompactionProgress:
+    """What one :meth:`~repro.delta.MutableTable.compact_step` call did.
+
+    ``done`` flips when the last column was merged and the new main was
+    published; until then the table keeps serving merged reads from the
+    old generation while writes continue to land in the delta.
+    """
+
+    columns_done: int
+    columns_total: int
+    done: bool
+
+    @property
+    def remaining(self) -> int:
+        return self.columns_total - self.columns_done
+
+
+@dataclass(frozen=True)
 class CompactionPolicy:
-    """Threshold-based auto-compaction.  ``None`` disables a trigger."""
+    """Threshold-based auto-compaction.  ``None`` disables a trigger.
+
+    ``step_columns`` is the incremental-compaction budget: how many
+    columns one ``compact_step()`` call merges (a full ``compact()``
+    ignores it).  ``index_threshold`` is the appended-row count past
+    which the delta buffer builds per-column hash indexes for predicate
+    evaluation (``None`` disables indexing).
+    """
 
     max_delta_rows: int | None = 4096
     max_delta_ratio: float | None = 0.25
     max_deleted_ratio: float | None = 0.25
+    step_columns: int = 1
+    index_threshold: int | None = 256
 
     @classmethod
     def never(cls) -> "CompactionPolicy":

@@ -1,0 +1,212 @@
+"""MVCC snapshots: pinned, consistent views over a main/delta split.
+
+A :class:`Snapshot` captures the three coordinates that define a
+:class:`~repro.delta.MutableTable`'s visible state — the main-store
+*generation* (which compressed table), the delta store, and the *epoch*
+(how much of the delta's write history applies) — and keeps reading that
+exact state while inserts, deletes, updates and compaction proceed on
+the owner.  Long scans therefore never block writers and writers never
+perturb long scans; see ``docs/ARCHITECTURE.md``, "The MVCC read path".
+
+Old main/delta generations are retained only while a pinned snapshot
+still needs them: :meth:`Snapshot.close` (or exiting the context
+manager) releases the pin, and the owner drops its reference to any
+generation no longer pinned (``MutableTable.retained_versions``).
+"""
+
+from __future__ import annotations
+
+import weakref
+
+import numpy as np
+
+from repro.errors import StorageError
+
+#: Decoded row lists, weakly keyed by main-store generation.  A
+#: generation's compressed columns never change, so its decoded rows can
+#: be shared by every scan/snapshot that pins it — and the entry dies
+#: with the generation (when the last pinning snapshot closes).  The
+#: cache is deliberately *not* wired into ``Table.to_rows`` itself: the
+#: query-level baselines must keep paying the full decompression cost
+#: the paper charges them.
+_DECODED_ROWS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def decoded_main_rows(table) -> list:
+    """Memoized ``table.to_rows()`` for the delta read path."""
+    rows = _DECODED_ROWS.get(table)
+    if rows is None:
+        rows = table.to_rows()
+        _DECODED_ROWS[table] = rows
+    return rows
+
+
+class Snapshot:
+    """A read-only view of one table, frozen at pin time.
+
+    Created by :meth:`repro.delta.MutableTable.snapshot`; use as a
+    context manager (or call :meth:`close`) so the owner can reclaim
+    superseded main-store generations.
+    """
+
+    __slots__ = ("_owner", "_main", "_delta", "epoch", "generation",
+                 "_closed", "_rows")
+
+    def __init__(self, owner, main, delta, epoch: int, generation: int):
+        self._owner = owner
+        self._main = main
+        self._delta = delta
+        self.epoch = epoch
+        self.generation = generation
+        self._closed = False
+        self._rows = None  # visible rows, materialized on first read
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Release the pin (idempotent).  After closing, reads raise."""
+        if self._closed:
+            return
+        self._closed = True
+        owner, self._owner = self._owner, None
+        self._main = None
+        self._delta = None
+        self._rows = None
+        if owner is not None:
+            owner._release_snapshot(self)
+
+    def __enter__(self) -> "Snapshot":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StorageError("snapshot is closed")
+
+    def _rewire(self, relabeled_main) -> None:
+        """Follow a metadata-only rename of the pinned generation (the
+        owner relabels the table/column names in place; the rows this
+        snapshot sees never change)."""
+        if not self._closed:
+            self._main = relabeled_main
+
+    # ------------------------------------------------------------------
+    # Reads (all pinned at ``self.epoch`` over the pinned generation)
+    # ------------------------------------------------------------------
+
+    @property
+    def schema(self):
+        self._check_open()
+        return self._main.schema
+
+    @property
+    def nrows(self) -> int:
+        """Visible rows across both sides, as of the pinned epoch."""
+        self._check_open()
+        return len(self._surviving()) + len(
+            self._delta.live_indices(self.epoch)
+        )
+
+    def _surviving(self) -> np.ndarray:
+        return self._delta.surviving_main_positions(
+            self._main.nrows, self.epoch
+        )
+
+    def _visible_rows(self) -> list[tuple]:
+        """Materialize the pinned view once: surviving main rows in row
+        order, then delta rows visible at the pinned epoch, in insertion
+        order.
+
+        The main side comes from the per-generation decoded-rows cache
+        (shared by every reader of the same generation) and is reused
+        as-is when nothing masks it — later deletions carry higher
+        epochs, so the pinned view is immutable and can be resolved up
+        front.  Repeated reads of one snapshot are free.
+        """
+        if self._rows is not None:
+            return self._rows
+        if self._owner is not None:
+            rows = self._owner._serve_pinned_rows(self.generation, self.epoch)
+            if rows is not None:
+                self._rows = rows
+                return rows
+        main, delta, epoch = self._main, self._delta, self.epoch
+        rows = decoded_main_rows(main)
+        if delta.deleted_main:
+            dead = {
+                position
+                for position, at in delta.deleted_main.items()
+                if at <= epoch
+            }
+            if dead:
+                rows = [
+                    row
+                    for position, row in enumerate(rows)
+                    if position not in dead
+                ]
+        live = delta.live_rows(epoch)
+        # `rows + live` builds a fresh list, so the shared decoded-rows
+        # cache is never aliased into a list we might hand out.
+        self._rows = rows + live if live else rows
+        return self._rows
+
+    def scan(self):
+        """Iterate the pinned view lazily-materialized: the row list is
+        built at most once per snapshot and shared with the
+        per-generation cache when nothing masks the main store."""
+        self._check_open()
+        return iter(self._visible_rows())
+
+    def to_rows(self) -> list[tuple]:
+        """The pinned view as an eager row list (a defensive copy — the
+        internal list may be shared with the generation cache)."""
+        self._check_open()
+        return list(self._visible_rows())
+
+    def head(self, limit: int = 10) -> list[tuple]:
+        self._check_open()
+        out = []
+        for row in self.scan():
+            out.append(row)
+            if len(out) >= limit:
+                break
+        return out
+
+    def matching_rows(self, predicate) -> list[tuple]:
+        """Rows of the pinned view satisfying ``predicate``.
+
+        The main side is evaluated in the compressed domain
+        (``predicate.bitmap``) and only the matching rows are
+        materialized; the delta side goes through the buffer's hash
+        indexes when built (row-wise below the threshold).
+        """
+        self._check_open()
+        if predicate is None:
+            return self.to_rows()
+        predicate.validate(self._main.schema)
+        surviving = self._surviving()
+        matching = predicate.bitmap(self._main).positions()
+        positions = np.intersect1d(matching, surviving, assume_unique=True)
+        rows = (
+            self._main.select_rows(positions, compact=True).to_rows()
+            if len(positions)
+            else []
+        )
+        indices = self._delta.matching_live_indices(predicate, self.epoch)
+        return rows + [self._delta.row(index) for index in indices]
+
+    def __repr__(self) -> str:
+        if self._closed:
+            return "Snapshot(closed)"
+        return (
+            f"Snapshot({self._main.schema.name!r}, epoch={self.epoch}, "
+            f"generation={self.generation}, rows={self.nrows})"
+        )

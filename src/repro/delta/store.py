@@ -1,10 +1,21 @@
-"""The per-table write buffer.
+"""The per-table write buffer, with epoch-versioned visibility.
 
 A :class:`DeltaStore` is the uncompressed side of the main/delta split:
 appended rows live in plain row-ordered column vectors (no dictionaries,
 no bitmaps), and deletions — both of main-store rows and of buffered
 rows — are recorded positionally.  All operations are ``O(1)`` per row;
 the compressed-domain work is deferred to compaction.
+
+Every write is tagged with a monotonically increasing *epoch*, so any
+reader can ask for the buffer's state "as of epoch E" — the versioned
+validity bitmaps behind :class:`repro.delta.Snapshot` (see
+``docs/ARCHITECTURE.md``, "The MVCC read path").  Once the buffer grows
+past ``index_threshold`` appended rows, per-column hash indexes map
+values to posting lists of delta indices so predicates stop evaluating
+row-wise (``docs/ARCHITECTURE.md``, "Indexed delta predicates").
+
+The on-disk serialization of this state is the ``.delta`` sidecar
+documented in ``docs/delta-format.md``.
 """
 
 from __future__ import annotations
@@ -15,29 +26,85 @@ from repro.errors import StorageError
 from repro.storage.schema import TableSchema
 from repro.storage.types import coerce
 
+#: Appended rows after which per-column hash indexes are built on demand.
+DEFAULT_INDEX_THRESHOLD = 256
+
 
 class DeltaStore:
-    """Uncompressed write buffer for one table.
+    """Uncompressed, epoch-versioned write buffer for one table.
 
     ``columns`` maps each column name to a plain Python list in append
-    order; ``deleted_main`` holds deleted row positions of the main
-    store (the inverse of its validity bitmap) and ``deleted_delta``
-    holds deleted indices of the buffer itself (a row inserted and then
-    deleted before compaction).
+    order and ``insert_epochs[i]`` records the epoch at which delta row
+    ``i`` was appended.  ``deleted_main`` maps deleted row positions of
+    the main store (the inverse of its validity bitmap) to the epoch of
+    the deletion, and ``deleted_delta`` does the same for deleted
+    indices of the buffer itself (a row inserted and then deleted before
+    compaction).  A row is *visible at epoch E* when it was inserted at
+    or before E and not deleted at or before E; passing ``epoch=None``
+    to any read means "as of now" (``self.epoch``).
     """
 
-    __slots__ = ("schema", "columns", "deleted_main", "deleted_delta")
+    __slots__ = (
+        "schema",
+        "columns",
+        "insert_epochs",
+        "deleted_main",
+        "deleted_delta",
+        "epoch",
+        "index_threshold",
+        "_indexes",
+    )
 
-    def __init__(self, schema: TableSchema):
+    def __init__(
+        self,
+        schema: TableSchema,
+        start_epoch: int = 0,
+        index_threshold: int | None = DEFAULT_INDEX_THRESHOLD,
+    ):
         self.schema = schema
         self.columns: dict[str, list] = {
             name: [] for name in schema.column_names
         }
-        self.deleted_main: set[int] = set()
-        self.deleted_delta: set[int] = set()
+        self.insert_epochs: list[int] = []
+        self.deleted_main: dict[int, int] = {}
+        self.deleted_delta: dict[int, int] = {}
+        self.epoch = start_epoch
+        self.index_threshold = index_threshold
+        self._indexes: dict[str, dict] = {}
+
+    @classmethod
+    def restore(
+        cls,
+        schema: TableSchema,
+        columns: dict[str, list],
+        insert_epochs: list[int],
+        deleted_main: dict[int, int],
+        deleted_delta: dict[int, int],
+        epoch: int,
+        index_threshold: int | None = DEFAULT_INDEX_THRESHOLD,
+    ) -> "DeltaStore":
+        """Rebuild a buffer from already-coerced state (the persistence
+        path of ``storage.filefmt`` and the post-compaction carry-over of
+        :meth:`repro.delta.MutableTable.compact_step`)."""
+        store = cls(schema, epoch, index_threshold)
+        lengths = {len(values) for values in columns.values()}
+        if len(lengths) > 1:
+            raise StorageError(f"ragged delta columns: {sorted(lengths)}")
+        store.columns = {
+            name: list(columns[name]) for name in schema.column_names
+        }
+        if len(insert_epochs) != store.n_appended:
+            raise StorageError(
+                f"{len(insert_epochs)} insert epochs for "
+                f"{store.n_appended} buffered rows"
+            )
+        store.insert_epochs = list(insert_epochs)
+        store.deleted_main = dict(deleted_main)
+        store.deleted_delta = dict(deleted_delta)
+        return store
 
     # ------------------------------------------------------------------
-    # Writes
+    # Writes (each bumps the epoch counter)
     # ------------------------------------------------------------------
 
     def _coerce_row(self, row) -> tuple:
@@ -52,30 +119,41 @@ class DeltaStore:
             for value, column in zip(row, self.schema.columns)
         )
 
+    def _admit(self, coerced: tuple, epoch: int) -> int:
+        index = self.n_appended
+        for value, name in zip(coerced, self.schema.column_names):
+            self.columns[name].append(value)
+            posting = self._indexes.get(name)
+            if posting is not None:
+                posting.setdefault(value, []).append(index)
+        self.insert_epochs.append(epoch)
+        return index
+
     def append(self, row) -> int:
         """Buffer one row tuple (schema column order); returns its
         delta index."""
         coerced = self._coerce_row(row)
-        index = self.n_appended
-        for value, name in zip(coerced, self.schema.column_names):
-            self.columns[name].append(value)
-        return index
+        self.epoch += 1
+        return self._admit(coerced, self.epoch)
 
     def append_rows(self, rows) -> int:
         """Buffer many rows atomically: every row is coerced before any
         is admitted, so a malformed row leaves no partial batch behind.
-        Returns the count."""
+        The whole batch shares one epoch.  Returns the count."""
         coerced = [self._coerce_row(row) for row in rows]
+        if not coerced:
+            return 0
+        self.epoch += 1
         for row in coerced:
-            for value, name in zip(row, self.schema.column_names):
-                self.columns[name].append(value)
+            self._admit(row, self.epoch)
         return len(coerced)
 
     def delete_main(self, position: int) -> bool:
         """Mark one main-store row deleted; True if newly deleted."""
         if position in self.deleted_main:
             return False
-        self.deleted_main.add(position)
+        self.epoch += 1
+        self.deleted_main[position] = self.epoch
         return True
 
     def delete_delta(self, index: int) -> bool:
@@ -84,18 +162,51 @@ class DeltaStore:
             raise StorageError(f"delta index {index} out of range")
         if index in self.deleted_delta:
             return False
-        self.deleted_delta.add(index)
+        self.epoch += 1
+        self.deleted_delta[index] = self.epoch
         return True
 
     def clear(self) -> None:
-        """Reset to empty (after the delta is folded into the main)."""
+        """Reset to empty (after the delta is folded into the main).
+        The epoch counter survives — it is monotonic for the table's
+        whole lifetime, across compactions."""
         for values in self.columns.values():
             values.clear()
+        self.insert_epochs.clear()
         self.deleted_main.clear()
         self.deleted_delta.clear()
+        self._indexes.clear()
+
+    def adopt_schema(
+        self, schema: TableSchema, renames: dict[str, str] | None = None
+    ) -> None:
+        """Metadata-only rewire to a renamed table/column schema.
+
+        ``renames`` maps old column names to new ones; unmapped names
+        must match.  Data, epochs and indexes are untouched — this is
+        the O(1) half of the delta-preserving rename (see
+        ``docs/ARCHITECTURE.md``, "Renames are metadata-only")."""
+        renames = renames or {}
+        expected = tuple(
+            renames.get(name, name) for name in self.schema.column_names
+        )
+        if expected != schema.column_names:
+            raise StorageError(
+                f"cannot adopt schema {list(schema.column_names)} over "
+                f"delta columns {list(expected)}"
+            )
+        self.columns = {
+            renames.get(name, name): values
+            for name, values in self.columns.items()
+        }
+        self._indexes = {
+            renames.get(name, name): index
+            for name, index in self._indexes.items()
+        }
+        self.schema = schema
 
     # ------------------------------------------------------------------
-    # Reads
+    # Reads (versioned: ``epoch=None`` means "as of now")
     # ------------------------------------------------------------------
 
     @property
@@ -105,7 +216,7 @@ class DeltaStore:
 
     @property
     def n_live(self) -> int:
-        """Buffered rows still visible."""
+        """Buffered rows still visible as of now."""
         return self.n_appended - len(self.deleted_delta)
 
     @property
@@ -113,12 +224,16 @@ class DeltaStore:
         """True when compaction would be a no-op."""
         return self.n_appended == 0 and not self.deleted_main
 
-    def live_indices(self) -> list[int]:
-        """Delta indices of visible buffered rows, in insertion order."""
+    def live_indices(self, epoch: int | None = None) -> list[int]:
+        """Delta indices visible at ``epoch``, in insertion order."""
+        if epoch is None:
+            epoch = self.epoch
+        deleted = self.deleted_delta
         return [
             index
-            for index in range(self.n_appended)
-            if index not in self.deleted_delta
+            for index, inserted in enumerate(self.insert_epochs)
+            if inserted <= epoch
+            and (index not in deleted or deleted[index] > epoch)
         ]
 
     def row(self, index: int) -> tuple:
@@ -129,34 +244,129 @@ class DeltaStore:
             self.columns[name][index] for name in self.schema.column_names
         )
 
-    def live_rows(self) -> list[tuple]:
-        """Visible buffered rows as tuples, in insertion order."""
+    def live_rows(self, epoch: int | None = None) -> list[tuple]:
+        """Buffered rows visible at ``epoch``, in insertion order."""
         names = self.schema.column_names
         return [
             tuple(self.columns[name][index] for name in names)
-            for index in self.live_indices()
+            for index in self.live_indices(epoch)
         ]
 
-    def live_values(self, column: str) -> list:
-        """Visible buffered values of one column, in insertion order."""
-        values = self.columns[column]
-        return [values[index] for index in self.live_indices()]
-
-    def surviving_main_positions(self, main_nrows: int) -> np.ndarray:
-        """Sorted main-store positions still visible (the validity
-        bitmap as a position array, ready for bitmap filtering)."""
-        if not self.deleted_main:
+    def surviving_main_positions(
+        self, main_nrows: int, epoch: int | None = None
+    ) -> np.ndarray:
+        """Sorted main-store positions visible at ``epoch`` (the
+        versioned validity bitmap as a position array, ready for bitmap
+        filtering)."""
+        if epoch is None:
+            epoch = self.epoch
+        dead = [
+            position
+            for position, deleted in self.deleted_main.items()
+            if deleted <= epoch and position < main_nrows
+        ]
+        if not dead:
             return np.arange(main_nrows, dtype=np.int64)
         mask = np.ones(main_nrows, dtype=bool)
-        deleted = np.fromiter(
-            self.deleted_main, dtype=np.int64, count=len(self.deleted_main)
-        )
-        mask[deleted[deleted < main_nrows]] = False
+        mask[np.asarray(dead, dtype=np.int64)] = False
         return np.flatnonzero(mask).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # Per-column hash indexes (value -> posting list of delta indices)
+    # ------------------------------------------------------------------
+
+    @property
+    def indexed_columns(self) -> tuple[str, ...]:
+        """Columns whose hash index has been built."""
+        return tuple(sorted(self._indexes))
+
+    def build_index(self, column: str) -> dict:
+        """Build (or return) the hash index of one column, regardless of
+        the size threshold."""
+        if column not in self.columns:
+            raise StorageError(
+                f"no column {column!r} in table {self.schema.name!r}"
+            )
+        index = self._indexes.get(column)
+        if index is None:
+            index = {}
+            for position, value in enumerate(self.columns[column]):
+                index.setdefault(value, []).append(position)
+            self._indexes[column] = index
+        return index
+
+    def _index_for(self, column: str) -> dict | None:
+        """The column's hash index, building it once the buffer passes
+        ``index_threshold``; ``None`` while below the threshold."""
+        index = self._indexes.get(column)
+        if index is not None:
+            return index
+        if (
+            self.index_threshold is None
+            or self.n_appended < self.index_threshold
+        ):
+            return None
+        return self.build_index(column)
+
+    def matching_live_indices(
+        self, predicate, epoch: int | None = None
+    ) -> list[int]:
+        """Delta indices visible at ``epoch`` that satisfy ``predicate``
+        (all of them when ``None``) — through the per-column hash
+        indexes once the buffer has passed ``index_threshold``, row at a
+        time below it.  The predicate must already be validated against
+        the schema."""
+        indices = self.live_indices(epoch)
+        if predicate is None:
+            return indices
+        matched = self.index_matches(predicate)
+        if matched is not None:
+            return [index for index in indices if index in matched]
+        columns = self.columns
+        return [
+            index
+            for index in indices
+            if predicate.matches(lambda attr, i=index: columns[attr][i])
+        ]
+
+    def index_matches(self, predicate) -> set[int] | None:
+        """Delta indices (liveness-agnostic) satisfying ``predicate``,
+        resolved through the hash indexes — or ``None`` when the buffer
+        is below the index threshold, in which case the caller should
+        fall back to row-wise evaluation.
+
+        Equality and IN are hash lookups; other comparisons probe each
+        distinct value once (``O(distinct)`` instead of ``O(rows)``).
+        Conjunctions intersect, disjunctions union, and negations
+        complement against the appended universe.
+        """
+        from repro.smo.predicate import And, Comparison, Not, Or
+
+        if isinstance(predicate, Comparison):
+            index = self._index_for(predicate.attr)
+            if index is None:
+                return None
+            matched: set[int] = set()
+            for value, postings in index.items():
+                if predicate.matches(lambda attr, v=value: v):
+                    matched.update(postings)
+            return matched
+        if isinstance(predicate, (And, Or)):
+            left = self.index_matches(predicate.left)
+            right = self.index_matches(predicate.right)
+            if left is None or right is None:
+                return None
+            return left & right if isinstance(predicate, And) else left | right
+        if isinstance(predicate, Not):
+            inner = self.index_matches(predicate.inner)
+            if inner is None:
+                return None
+            return set(range(self.n_appended)) - inner
+        return None
 
     def __repr__(self) -> str:
         return (
             f"DeltaStore({self.schema.name!r}, appended={self.n_appended}, "
             f"deleted_delta={len(self.deleted_delta)}, "
-            f"deleted_main={len(self.deleted_main)})"
+            f"deleted_main={len(self.deleted_main)}, epoch={self.epoch})"
         )

@@ -6,9 +6,19 @@ Three adapters let the same SQL drive every storage engine: a row store
 columns — the cost CODS avoids), and the delta-backed column store
 (:class:`MutableColumnAdapter`) whose DML lands in per-table write
 buffers instead of rebuilding compressed columns.
+
+The delta-backed adapter additionally supports *snapshot-scoped*
+queries — ``begin_snapshot``/``end_snapshot``/``snapshot_scope`` pin an
+MVCC view so a sequence of SELECTs reads one consistent state while DML
+keeps landing — and pushes WHERE predicates down into the storage
+layer (compressed-domain bitmaps on the main store, hash indexes on the
+delta buffer) via :meth:`EngineAdapter.filter_rows`.  See
+``docs/ARCHITECTURE.md``.
 """
 
 from __future__ import annotations
+
+from contextlib import contextmanager
 
 from repro.delta import CompactionPolicy
 from repro.errors import SchemaError, SqlExecutionError
@@ -54,6 +64,12 @@ class EngineAdapter:
     def scan_rows(self, name: str):
         """Iterate all rows of a table as tuples (schema column order)."""
         raise NotImplementedError
+
+    def filter_rows(self, name: str, predicate):
+        """Rows matching ``predicate``, resolved inside the storage
+        engine — or ``None`` when the adapter has no pushdown path, in
+        which case the executor filters ``scan_rows`` row by row."""
+        return None
 
     def create_index(self, table: str, column: str) -> None:
         raise NotImplementedError
@@ -267,6 +283,9 @@ class MutableColumnAdapter(EngineAdapter):
             engine if engine is not None else EvolutionEngine()
         )
         self.policy = policy
+        # name -> stack of pinned Snapshots; the innermost (last) scope
+        # serves reads, and ending a scope re-exposes the one below it.
+        self._active_snapshots: dict[str, list] = {}
 
     @property
     def catalog(self) -> Catalog:
@@ -285,14 +304,22 @@ class MutableColumnAdapter(EngineAdapter):
         self.catalog.create(Table.empty(schema))
 
     def drop_table(self, name: str) -> None:
-        # The delta dies with the table; compacting it first would be
-        # wasted work.
+        # The delta dies with the table — compacting it first would be
+        # wasted work — and so does any snapshot scope pinned on it (a
+        # later table reusing the name must not read the dropped rows).
+        while self.end_snapshot(name):
+            pass
         self.evolution_engine.discard_delta(name)
         self.catalog.drop(name)
 
     def rename_table(self, old: str, new: str) -> None:
-        self.evolution_engine.flush_delta(old)
-        self.catalog.rename(old, new)
+        # Metadata-only: O(1), never a compaction — the pending delta is
+        # rewired in place under the new name.
+        self.evolution_engine.rename_table_metadata(old, new)
+        if old in self._active_snapshots:
+            self._active_snapshots.setdefault(new, []).extend(
+                self._active_snapshots.pop(old)
+            )
 
     def insert_rows(self, name: str, rows) -> int:
         return self._mutable(name).insert_rows(rows)
@@ -303,26 +330,106 @@ class MutableColumnAdapter(EngineAdapter):
     def delete_rows(self, name: str, predicate) -> int:
         return self._mutable(name).delete(predicate)
 
+    def _pinned(self, name: str):
+        """The innermost open snapshot scope for ``name``, if any."""
+        stack = self._active_snapshots.get(name)
+        while stack:
+            if not stack[-1].closed:
+                return stack[-1]
+            stack.pop()
+        return None
+
     def scan_rows(self, name: str):
+        snapshot = self._pinned(name)
+        if snapshot is not None:
+            return snapshot.scan()
         pending = self.evolution_engine.pending_delta(name)
         if pending is not None:
             return pending.scan()
         return iter(self.catalog.table(name).to_rows())
 
+    def filter_rows(self, name: str, predicate):
+        """Predicate pushdown: compressed-domain bitmaps over the main
+        store plus hash-indexed (or row-wise, below the threshold)
+        evaluation over the delta buffer — only matching rows are ever
+        materialized.  Honors an active snapshot scope."""
+        snapshot = self._pinned(name)
+        if snapshot is not None:
+            return iter(snapshot.matching_rows(predicate))
+        mutable = self.evolution_engine.delta_handle(name)
+        if mutable is not None and mutable.is_valid:
+            return iter(mutable.matching_rows(predicate))
+        table = self.catalog.table(name)
+        if predicate is None:
+            return iter(table.to_rows())
+        positions = predicate.bitmap(table).positions()
+        if not len(positions):
+            return iter(())
+        return iter(table.select_rows(positions, compact=True).to_rows())
+
+    # -- snapshot-scoped queries ----------------------------------------
+
+    def begin_snapshot(self, name: str):
+        """Pin table ``name``: until the matching ``end_snapshot``,
+        every SELECT over it reads the state as of this call, whatever
+        DML lands in the meantime.  Scopes nest — an inner pin shadows
+        the outer one and ending it re-exposes the outer pin.  Returns
+        the :class:`repro.delta.Snapshot`."""
+        snapshot = self._mutable(name).snapshot()
+        self._active_snapshots.setdefault(name, []).append(snapshot)
+        return snapshot
+
+    def end_snapshot(self, name: str) -> bool:
+        """Release table ``name``'s innermost *open* pinned view; True
+        if one existed.  Entries already closed elsewhere (e.g. a
+        snapshot used as its own context manager) are drained silently
+        so they can never shadow — or stand in for — a live pin."""
+        stack = self._active_snapshots.get(name)
+        released = False
+        while stack:
+            snapshot = stack.pop()
+            if not snapshot.closed:
+                snapshot.close()
+                released = True
+                break
+        if not stack:
+            self._active_snapshots.pop(name, None)
+        return released
+
+    @contextmanager
+    def snapshot_scope(self, *names: str):
+        """``with adapter.snapshot_scope("r", "s"): ...`` — every query
+        inside the block reads the pinned state of the named tables."""
+        for name in names:
+            self.begin_snapshot(name)
+        try:
+            yield self
+        finally:
+            for name in names:
+                self.end_snapshot(name)
+
     def compact(self, name: str) -> Table:
         """Force-fold table ``name``'s delta; returns the new main."""
         return self._mutable(name).compact()
 
+    def compact_step(self, name: str, columns: int | None = None):
+        """One incremental-compaction step (see
+        :meth:`repro.delta.MutableTable.compact_step`)."""
+        return self._mutable(name).compact_step(columns)
+
     def create_index(self, table: str, column: str) -> None:
-        # As in ColumnStoreAdapter: the per-value bitmaps are the index.
+        # As in ColumnStoreAdapter: the per-value bitmaps are the index
+        # on the main side; on the delta side, force the hash index.
         schema = self.catalog.schema(table)
         if not schema.has_column(column):
             raise SchemaError(f"no column {column!r} in table {table!r}")
+        mutable = self.evolution_engine.delta_handle(table)
+        if mutable is not None and mutable.is_valid:
+            mutable.delta.build_index(column)
 
     def rename_column(self, table: str, old: str, new: str) -> None:
-        self.evolution_engine.flush_delta(table)
-        renamed = self.catalog.table(table).with_renamed_column(old, new)
-        self.catalog.put(renamed, f"RENAME COLUMN {old} TO {new}")
+        # Metadata-only, delta-preserving (see rename_table).
+        self.evolution_engine.rename_column_metadata(table, old, new)
 
 
 def require_table(adapter: EngineAdapter, name: str) -> None:

@@ -170,9 +170,19 @@ class SqlExecutor:
     def _filtered_projection(self, table, schema, out_columns, predicate):
         positions = {n: i for i, n in enumerate(schema.column_names)}
         out_positions = [positions[c] for c in out_columns]
-        for row in self.adapter.scan_rows(table):
-            if predicate.matches(lambda a, r=row: r[positions[a]]):
-                yield tuple(row[p] for p in out_positions)
+        # Pushdown first: adapters that can evaluate the predicate inside
+        # the storage engine (compressed-domain bitmaps, delta hash
+        # indexes) return only the matching rows; others return None and
+        # we filter the scan row by row.
+        rows = self.adapter.filter_rows(table, predicate)
+        if rows is None:
+            rows = (
+                row
+                for row in self.adapter.scan_rows(table)
+                if predicate.matches(lambda a, r=row: r[positions[a]])
+            )
+        for row in rows:
+            yield tuple(row[p] for p in out_positions)
 
     def _hash_join(self, left, right, join_attrs, out_columns):
         """Generic tuple hash join (build on the smaller input)."""

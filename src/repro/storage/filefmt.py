@@ -20,7 +20,12 @@ state in a ``.delta`` sidecar next to the ``.cods`` file:
     magic "CODD" | u16 format version | u32 payload JSON length | JSON
 
 The delta is uncompressed in memory, so it is stored uncompressed too:
-the JSON carries the appended column vectors plus both deletion sets.
+the JSON carries the appended column vectors, the per-row insert
+epochs, both epoch-tagged deletion maps, the epoch counter, and the
+hash-index metadata (threshold + which columns had an index built, so
+it can be rebuilt on load).  Version 1 sidecars (no epochs, deletion
+*sets*) are still readable.  Both layouts are specified field by field
+in ``docs/delta-format.md``.
 """
 
 from __future__ import annotations
@@ -36,12 +41,12 @@ from repro.storage.column import BitmapColumn
 from repro.storage.dictionary import Dictionary
 from repro.storage.schema import ColumnSchema, TableSchema
 from repro.storage.table import Table
-from repro.storage.types import DataType
+from repro.storage.types import DataType, coerce
 
 _MAGIC = b"CODS"
 _VERSION = 1
 _DELTA_MAGIC = b"CODD"
-_DELTA_VERSION = 1
+_DELTA_VERSION = 2
 
 
 def delta_sidecar_path(path) -> Path:
@@ -169,16 +174,30 @@ def load_table(path) -> Table:
 
 
 def save_delta(store, path) -> None:
-    """Serialize a :class:`repro.delta.DeltaStore` (uncompressed)."""
+    """Serialize a :class:`repro.delta.DeltaStore` (uncompressed).
+
+    The payload carries the full MVCC state — per-row insert epochs,
+    epoch-tagged deletion maps, the epoch counter — plus the hash-index
+    metadata (see ``docs/delta-format.md``)."""
     path = Path(path)
     payload = {
         "table": store.schema.name,
+        "epoch": store.epoch,
         "columns": {
             name: [_encode_value(v) for v in values]
             for name, values in store.columns.items()
         },
-        "deleted_main": sorted(store.deleted_main),
-        "deleted_delta": sorted(store.deleted_delta),
+        "insert_epochs": list(store.insert_epochs),
+        "deleted_main": sorted(
+            [position, at] for position, at in store.deleted_main.items()
+        ),
+        "deleted_delta": sorted(
+            [index, at] for index, at in store.deleted_delta.items()
+        ),
+        "index": {
+            "threshold": store.index_threshold,
+            "columns": list(store.indexed_columns),
+        },
     }
     with path.open("wb") as handle:
         handle.write(_DELTA_MAGIC)
@@ -186,41 +205,80 @@ def save_delta(store, path) -> None:
         _write_block(handle, json.dumps(payload).encode())
 
 
+def _delta_columns_from_payload(path, payload, schema):
+    """Decode and validate the column vectors shared by both versions."""
+    if set(payload["columns"]) != set(schema.column_names):
+        raise SerializationError(
+            f"{path}: delta columns {sorted(payload['columns'])} do not "
+            f"match schema {list(schema.column_names)}"
+        )
+    columns = {
+        name: [
+            coerce(_decode_value(v), schema.column(name).dtype)
+            for v in values
+        ]
+        for name, values in payload["columns"].items()
+    }
+    lengths = {len(values) for values in columns.values()}
+    if len(lengths) > 1:
+        raise SerializationError(f"{path}: ragged delta columns")
+    return columns, (lengths.pop() if lengths else 0)
+
+
 def load_delta(path, schema: TableSchema):
-    """Inverse of :func:`save_delta`; validated against ``schema``."""
-    from repro.delta.store import DeltaStore
+    """Inverse of :func:`save_delta`; validated against ``schema``.
+
+    Version-1 sidecars predate MVCC: their deletion *sets* become
+    deletion maps with synthetic epochs (inserts at epoch 1, deletions
+    at epoch 2)."""
+    from repro.delta.store import DEFAULT_INDEX_THRESHOLD, DeltaStore
 
     path = Path(path)
     with path.open("rb") as handle:
         if handle.read(4) != _DELTA_MAGIC:
             raise SerializationError(f"{path}: not a .delta file")
         (version,) = struct.unpack("<H", handle.read(2))
-        if version != _DELTA_VERSION:
+        if version not in (1, _DELTA_VERSION):
             raise SerializationError(
                 f"{path}: unsupported delta format version {version}"
             )
         payload = json.loads(_read_block(handle).decode())
-    if set(payload["columns"]) != set(schema.column_names):
-        raise SerializationError(
-            f"{path}: delta columns {sorted(payload['columns'])} do not "
-            f"match schema {list(schema.column_names)}"
-        )
-    store = DeltaStore(schema)
-    columns = {
-        name: [_decode_value(v) for v in values]
-        for name, values in payload["columns"].items()
-    }
-    lengths = {len(values) for values in columns.values()}
-    if len(lengths) > 1:
-        raise SerializationError(f"{path}: ragged delta columns")
-    n_appended = lengths.pop() if lengths else 0
-    for index in range(n_appended):
-        store.append(
-            tuple(columns[name][index] for name in schema.column_names)
-        )
-    store.deleted_main.update(int(p) for p in payload["deleted_main"])
-    for index in payload["deleted_delta"]:
-        store.delete_delta(int(index))
+    columns, n_appended = _delta_columns_from_payload(path, payload, schema)
+    if version == 1:
+        insert_epochs = [1] * n_appended
+        deleted_main = {int(p): 2 for p in payload["deleted_main"]}
+        deleted_delta = {int(i): 2 for i in payload["deleted_delta"]}
+        epoch = 2 if (deleted_main or deleted_delta) else min(n_appended, 1)
+        threshold = DEFAULT_INDEX_THRESHOLD
+        indexed = ()
+    else:
+        insert_epochs = [int(e) for e in payload["insert_epochs"]]
+        deleted_main = {
+            int(position): int(at) for position, at in payload["deleted_main"]
+        }
+        deleted_delta = {
+            int(index): int(at) for index, at in payload["deleted_delta"]
+        }
+        epoch = int(payload["epoch"])
+        index_meta = payload.get("index", {})
+        threshold = index_meta.get("threshold", DEFAULT_INDEX_THRESHOLD)
+        indexed = index_meta.get("columns", ())
+    for index in deleted_delta:
+        if index < 0 or index >= n_appended:
+            raise SerializationError(
+                f"{path}: deleted delta index {index} out of range"
+            )
+    store = DeltaStore.restore(
+        schema,
+        columns,
+        insert_epochs,
+        deleted_main,
+        deleted_delta,
+        epoch,
+        index_threshold=threshold,
+    )
+    for name in indexed:
+        store.build_index(name)
     return store
 
 

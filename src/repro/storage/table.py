@@ -29,7 +29,9 @@ def canonical_sort_key(row) -> tuple:
 class Table:
     """An immutable-by-convention column-store table."""
 
-    __slots__ = ("schema", "_columns", "_nrows")
+    # __weakref__ lets read-path caches key decoded rows by generation
+    # (repro.delta.snapshot) without pinning the table alive.
+    __slots__ = ("schema", "_columns", "_nrows", "__weakref__")
 
     def __init__(self, schema: TableSchema, columns: dict, nrows: int):
         self.schema = schema

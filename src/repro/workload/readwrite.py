@@ -9,6 +9,7 @@ scans interleaved throughout.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -117,13 +118,31 @@ class MixedReadWriteWorkload:
         employee = int(rng.integers(0, self.n_employees))
         return Comparison("Employee", "=", f"emp{employee:07d}")
 
-    def apply_to(self, mutable) -> dict:
+    def apply_to(self, mutable, scan_strategy: str = "snapshot") -> dict:
         """Drive the whole stream against a DML target exposing
-        ``insert/update/delete/to_rows`` (a :class:`repro.delta.
-        MutableTable`); returns per-kind operation counts plus the rows
-        affected."""
+        ``insert/update/delete`` plus a read path (a :class:`repro.delta.
+        MutableTable`); returns per-kind operation counts, the rows
+        affected and the rows scanned.
+
+        ``scan_strategy`` selects how SCAN operations read:
+
+        * ``"snapshot"`` — pin an MVCC snapshot and iterate it (the
+          MVCC read path: writers are never blocked, and the immutable
+          generation/epoch pair makes the decoded-row and merged-view
+          caches sound);
+        * ``"copy"`` — the copy-on-read baseline, reproduced exactly as
+          the pre-MVCC read path did it: decode the main store and
+          rebuild the merged row list on every scan.
+        """
+        if scan_strategy not in ("snapshot", "copy"):
+            raise WorkloadError(
+                f"unknown scan strategy {scan_strategy!r} "
+                "(expected 'snapshot' or 'copy')"
+            )
         counters = {INSERT: 0, UPDATE: 0, DELETE: 0, SCAN: 0}
         affected = 0
+        scanned = 0
+        scan_seconds = 0.0
         for op in self.operations():
             counters[op.kind] += 1
             if op.kind == INSERT:
@@ -133,8 +152,18 @@ class MixedReadWriteWorkload:
                 affected += mutable.update(op.assignments, op.predicate)
             elif op.kind == DELETE:
                 affected += mutable.delete(op.predicate)
+            elif scan_strategy == "copy":
+                started = time.perf_counter()
+                for _row in mutable.copy_on_read_rows():
+                    scanned += 1
+                scan_seconds += time.perf_counter() - started
             else:
-                for _row in mutable.scan():
-                    pass
+                started = time.perf_counter()
+                with mutable.snapshot() as snapshot:
+                    for _row in snapshot.scan():
+                        scanned += 1
+                scan_seconds += time.perf_counter() - started
         counters["rows_affected"] = affected
+        counters["rows_scanned"] = scanned
+        counters["scan_seconds"] = scan_seconds
         return counters

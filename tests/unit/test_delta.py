@@ -316,14 +316,20 @@ class TestSqlDml:
         adapter.compact("r")
         assert adapter.catalog.table("r").nrows == 1
 
-    def test_delta_adapter_ddl_flushes(self):
+    def test_delta_adapter_rename_preserves_delta(self):
+        # RENAME is metadata-only: the buffered row survives under the
+        # new name without a compaction (the ROADMAP's O(1) rename).
         adapter = MutableColumnAdapter(policy=CompactionPolicy.never())
         executor = SqlExecutor(adapter)
         executor.execute("CREATE TABLE r (k INT)")
         executor.execute("INSERT INTO r VALUES (1)")
         executor.execute("ALTER TABLE r RENAME TO r2")
-        assert adapter.catalog.table("r2").nrows == 1
+        assert adapter.catalog.table("r2").nrows == 0  # still buffered
+        pending = adapter.evolution_engine.pending_delta("r2")
+        assert pending is not None and pending.compactions == 0
         assert executor.execute("SELECT * FROM r2") == [(1,)]
+        adapter.compact("r2")
+        assert adapter.catalog.table("r2").nrows == 1
 
 
 class TestEngineFlushBeforeEvolve:
@@ -467,8 +473,10 @@ class TestDeltaPersistence:
         save_delta(store, path)
         loaded = load_delta(path, small_table().schema)
         assert loaded.live_rows() == [(6, "e")]
-        assert loaded.deleted_main == {1}
-        assert loaded.deleted_delta == {0}
+        assert loaded.deleted_main == store.deleted_main
+        assert loaded.deleted_delta == store.deleted_delta
+        assert loaded.insert_epochs == store.insert_epochs
+        assert loaded.epoch == store.epoch
 
     def test_mutable_roundtrip(self, tmp_path):
         mutable = frozen()
@@ -524,7 +532,7 @@ class TestDeltaPersistence:
         path = tmp_path / "R.cods"
         save_table(small_table(), path)
         store = DeltaStore(small_table().schema)
-        store.deleted_main.add(999)  # beyond the 4-row main store
+        store.delete_main(999)  # beyond the 4-row main store
         save_delta(store, delta_sidecar_path(path))
         with pytest.raises(SerializationError):
             load_mutable_table(path)

@@ -1,0 +1,123 @@
+"""Docs freshness: the prose must not drift from the repository.
+
+Fails when a Markdown link in ``README.md``/``docs/*.md`` points at a
+missing file, when a documented command references a script or module
+that no longer exists, or when the format documentation falls behind
+the code's format version.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+DOC_FILES = sorted(
+    [REPO / "README.md", *(REPO / "docs").glob("*.md")],
+    key=lambda path: path.name,
+)
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)#\s]+)(?:#[^)]*)?\)")
+_FENCE = re.compile(r"```(?:sh|bash|console)?\n(.*?)```", re.DOTALL)
+_SCRIPT = re.compile(r"python\s+(\S+\.py)")
+_MODULE = re.compile(r"python\s+-m\s+([\w.]+)")
+
+
+def doc_ids():
+    return [path.relative_to(REPO).as_posix() for path in DOC_FILES]
+
+
+@pytest.fixture(params=DOC_FILES, ids=doc_ids())
+def doc(request):
+    path = request.param
+    assert path.exists(), f"missing doc file {path}"
+    return path
+
+
+class TestLinks:
+    def test_relative_links_resolve(self, doc):
+        text = doc.read_text()
+        broken = []
+        for target in _LINK.findall(text):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            if not (doc.parent / target).resolve().exists():
+                broken.append(target)
+        assert not broken, f"{doc.name}: broken links {broken}"
+
+    def test_readme_and_architecture_link_each_other(self):
+        readme = (REPO / "README.md").read_text()
+        architecture = (REPO / "docs" / "ARCHITECTURE.md").read_text()
+        assert "docs/ARCHITECTURE.md" in readme
+        assert "README.md" in architecture
+
+
+class TestCommands:
+    def test_referenced_scripts_exist(self, doc):
+        missing = []
+        for block in _FENCE.findall(doc.read_text()):
+            for script in _SCRIPT.findall(block):
+                if not (REPO / script).exists():
+                    missing.append(script)
+        assert not missing, f"{doc.name}: missing scripts {missing}"
+
+    def test_referenced_modules_importable(self, doc, monkeypatch):
+        monkeypatch.syspath_prepend(str(REPO / "src"))
+        missing = []
+        for block in _FENCE.findall(doc.read_text()):
+            for module in _MODULE.findall(block):
+                if module == "pytest":
+                    continue
+                if importlib.util.find_spec(module) is None:
+                    missing.append(module)
+        assert not missing, f"{doc.name}: unimportable modules {missing}"
+
+    def test_readme_quotes_the_tier1_command(self):
+        # ROADMAP.md is the source of truth for the tier-1 invocation.
+        readme = (REPO / "README.md").read_text()
+        assert "python -m pytest -x -q" in readme
+
+    def test_readme_mentions_console_script(self):
+        # The cods-demo entry point comes from pyproject.toml.
+        pyproject = (REPO / "pyproject.toml").read_text()
+        assert "cods-demo" in pyproject
+        assert "cods-demo" in (REPO / "README.md").read_text()
+
+
+class TestFormatDocs:
+    def test_delta_format_version_is_current(self):
+        import repro.storage.filefmt as filefmt
+
+        text = (REPO / "docs" / "delta-format.md").read_text()
+        assert f"format version {filefmt._DELTA_VERSION}" in text, (
+            "docs/delta-format.md does not document the current .delta "
+            f"format version ({filefmt._DELTA_VERSION})"
+        )
+        assert f"format version {filefmt._VERSION}" in text
+
+    def test_delta_format_documents_payload_fields(self):
+        text = (REPO / "docs" / "delta-format.md").read_text()
+        for field in (
+            "epoch", "columns", "insert_epochs", "deleted_main",
+            "deleted_delta", "index",
+        ):
+            assert f"`{field}`" in text, f"payload field {field} undocumented"
+
+    def test_architecture_names_the_real_modules(self):
+        text = (REPO / "docs" / "ARCHITECTURE.md").read_text()
+        for module in (
+            "repro.bitmap", "repro.storage", "repro.delta", "repro.core",
+            "repro.smo", "repro.sql", "repro.demo", "repro.workload",
+            "repro.bench",
+        ):
+            spec_dir = REPO / "src" / module.replace(".", "/")
+            assert spec_dir.is_dir(), f"{module} vanished from src/"
+            assert module in text, f"ARCHITECTURE.md does not map {module}"
+
+    def test_architecture_documents_the_rename_invariant(self):
+        text = (REPO / "docs" / "ARCHITECTURE.md").read_text()
+        assert "RENAME TABLE" in text and "RENAME COLUMN" in text
+        assert "metadata-only" in text

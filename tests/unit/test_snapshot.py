@@ -1,0 +1,633 @@
+"""Unit tests for PR 2: MVCC snapshots, incremental compaction, the
+delta hash index, O(1) metadata renames, snapshot-scoped SQL and the
+versioned ``.delta`` sidecar."""
+
+import struct
+
+import pytest
+
+from repro.core.engine import EvolutionEngine
+from repro.delta import (
+    CompactionPolicy,
+    DeltaStore,
+    MutableTable,
+    Snapshot,
+)
+from repro.errors import SerializationError, StorageError
+from repro.smo.predicate import And, Comparison, Not, Or
+from repro.sql import MutableColumnAdapter, SqlExecutor
+from repro.storage import (
+    DataType,
+    delta_sidecar_path,
+    load_delta,
+    load_mutable_table,
+    save_delta,
+    save_mutable_table,
+    table_from_python,
+)
+
+
+def small_table(name="R"):
+    return table_from_python(
+        name,
+        {
+            "K": (DataType.INT, [1, 2, 3, 4]),
+            "S": (DataType.STRING, ["a", "b", "a", "c"]),
+        },
+    )
+
+
+def frozen(table=None, **kwargs):
+    return MutableTable(
+        table if table is not None else small_table(),
+        CompactionPolicy.never(),
+        **kwargs,
+    )
+
+
+class TestSnapshotPinning:
+    def test_snapshot_is_frozen_under_dml(self):
+        mutable = frozen()
+        snapshot = mutable.snapshot()
+        pinned = snapshot.to_rows()
+        mutable.insert((5, "d"))
+        mutable.delete(Comparison("K", "=", 1))
+        mutable.update({"S": "z"}, Comparison("K", "=", 2))
+        assert snapshot.to_rows() == pinned
+        assert snapshot.nrows == 4
+        assert list(snapshot.scan()) == pinned
+        assert mutable.nrows == 4  # -1 main, +1 insert (update is in-place)
+
+    def test_snapshot_sees_delta_state_at_pin(self):
+        mutable = frozen()
+        mutable.insert((5, "d"))
+        mutable.delete(Comparison("K", "=", 2))
+        snapshot = mutable.snapshot()
+        assert snapshot.to_rows() == [(1, "a"), (3, "a"), (4, "c"), (5, "d")]
+        mutable.delete()  # delete everything afterwards
+        assert snapshot.to_rows() == [(1, "a"), (3, "a"), (4, "c"), (5, "d")]
+        assert mutable.nrows == 0
+
+    def test_snapshot_survives_full_compaction(self):
+        mutable = frozen()
+        snapshot = mutable.snapshot()
+        pinned = snapshot.to_rows()
+        mutable.insert((5, "d"))
+        mutable.delete(Comparison("S", "=", "a"))
+        mutable.compact()
+        assert snapshot.to_rows() == pinned
+        assert snapshot.generation == 0 and mutable.generation == 1
+
+    def test_scan_is_pinned_without_explicit_snapshot(self):
+        mutable = frozen()
+        rows = mutable.scan()
+        mutable.insert((5, "d"))
+        mutable.compact()
+        assert len(list(rows)) == 4
+
+    def test_context_manager_closes(self):
+        mutable = frozen()
+        with mutable.snapshot() as snapshot:
+            assert mutable.open_snapshots == 1
+            assert snapshot.nrows == 4
+        assert mutable.open_snapshots == 0
+        assert snapshot.closed
+        with pytest.raises(StorageError):
+            snapshot.to_rows()
+        snapshot.close()  # idempotent
+
+    def test_matching_rows_on_snapshot(self):
+        mutable = frozen()
+        mutable.insert((5, "a"))
+        snapshot = mutable.snapshot()
+        mutable.delete()  # later deletes must not leak into the pin
+        assert sorted(snapshot.matching_rows(Comparison("S", "=", "a"))) == [
+            (1, "a"), (3, "a"), (5, "a"),
+        ]
+        assert snapshot.matching_rows(None) == snapshot.to_rows()
+
+    def test_snapshot_readable_after_handle_invalidation(self):
+        engine = EvolutionEngine()
+        engine.load_table(small_table())
+        mutable = engine.mutable("R", CompactionPolicy.never())
+        mutable.insert((5, "d"))
+        snapshot = mutable.snapshot()
+        pinned = snapshot.to_rows()
+        engine.apply_sql_like("DROP COLUMN S FROM R")  # flush + invalidate
+        assert not mutable.is_valid
+        assert snapshot.to_rows() == pinned
+        snapshot.close()
+
+
+class TestVersionRetention:
+    def test_old_generation_retained_until_last_close(self):
+        mutable = frozen()
+        first = mutable.snapshot()
+        second = mutable.snapshot()
+        mutable.insert((5, "d"))
+        mutable.compact()
+        assert mutable.retained_versions == (0,)
+        first.close()
+        assert mutable.retained_versions == (0,)  # second still pins it
+        second.close()
+        assert mutable.retained_versions == ()
+
+    def test_unpinned_compaction_retains_nothing(self):
+        mutable = frozen()
+        mutable.insert((5, "d"))
+        mutable.compact()
+        assert mutable.retained_versions == ()
+
+    def test_snapshots_across_generations(self):
+        mutable = frozen()
+        old = mutable.snapshot()
+        mutable.insert((5, "d"))
+        mutable.compact()
+        new = mutable.snapshot()
+        mutable.insert((6, "e"))
+        mutable.compact()
+        assert mutable.retained_versions == (0, 1)
+        assert old.to_rows() == [(1, "a"), (2, "b"), (3, "a"), (4, "c")]
+        assert new.to_rows()[-1] == (5, "d")
+        old.close()
+        assert mutable.retained_versions == (1,)
+        new.close()
+        assert mutable.retained_versions == ()
+
+
+class TestIncrementalCompaction:
+    def test_steps_cover_all_columns(self):
+        mutable = frozen()
+        mutable.insert((5, "d"))
+        progress = mutable.compact_step()
+        assert (progress.columns_done, progress.columns_total) == (1, 2)
+        assert not progress.done and progress.remaining == 1
+        assert mutable.has_pending_changes  # run in flight
+        progress = mutable.compact_step()
+        assert progress.done
+        assert mutable.compactions == 1
+        assert mutable.main.to_rows()[-1] == (5, "d")
+
+    def test_step_budget_from_policy(self):
+        mutable = MutableTable(
+            small_table(), CompactionPolicy(None, None, None, step_columns=2)
+        )
+        mutable.insert((5, "d"))
+        assert mutable.compact_step().done  # both columns in one step
+
+    def test_empty_delta_step_is_noop(self):
+        mutable = frozen()
+        progress = mutable.compact_step()
+        assert progress.done and progress.columns_total == 0
+        assert mutable.compactions == 0
+
+    def test_dml_between_steps_is_carried_over(self):
+        mutable = frozen()
+        mutable.insert((5, "d"))
+        mutable.compact_step()                       # cutoff pinned
+        mutable.insert((6, "e"))                     # post-cutoff insert
+        mutable.delete(Comparison("K", "=", 1))      # post-cutoff, main row
+        mutable.delete(Comparison("K", "=", 5))      # post-cutoff, folded row
+        assert mutable.compact_step().done
+        # The new main holds the cutoff state; the carried delta masks it.
+        assert sorted(mutable.main.to_rows()) == [
+            (1, "a"), (2, "b"), (3, "a"), (4, "c"), (5, "d"),
+        ]
+        assert sorted(mutable.to_rows()) == [(2, "b"), (3, "a"), (4, "c"),
+                                             (6, "e")]
+        mutable.compact()
+        assert sorted(mutable.main.to_rows()) == [(2, "b"), (3, "a"),
+                                                  (4, "c"), (6, "e")]
+
+    def test_update_between_steps(self):
+        mutable = frozen()
+        mutable.insert((5, "d"))
+        mutable.compact_step()
+        mutable.update({"S": "z"}, Comparison("K", ">=", 4))
+        while not mutable.compact_step().done:
+            pass
+        assert sorted(mutable.to_rows()) == [
+            (1, "a"), (2, "b"), (3, "a"), (4, "z"), (5, "z"),
+        ]
+
+    def test_compact_finishes_inflight_run(self):
+        mutable = frozen()
+        mutable.insert((5, "d"))
+        mutable.compact_step()
+        table = mutable.compact("wrap up")
+        assert table is mutable.main
+        assert not mutable.has_pending_changes
+        assert mutable.compactions == 1
+
+    def test_snapshot_pinned_mid_run_is_stable(self):
+        mutable = frozen()
+        mutable.insert((5, "d"))
+        mutable.compact_step()
+        snapshot = mutable.snapshot()  # pinned while the run is in flight
+        pinned = snapshot.to_rows()
+        mutable.insert((6, "e"))
+        assert mutable.compact_step().done
+        mutable.compact()
+        assert snapshot.to_rows() == pinned
+
+    def test_on_compact_fires_once_per_cycle(self):
+        seen = []
+        mutable = frozen(
+            on_compact=lambda table, reason: seen.append(reason)
+        )
+        mutable.insert((5, "d"))
+        mutable.compact_step(reason="bg")
+        assert seen == []
+        mutable.compact_step(reason="bg")
+        assert seen == ["bg"]
+
+
+class TestDeltaHashIndex:
+    def indexed(self, threshold=2):
+        return MutableTable(
+            small_table(),
+            CompactionPolicy(None, None, None, index_threshold=threshold),
+        )
+
+    def test_index_builds_past_threshold(self):
+        mutable = self.indexed(threshold=3)
+        mutable.insert((5, "d"))
+        assert mutable.delta.index_matches(Comparison("S", "=", "d")) is None
+        mutable.insert_rows([(6, "e"), (7, "d")])
+        matched = mutable.delta.index_matches(Comparison("S", "=", "d"))
+        assert matched == {0, 2}
+        assert mutable.delta.indexed_columns == ("S",)
+
+    def test_index_disabled(self):
+        mutable = MutableTable(
+            small_table(),
+            CompactionPolicy(None, None, None, index_threshold=None),
+        )
+        mutable.insert_rows([(9, "x")] * 10)
+        assert mutable.delta.index_matches(Comparison("S", "=", "x")) is None
+
+    def test_index_matches_row_wise_for_all_operators(self):
+        rows = [(k, s) for k in range(6) for s in "abc"]
+        indexed = self.indexed(threshold=1)
+        plain = MutableTable(small_table(), CompactionPolicy.never())
+        indexed.insert_rows(rows)
+        plain.insert_rows(rows)
+        predicates = [
+            Comparison("K", "=", 3),
+            Comparison("K", "!=", 2),
+            Comparison("K", "<", 2),
+            Comparison("K", ">=", 4),
+            Comparison("S", "IN", ("a", "c")),
+            And(Comparison("K", ">", 1), Comparison("S", "=", "b")),
+            Or(Comparison("K", "=", 0), Comparison("S", "=", "c")),
+            Not(Comparison("S", "=", "a")),
+        ]
+        for predicate in predicates:
+            assert indexed.delta.index_matches(predicate) is not None
+            assert sorted(indexed.matching_rows(predicate)) == sorted(
+                plain.matching_rows(predicate)
+            ), str(predicate)
+
+    def test_index_respects_deletes_and_epochs(self):
+        mutable = self.indexed(threshold=1)
+        mutable.insert_rows([(5, "d"), (6, "d")])
+        snapshot = mutable.snapshot()
+        mutable.delete(Comparison("K", "=", 5))
+        assert mutable.matching_rows(Comparison("S", "=", "d")) == [(6, "d")]
+        assert snapshot.matching_rows(Comparison("S", "=", "d")) == [
+            (5, "d"), (6, "d"),
+        ]
+
+    def test_index_survives_rename(self):
+        mutable = self.indexed(threshold=1)
+        mutable.insert((5, "d"))
+        mutable.delta.build_index("S")
+        mutable.rewire_metadata(
+            mutable.main.with_renamed_column("S", "Skill"), {"S": "Skill"}
+        )
+        assert mutable.delta.indexed_columns == ("Skill",)
+        assert mutable.matching_rows(Comparison("Skill", "=", "d")) == [
+            (5, "d")
+        ]
+
+
+class TestMetadataRenames:
+    def engine_with_delta(self):
+        engine = EvolutionEngine()
+        engine.load_table(small_table())
+        mutable = engine.mutable("R", CompactionPolicy.never())
+        mutable.insert((5, "d"))
+        return engine, mutable
+
+    def test_rename_table_smo_preserves_delta(self):
+        engine, mutable = self.engine_with_delta()
+        status = engine.apply_sql_like("RENAME TABLE R TO R2")
+        assert status.delta_rows_flushed == 0
+        assert not any(e.step == "delta flush" for e in status.events)
+        assert mutable.is_valid and mutable.compactions == 0
+        assert engine.pending_delta("R2") is mutable
+        assert mutable.name == "R2"
+        assert mutable.to_rows()[-1] == (5, "d")
+        assert engine.table("R2").nrows == 4  # still buffered
+
+    def test_rename_column_smo_preserves_delta(self):
+        engine, mutable = self.engine_with_delta()
+        status = engine.apply_sql_like("RENAME COLUMN S TO Skill IN R")
+        assert status.delta_rows_flushed == 0
+        assert mutable.compactions == 0
+        assert mutable.schema.column_names == ("K", "Skill")
+        assert mutable.delta.schema.column_names == ("K", "Skill")
+        assert mutable.delete(Comparison("Skill", "=", "d")) == 1
+
+    def test_rename_mid_incremental_run(self):
+        engine, mutable = self.engine_with_delta()
+        mutable.compact_step()
+        engine.apply_sql_like("RENAME COLUMN S TO Skill IN R")
+        assert mutable.compact_step(columns=2).done
+        assert mutable.schema.column_names == ("K", "Skill")
+        assert sorted(engine.table("R").to_rows()) == [
+            (1, "a"), (2, "b"), (3, "a"), (4, "c"), (5, "d"),
+        ]
+
+    def test_rewire_rejects_row_count_changes(self):
+        mutable = frozen()
+        other = table_from_python(
+            "R",
+            {"K": (DataType.INT, [1]), "S": (DataType.STRING, ["a"])},
+        )
+        with pytest.raises(StorageError):
+            mutable.rewire_metadata(other)
+
+    def test_adopt_schema_rejects_mismatched_columns(self):
+        store = DeltaStore(small_table().schema)
+        with pytest.raises(StorageError):
+            store.adopt_schema(
+                table_from_python("R", {"X": (DataType.INT, [])}).schema
+            )
+
+    def test_epoch_and_snapshots_survive_rename(self):
+        engine, mutable = self.engine_with_delta()
+        snapshot = mutable.snapshot()
+        epoch = mutable.epoch
+        engine.apply_sql_like("RENAME TABLE R TO R2")
+        assert mutable.epoch == epoch
+        assert snapshot.to_rows()[-1] == (5, "d")
+
+    def test_pinned_snapshot_follows_column_rename(self):
+        # Names are metadata, not data: a pinned view answers predicates
+        # under the new names while its rows never change.
+        engine, mutable = self.engine_with_delta()
+        snapshot = mutable.snapshot()
+        pinned = snapshot.to_rows()
+        engine.apply_sql_like("RENAME COLUMN S TO Skill IN R")
+        mutable.delete()  # later deletes stay invisible to the pin
+        assert snapshot.to_rows() == pinned
+        assert sorted(
+            snapshot.matching_rows(Comparison("Skill", "=", "a"))
+        ) == [(1, "a"), (3, "a")]
+
+    def test_retained_generation_follows_rename(self):
+        engine, mutable = self.engine_with_delta()
+        snapshot = mutable.snapshot()  # pins generation 0
+        mutable.compact()              # generation 0 becomes retained
+        engine.apply_sql_like("RENAME COLUMN S TO Skill IN R")
+        assert snapshot.matching_rows(Comparison("Skill", "=", "d")) == [
+            (5, "d")
+        ]
+        snapshot.close()
+
+
+class TestSnapshotScopedSql:
+    def executor(self):
+        adapter = MutableColumnAdapter(policy=CompactionPolicy.never())
+        executor = SqlExecutor(adapter)
+        executor.execute("CREATE TABLE r (k INT, s STRING)")
+        executor.execute("INSERT INTO r VALUES (1, 'a'), (2, 'b')")
+        return adapter, executor
+
+    def test_scope_freezes_selects(self):
+        adapter, executor = self.executor()
+        with adapter.snapshot_scope("r"):
+            before = executor.execute("SELECT * FROM r")
+            executor.execute("INSERT INTO r VALUES (3, 'c')")
+            executor.execute("DELETE FROM r WHERE k = 1")
+            assert executor.execute("SELECT * FROM r") == before
+            assert executor.execute(
+                "SELECT * FROM r WHERE s = 'a'"
+            ) == [(1, "a")]
+        assert sorted(executor.execute("SELECT * FROM r")) == [
+            (2, "b"), (3, "c"),
+        ]
+
+    def test_begin_end_snapshot(self):
+        adapter, executor = self.executor()
+        adapter.begin_snapshot("r")
+        executor.execute("DELETE FROM r")
+        assert len(executor.execute("SELECT * FROM r")) == 2
+        assert adapter.end_snapshot("r")
+        assert not adapter.end_snapshot("r")
+        assert executor.execute("SELECT * FROM r") == []
+
+    def test_scope_survives_rename(self):
+        adapter, executor = self.executor()
+        adapter.begin_snapshot("r")
+        executor.execute("ALTER TABLE r RENAME TO r2")
+        executor.execute("INSERT INTO r2 VALUES (9, 'z')")
+        assert len(executor.execute("SELECT * FROM r2")) == 2  # pinned
+        adapter.end_snapshot("r2")
+        assert len(executor.execute("SELECT * FROM r2")) == 3
+
+    def test_nested_scopes_restore_the_outer_pin(self):
+        adapter, executor = self.executor()
+        with adapter.snapshot_scope("r"):
+            executor.execute("INSERT INTO r VALUES (3, 'c')")
+            with adapter.snapshot_scope("r"):
+                assert len(executor.execute("SELECT * FROM r")) == 3
+            # The outer pin is still in force after the inner one ends.
+            assert len(executor.execute("SELECT * FROM r")) == 2
+        assert len(executor.execute("SELECT * FROM r")) == 3
+
+    def test_end_snapshot_skips_already_closed_pins(self):
+        adapter, executor = self.executor()
+        adapter.begin_snapshot("r")               # outer pin
+        with adapter.begin_snapshot("r"):         # inner, self-closed
+            pass
+        # Ending the scope must release the OUTER pin, not count the
+        # dead inner entry as the release.
+        assert adapter.end_snapshot("r")
+        executor.execute("INSERT INTO r VALUES (3, 'c')")
+        assert len(executor.execute("SELECT * FROM r")) == 3  # unpinned
+        assert not adapter.end_snapshot("r")
+        mutable = adapter.evolution_engine.mutable("r")
+        assert mutable.open_snapshots == 0
+
+    def test_drop_table_clears_the_scope(self):
+        adapter, executor = self.executor()
+        with adapter.snapshot_scope("r"):
+            executor.execute("DROP TABLE r")
+            executor.execute("CREATE TABLE r (k INT, s STRING)")
+            executor.execute("INSERT INTO r VALUES (99, 'z')")
+            # The re-created table must not be shadowed by the dropped
+            # table's pinned rows.
+            assert executor.execute("SELECT * FROM r") == [(99, "z")]
+
+    def test_filter_rows_pushdown_matches_scan(self):
+        adapter, executor = self.executor()
+        executor.execute("INSERT INTO r VALUES (3, 'a'), (4, 'c')")
+        adapter.compact("r")  # rows into the compressed main
+        executor.execute("INSERT INTO r VALUES (5, 'a')")  # and the delta
+        assert sorted(
+            executor.execute("SELECT k FROM r WHERE s = 'a'")
+        ) == [(1,), (3,), (5,)]
+        # Pushdown also serves tables without a mutable handle.
+        fresh = MutableColumnAdapter()
+        fresh.catalog.create(small_table())
+        rows = fresh.filter_rows("R", Comparison("S", "=", "a"))
+        assert sorted(rows) == [(1, "a"), (3, "a")]
+
+    def test_create_index_builds_delta_index(self):
+        adapter, executor = self.executor()
+        executor.execute("CREATE INDEX idx ON r (s)")
+        assert "s" in adapter.evolution_engine.mutable("r").delta.indexed_columns
+
+
+class TestSidecarV2:
+    def test_roundtrip_preserves_mvcc_state(self, tmp_path):
+        mutable = frozen()
+        mutable.insert((5, "d"))
+        mutable.delete(Comparison("K", "=", 2))
+        mutable.insert((6, "e"))
+        mutable.delete(Comparison("K", "=", 6))
+        path = tmp_path / "r.cods"
+        save_mutable_table(mutable, path)
+        restored = load_mutable_table(path, CompactionPolicy.never())
+        assert restored.to_rows() == mutable.to_rows()
+        assert restored.delta.epoch == mutable.delta.epoch
+        assert restored.delta.insert_epochs == mutable.delta.insert_epochs
+        assert restored.delta.deleted_main == mutable.delta.deleted_main
+        assert restored.delta.deleted_delta == mutable.delta.deleted_delta
+
+    def test_index_metadata_roundtrip(self, tmp_path):
+        schema = small_table().schema
+        store = DeltaStore(schema, index_threshold=7)
+        store.append((5, "d"))
+        store.build_index("S")
+        path = tmp_path / "r.delta"
+        save_delta(store, path)
+        loaded = load_delta(path, schema)
+        assert loaded.index_threshold == 7
+        assert loaded.indexed_columns == ("S",)
+        assert loaded.index_matches(Comparison("S", "=", "d")) == {0}
+
+    def test_v1_sidecar_still_loads(self, tmp_path):
+        import json
+
+        payload = {
+            "table": "R",
+            "columns": {"K": [5, 6], "S": ["d", "e"]},
+            "deleted_main": [1],
+            "deleted_delta": [0],
+        }
+        path = tmp_path / "r.delta"
+        blob = json.dumps(payload).encode()
+        path.write_bytes(
+            b"CODD" + struct.pack("<H", 1)
+            + struct.pack("<I", len(blob)) + blob
+        )
+        loaded = load_delta(path, small_table().schema)
+        assert loaded.live_rows() == [(6, "e")]
+        assert loaded.deleted_main == {1: 2}
+        assert loaded.epoch == 2
+
+    def test_unknown_version_rejected(self, tmp_path):
+        path = tmp_path / "r.delta"
+        path.write_bytes(b"CODD" + struct.pack("<H", 99) + b"\x00" * 4)
+        with pytest.raises(SerializationError):
+            load_delta(path, small_table().schema)
+
+    def test_out_of_range_delta_index_rejected(self, tmp_path):
+        schema = small_table().schema
+        store = DeltaStore(schema)
+        store.append((5, "d"))
+        store.delete_delta(0)
+        path = tmp_path / "r.delta"
+        save_delta(store, path)
+        blob = path.read_bytes().replace(b'[[0, ', b'[[7, ')
+        path.write_bytes(blob)
+        with pytest.raises(SerializationError):
+            load_delta(path, schema)
+
+    def test_sidecar_removed_after_incremental_cycle(self, tmp_path):
+        mutable = frozen()
+        mutable.insert((5, "d"))
+        path = tmp_path / "r.cods"
+        save_mutable_table(mutable, path)
+        assert delta_sidecar_path(path).exists()
+        while not mutable.compact_step().done:
+            pass
+        save_mutable_table(mutable, path)
+        assert not delta_sidecar_path(path).exists()
+
+
+class TestSnapshotScanBench:
+    def test_bench_script_runs(self, tmp_path):
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        repo = Path(__file__).resolve().parents[2]
+        out = tmp_path / "BENCH_snapshot_scan.json"
+        result = subprocess.run(
+            [
+                sys.executable,
+                str(repo / "benchmarks" / "bench_snapshot_scan.py"),
+                "--rows", "500", "--ops", "60", "--out", str(out),
+            ],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": str(repo / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert result.returncode == 0, result.stderr
+        from repro.bench.exporters import load_snapshot_scan_json
+
+        payload = load_snapshot_scan_json(out)
+        assert payload["benchmark"] == "snapshot_scan"
+        assert payload["pinned_snapshot"]["pinned_rows"] >= 0
+        assert payload["scan_under_write"]["speedup"] > 0
+        assert (
+            payload["delta_index"]["row_wise"]["matched"]
+            == payload["delta_index"]["indexed"]["matched"]
+        )
+
+
+class TestDeltaStatsSurface:
+    def test_stats_carry_mvcc_fields(self):
+        mutable = MutableTable(
+            small_table(),
+            CompactionPolicy(None, None, None, index_threshold=1),
+        )
+        mutable.insert((5, "d"))
+        mutable.matching_rows(Comparison("S", "=", "d"))  # builds the index
+        with mutable.snapshot():
+            stats = mutable.delta_stats()
+            assert stats.epoch == mutable.epoch > 0
+            assert stats.open_snapshots == 1
+            assert stats.indexed_columns == 1
+            assert stats.as_dict()["open_snapshots"] == 1
+
+    def test_epoch_is_monotonic_across_compactions(self):
+        mutable = frozen()
+        mutable.insert((5, "d"))
+        epoch = mutable.epoch
+        mutable.compact()
+        assert mutable.epoch == epoch  # counter survives the fold
+        mutable.insert((6, "e"))
+        assert mutable.epoch == epoch + 1
+
+    def test_snapshot_repr(self):
+        mutable = frozen()
+        snapshot = mutable.snapshot()
+        assert "epoch" in repr(snapshot)
+        snapshot.close()
+        assert repr(snapshot) == "Snapshot(closed)"
+        assert isinstance(snapshot, Snapshot)
