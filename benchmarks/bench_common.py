@@ -1,0 +1,16 @@
+"""Shared setup helpers for the write-path benchmarks."""
+
+from __future__ import annotations
+
+from repro.db import Database
+from repro.delta import CompactionPolicy
+from repro.workload.readwrite import MixedReadWriteWorkload
+
+
+def mutable_handle(workload: MixedReadWriteWorkload,
+                   policy: CompactionPolicy):
+    """A delta-backed handle on a fresh façade-opened database holding
+    the workload's base table ``R``."""
+    db = Database(policy=policy)
+    db.load_table(workload.build())
+    return db.engine.mutable("R", policy)

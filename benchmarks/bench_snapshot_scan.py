@@ -25,10 +25,13 @@ from __future__ import annotations
 import argparse
 import time
 
+from bench_common import mutable_handle as _mutable_for
+
 from repro.bench.exporters import snapshot_scan_json
-from repro.delta import CompactionPolicy, MutableTable
+from repro.delta import CompactionPolicy
 from repro.smo.predicate import Comparison
 from repro.workload.readwrite import MixedReadWriteWorkload
+
 
 DEFAULT_ROWS = 50_000
 DEFAULT_OPS = 2_000
@@ -46,8 +49,8 @@ def bench_scan_under_write(
     for strategy in ("copy", "snapshot"):
         best = None
         for _ in range(repeats):
-            mutable = MutableTable(
-                workload.build(), CompactionPolicy(max_delta_rows=1024)
+            mutable = _mutable_for(
+                workload, CompactionPolicy(max_delta_rows=1024)
             )
             started = time.perf_counter()
             counters = workload.apply_to(mutable, scan_strategy=strategy)
@@ -79,7 +82,7 @@ def bench_pinned_snapshot(
     """Pin a snapshot, then interleave DML with incremental compaction
     steps across up to ``max_cycles`` full cycles; the pinned view must
     never change (oracle = rows frozen at pin time)."""
-    mutable = MutableTable(workload.build(), CompactionPolicy.never())
+    mutable = _mutable_for(workload, CompactionPolicy.never())
     stream = workload.operations()
     half = len(stream) // 2
     for op in stream[:half]:
@@ -126,7 +129,7 @@ def bench_pinned_snapshot(
     }
 
 
-def _apply_one(mutable: MutableTable, op) -> None:
+def _apply_one(mutable, op) -> None:
     if op.kind == "insert":
         mutable.insert(op.row)
     elif op.kind == "update":
@@ -152,8 +155,8 @@ def bench_delta_index(
 
     timings = {}
     for label, threshold in (("row_wise", None), ("indexed", 64)):
-        mutable = MutableTable(
-            workload.build(),
+        mutable = _mutable_for(
+            workload,
             CompactionPolicy(None, None, None, index_threshold=threshold),
         )
         mutable.insert_rows(buffered)

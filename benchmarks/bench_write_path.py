@@ -23,9 +23,11 @@ from __future__ import annotations
 import argparse
 import time
 
+from bench_common import mutable_handle as _mutable_for
+
 from repro.bench.exporters import write_path_json
-from repro.delta import CompactionPolicy, MutableTable
-from repro.sql import ColumnStoreAdapter
+from repro.db import Database
+from repro.delta import CompactionPolicy
 from repro.storage.table import Table
 from repro.workload.readwrite import MixedReadWriteWorkload
 
@@ -42,18 +44,20 @@ def bench_inserts(workload: MixedReadWriteWorkload, n_inserts: int) -> dict:
         op.row for op in workload.operations() if op.kind == "insert"
     ][:n_inserts]
 
-    mutable = MutableTable(workload.build(), CompactionPolicy.never())
+    mutable = _mutable_for(workload, CompactionPolicy.never())
     started = time.perf_counter()
     for row in inserts:
         mutable.insert(row)
     delta_seconds = time.perf_counter() - started
 
-    adapter = ColumnStoreAdapter()
-    adapter.catalog.create(workload.build())
+    # The query-level comparator through the same façade, selected by
+    # backend name instead of a hand-assembled adapter.
+    rebuild_db = Database(backend="column")
+    rebuild_db.load_table(workload.build())
     batch = max(1, len(inserts) // REBUILD_BATCHES)
     started = time.perf_counter()
     for index in range(0, len(inserts), batch):
-        adapter.insert_rows("R", inserts[index:index + batch])
+        rebuild_db.adapter.insert_rows("R", inserts[index:index + batch])
     rebuild_seconds = time.perf_counter() - started
 
     return {
@@ -69,9 +73,7 @@ def bench_inserts(workload: MixedReadWriteWorkload, n_inserts: int) -> dict:
 
 def bench_mixed_stream(workload: MixedReadWriteWorkload) -> dict:
     """The full DML/scan stream with auto-compaction enabled."""
-    mutable = MutableTable(
-        workload.build(), CompactionPolicy(max_delta_rows=1024)
-    )
+    mutable = _mutable_for(workload, CompactionPolicy(max_delta_rows=1024))
     started = time.perf_counter()
     counters = workload.apply_to(mutable)
     seconds = time.perf_counter() - started
@@ -89,7 +91,7 @@ def bench_mixed_stream(workload: MixedReadWriteWorkload) -> dict:
 def bench_compaction(workload: MixedReadWriteWorkload) -> dict:
     """Merged-scan cost before compaction, compaction cost, pure-WAH
     scan cost after — with an oracle check on the result."""
-    mutable = MutableTable(workload.build(), CompactionPolicy.never())
+    mutable = _mutable_for(workload, CompactionPolicy.never())
     counters = workload.apply_to(mutable)
 
     # Measure the query-time merge itself (decode + filter + append),

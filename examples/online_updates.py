@@ -1,29 +1,22 @@
 #!/usr/bin/env python3
-"""Online updates: the write path over the read-optimized store.
+"""Online updates: the write path behind the `repro.db` façade.
 
 The CODS store keeps every column as WAH-compressed per-value bitmaps —
 great for scans and evolution, terrible for point writes.  This
-walkthrough shows the `repro.delta` answer: DML lands in a per-table
-write buffer, reads merge both sides at query time, compaction folds
-the buffer into fresh compressed columns, and schema evolution on a
-table with pending writes flushes the buffer automatically.
+walkthrough shows the `repro.delta` answer through its serving surface:
+SQL DML lands in per-table write buffers, reads merge both sides at
+query time, whole-catalog transactions pin a frozen epoch vector,
+compaction folds the buffer into fresh compressed columns, and the
+catalog (buffers included) survives a save/load round trip.
 
 Run:  python examples/online_updates.py
 """
 
 import tempfile
-from pathlib import Path
 
-from repro import (
-    CompactionPolicy,
-    DataType,
-    EvolutionEngine,
-    MutableColumnAdapter,
-    SqlExecutor,
-    table_from_python,
-)
+from repro import CompactionPolicy, DataType, table_from_python
+from repro.db import Database
 from repro.smo.predicate import Comparison
-from repro.storage import load_engine, save_engine
 
 
 def build_r():
@@ -53,58 +46,67 @@ def build_r():
 
 def main() -> None:
     print("=" * 64)
-    print("CODS online updates — main/delta write path")
+    print("CODS online updates — main/delta write path via repro.db")
     print("=" * 64)
 
-    # 1. DML through the engine's mutable handle.
-    engine = EvolutionEngine()
-    engine.load_table(build_r())
-    mutable = engine.mutable("R", CompactionPolicy.never())
-    mutable.insert(("Smith", "Welding", "12 Elm St"))
-    mutable.update({"Skill": "Filing"}, Comparison("Employee", "=", "Ellis"))
-    mutable.delete(Comparison("Employee", "=", "Jones"))
-    stats = mutable.delta_stats()
+    # 1. SQL DML through the façade: every write lands in R's delta
+    #    buffer, never in the compressed columns.
+    db = Database(policy=CompactionPolicy.never())
+    db.load_table(build_r())
+    db.execute("INSERT INTO R VALUES (?, ?, ?)",
+               ("Smith", "Welding", "12 Elm St"))
+    db.execute("UPDATE R SET Skill = 'Filing' WHERE Employee = 'Ellis'")
+    db.execute("DELETE FROM R WHERE Employee = 'Jones'")
+    stats = db.delta_stats()[0]
     print(f"\nAfter DML: {stats.as_dict()}")
     print("Merged read (main + delta at query time):")
-    for row in mutable.to_rows():
+    for row in db.execute("SELECT * FROM R"):
         print("   ", row)
 
-    # 2. Schema evolution on a table with pending writes: the engine
-    #    flushes the delta first and records it in the status log.
-    status = engine.apply_sql_like(
+    # 2. Schema evolution *through the same execute()*: the engine
+    #    flushes R's delta first and records it in the status log.
+    status = db.execute(
         "DECOMPOSE TABLE R INTO S (Employee, Skill), T (Employee, Address)"
     )
     print(f"\nDECOMPOSE flushed {status.delta_rows_flushed} delta row(s):")
     for event in status.events:
         print(f"    [{event.step}] {event.detail}")
-    print("S =", engine.table("S").to_rows())
+    print("S =", db.execute("SELECT * FROM S"))
 
-    # 3. The same DML through SQL, on the delta-backed adapter.
-    executor = SqlExecutor(MutableColumnAdapter(engine))
-    executor.execute("INSERT INTO S VALUES ('Nguyen', 'Poetry')")
-    executor.execute("UPDATE S SET Skill = 'Sonnets' "
-                     "WHERE Employee = 'Nguyen'")
-    executor.execute("DELETE FROM S WHERE Skill = 'Filing'")
-    print("\nAfter SQL DML, SELECT * FROM S:")
-    for row in executor.execute("SELECT * FROM S"):
+    # 3. A read-write transaction: reads pin the whole catalog, writes
+    #    buffer and apply at commit (roll back on an exception).
+    with db.transaction() as tx:
+        frozen = tx.execute("SELECT * FROM S")
+        tx.execute("INSERT INTO S VALUES ('Nguyen', 'Poetry')")
+        tx.execute("UPDATE S SET Skill = 'Sonnets' "
+                   "WHERE Employee = 'Nguyen'")
+        assert tx.execute("SELECT * FROM S") == frozen  # deferred writes
+    print("\nAfter the transaction committed, SELECT * FROM S:")
+    for row in db.execute("SELECT * FROM S"):
         print("   ", row)
 
     # 4. Compaction produces a pure-WAH table again.
-    table = engine.mutable("S").compact()
+    table = db.compact("S")
     print(f"\nCompacted S: {table.nrows} rows, codecs "
           f"{sorted({table.column(n).codec_name for n in table.column_names})}")
 
-    # 5. Delta state survives a save/load round trip.
-    engine.mutable("T", CompactionPolicy.never()).insert(
-        ("Nguyen", "1 Verse Blvd")
-    )
+    # 5. Delta state survives a save/load round trip of the whole
+    #    catalog directory.
+    db.execute("INSERT INTO T VALUES ('Nguyen', '1 Verse Blvd')")
     with tempfile.TemporaryDirectory() as directory:
-        save_engine(engine, directory)
-        sidecars = sorted(p.name for p in Path(directory).glob("*.delta"))
-        print(f"\nSaved engine; delta sidecars on disk: {sidecars}")
-        restored = load_engine(directory, CompactionPolicy.never())
+        db.save(directory)
+        restored = Database(directory, policy=CompactionPolicy.never())
+        print(f"\nSaved and reopened from {directory!r}")
         print("Restored merged T:",
-              restored.mutable("T").to_rows())
+              restored.execute("SELECT * FROM T WHERE Employee = 'Nguyen'"))
+        print("Restored delta stats:",
+              [s.as_dict() for s in restored.delta_stats()])
+
+    # The lower-level handles remain available underneath the façade:
+    mutable = db.engine.mutable("T")
+    mutable.delete(Comparison("Employee", "=", "Nguyen"))
+    print("\nDirect MutableTable delete still works:",
+          db.execute("SELECT * FROM T WHERE Employee = 'Nguyen'"))
 
 
 if __name__ == "__main__":

@@ -1,93 +1,97 @@
 #!/usr/bin/env python3
-"""Quickstart: data-level schema evolution in five minutes.
+"""Quickstart: one database for SQL, SMOs and transactions.
 
-Builds a small table, decomposes it (the paper's headline operation),
-merges it back, and contrasts the data-level pipeline with the
-query-level pipeline of Figure 2 — printing the stage log of both.
+Opens a `repro.db.Database`, loads the paper's Figure 1 table, runs
+ordinary SQL and a schema-evolution statement through the *same*
+`execute()`, reads a multi-table consistent view under a transaction,
+and contrasts the data-level pipeline with the query-level pipeline of
+Figure 2.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import (
-    DataType,
-    EvolutionEngine,
-    MergeTables,
-    make_system,
-    parse_smo,
-    table_from_python,
-)
+from repro import make_system, parse_smo
+from repro.db import Database
+
+FIGURE1_ROWS = [
+    ("Jones", "Typing", "425 Grant Ave"),
+    ("Jones", "Shorthand", "425 Grant Ave"),
+    ("Roberts", "Light Cleaning", "747 Industrial Way"),
+    ("Ellis", "Alchemy", "747 Industrial Way"),
+    ("Jones", "Whittling", "425 Grant Ave"),
+    ("Ellis", "Juggling", "747 Industrial Way"),
+    ("Harrison", "Light Cleaning", "425 Grant Ave"),
+]
 
 
-def build_r():
+def build_r(db: Database) -> None:
     """The paper's Figure 1 table R(Employee, Skill, Address)."""
-    return table_from_python(
-        "R",
-        {
-            "Employee": (
-                DataType.STRING,
-                ["Jones", "Jones", "Roberts", "Ellis", "Jones", "Ellis",
-                 "Harrison"],
-            ),
-            "Skill": (
-                DataType.STRING,
-                ["Typing", "Shorthand", "Light Cleaning", "Alchemy",
-                 "Whittling", "Juggling", "Light Cleaning"],
-            ),
-            "Address": (
-                DataType.STRING,
-                ["425 Grant Ave", "425 Grant Ave", "747 Industrial Way",
-                 "747 Industrial Way", "425 Grant Ave",
-                 "747 Industrial Way", "425 Grant Ave"],
-            ),
-        },
+    db.execute(
+        "CREATE TABLE R (Employee STRING, Skill STRING, Address STRING)"
     )
+    db.executemany("INSERT INTO R VALUES (?, ?, ?)", FIGURE1_ROWS)
 
 
 def main() -> None:
     print("=" * 64)
-    print("CODS quickstart — data-level data evolution")
+    print("CODS quickstart — one facade for SQL, SMOs and transactions")
     print("=" * 64)
 
-    # 1. Load a table into the CODS engine (a bitmap-encoded column store).
-    engine = EvolutionEngine()
-    engine.load_table(build_r())
-    print("\nLoaded R:")
-    for row in engine.table("R").head():
+    # 1. One Database object: SQL DDL/DML and SMO statements go through
+    #    the same execute(), against the same catalog.
+    db = Database()
+    build_r(db)
+    print("\nLoaded R; SELECT * FROM R LIMIT 3:")
+    for row in db.execute("SELECT * FROM R LIMIT 3"):
         print("   ", row)
 
     # 2. Watch each data-level step as it happens (the demo's status pane).
-    engine.subscribe(
+    db.engine.subscribe(
         lambda event: print(
             f"    [data-level] {event.step}: {event.detail}"
         )
     )
 
-    # 3. Decompose: one SMO statement, no SQL, no tuple materialization.
+    # 3. Decompose: an SMO statement through the same front door — no
+    #    SQL execution, no tuple materialization inside the engine.
     print("\nDECOMPOSE TABLE R INTO S (Employee, Skill), "
           "T (Employee, Address)")
-    status = engine.apply(
-        parse_smo(
-            "DECOMPOSE TABLE R INTO S (Employee, Skill), "
-            "T (Employee, Address)"
-        )
+    status = db.execute(
+        "DECOMPOSE TABLE R INTO S (Employee, Skill), T (Employee, Address)"
     )
     print(f"    counters: {status.summary()}")
-    print("\nT (the changed side, deduplicated via distinction + "
-          "bitmap filtering):")
-    for row in engine.table("T").sorted_rows():
+    print("\nT (deduplicated via distinction + bitmap filtering):")
+    for row in db.execute("SELECT * FROM T ORDER BY Employee"):
         print("   ", row)
 
-    # 4. Merge back (key–foreign-key mergence reuses all of S's columns).
-    print("\nMERGE TABLES S, T INTO R")
-    engine.apply(MergeTables("S", "T", "R"))
-    print(f"    R restored with {engine.table('R').nrows} rows")
+    # 4. A whole-catalog transaction: both tables read at one frozen
+    #    epoch vector, whatever lands concurrently.
+    with db.transaction(read_only=True) as tx:
+        print(f"\nPinned epoch vector: {tx.epoch_vector}")
+        s_before = tx.execute("SELECT * FROM S")
+        db.execute("INSERT INTO S VALUES ('Nguyen', 'Poetry')")  # outside
+        assert tx.execute("SELECT * FROM S") == s_before
+        print("    concurrent INSERT never entered the pinned view")
+    print("After the scope:",
+          db.execute("SELECT * FROM S WHERE Employee = 'Nguyen'"))
+    db.execute("DELETE FROM S WHERE Employee = 'Nguyen'")
 
-    # 5. The same evolution at query level (Figure 2, right side) for
+    # 5. Merge back (key–foreign-key mergence reuses all of S's columns).
+    print("\nMERGE TABLES S, T INTO R")
+    db.execute("MERGE TABLES S, T INTO R")
+    restored = db.execute("SELECT * FROM R")
+    print(f"    R restored with {len(restored)} rows")
+
+    # 6. The same evolution at query level (Figure 2, right side) for
     #    contrast: SQL through a row store, materializing everything.
     print("\n" + "-" * 64)
     print("The same DECOMPOSE at query level (commercial-style row store):")
     query_level = make_system("C")
-    query_level.load(build_r())
+    with Database() as scratch:
+        build_r(scratch)
+        # compact() folds the delta-buffered inserts into the main
+        # store so the comparator receives the full 7-row table.
+        query_level.load(scratch.compact("R"))
     seconds = query_level.timed_apply(
         parse_smo(
             "DECOMPOSE TABLE R INTO S (Employee, Skill), "

@@ -25,28 +25,34 @@ The package implements the paper's platform end to end:
   the harness regenerating the paper's figures;
 * :mod:`repro.demo` — the demonstration platform as a CLI.
 
-Quickstart::
+The single documented entry point is :class:`repro.db.Database` — one
+``execute()`` for SQL *and* SMO text, whole-catalog transactions, and
+catalog-directory persistence (``docs/migration.md`` maps the older
+per-layer entry points onto it)::
 
-    from repro import EvolutionEngine, table_from_python, DataType
+    from repro.db import Database
 
-    engine = EvolutionEngine()
-    engine.load_table(table_from_python("R", {
-        "Employee": (DataType.STRING, ["Jones", "Jones", "Ellis"]),
-        "Skill":    (DataType.STRING, ["Typing", "Whittling", "Alchemy"]),
-        "Address":  (DataType.STRING, ["425 Grant", "425 Grant", "747 Ind"]),
-    }))
-    engine.apply_sql_like(
+    db = Database()                       # in-memory, mutable backend
+    db.execute("CREATE TABLE R (Employee STRING, Skill STRING, "
+               "Address STRING)")
+    db.executemany(
+        "INSERT INTO R VALUES (?, ?, ?)",
+        [("Jones", "Typing", "425 Grant"),
+         ("Jones", "Whittling", "425 Grant"),
+         ("Ellis", "Alchemy", "747 Ind")],
+    )
+    db.execute(
         "DECOMPOSE TABLE R INTO S (Employee, Skill), T (Employee, Address)"
     )
-    print(engine.table("T").to_rows())
+    with db.transaction(read_only=True) as tx:
+        print(tx.execute("SELECT * FROM T"))
 
-Write-path quickstart — DML lands in a delta store, never in the
-compressed columns, until compaction folds it back::
+The per-layer classes remain importable for library use (the façade is
+built on them)::
 
+    engine = db.engine                        # the EvolutionEngine
     mutable = engine.mutable("S")             # delta-backed DML handle
     mutable.insert(("Harrison", "Juggling"))
-    mutable.update({"Skill": "Typing"}, None) # None = all rows
-    print(mutable.to_rows())                  # merged main + delta
     mutable.compact()                         # fresh all-WAH table
 """
 
@@ -59,6 +65,7 @@ from repro.baselines import (
 )
 from repro.bitmap import PlainBitmap, RLEVector, WAHBitmap
 from repro.core import EvolutionEngine, EvolutionStatus
+from repro.db import Database, Session, Transaction, connect
 from repro.delta import (
     CompactionPolicy,
     DeltaStats,
@@ -67,6 +74,7 @@ from repro.delta import (
 )
 from repro.errors import (
     BitmapError,
+    CapabilityError,
     CodsError,
     EvolutionError,
     LosslessJoinError,
@@ -74,6 +82,7 @@ from repro.errors import (
     SmoValidationError,
     SqlError,
     StorageError,
+    TransactionError,
 )
 from repro.fd import FunctionalDependency
 from repro.smo import (
@@ -117,6 +126,7 @@ __version__ = "1.0.0"
 __all__ = [
     "AddColumn",
     "BitmapError",
+    "CapabilityError",
     "Catalog",
     "CodsError",
     "CodsSystem",
@@ -125,6 +135,7 @@ __all__ = [
     "CopyTable",
     "CreateTable",
     "DataType",
+    "Database",
     "DecomposeTable",
     "DeltaStats",
     "DeltaStore",
@@ -151,6 +162,7 @@ __all__ = [
     "RenameTable",
     "SalesStarWorkload",
     "SchemaError",
+    "Session",
     "SmoValidationError",
     "SqlError",
     "SqlExecutor",
@@ -158,8 +170,11 @@ __all__ = [
     "StorageError",
     "Table",
     "TableSchema",
+    "Transaction",
+    "TransactionError",
     "UnionTables",
     "WAHBitmap",
+    "connect",
     "load_csv",
     "load_table",
     "make_system",

@@ -75,6 +75,17 @@ def load_snapshot_scan_json(path) -> dict:
     return load_bench_json(path)
 
 
+def session_api_json(payload: dict, path) -> None:
+    """Write the session-API benchmark record
+    (``benchmarks/bench_session_api.py``) as indented JSON."""
+    bench_json(payload, path)
+
+
+def load_session_api_json(path) -> dict:
+    """Read back a session-API benchmark record."""
+    return load_bench_json(path)
+
+
 def load_series_csv(path) -> list[dict]:
     """Read back a series CSV (values re-typed)."""
     path = Path(path)

@@ -17,6 +17,8 @@ Conventions:
 
 from __future__ import annotations
 
+import weakref
+
 from repro.core.decompose import decompose
 from repro.core.merge_general import merge_general
 from repro.core.merge_kfk import keys_all_present, merge_key_fk
@@ -66,6 +68,7 @@ class EvolutionEngine:
         self.verify_with_data = verify_with_data
         self.extra_fds = tuple(extra_fds)
         self._listeners: list = []
+        self._rename_listeners: list = []
         self._mutables: dict[str, MutableTable] = {}
 
     # -- catalog passthroughs -------------------------------------------
@@ -80,6 +83,42 @@ class EvolutionEngine:
     def subscribe(self, listener) -> None:
         """Attach a status listener applied to every future operation."""
         self._listeners.append(listener)
+
+    def subscribe_renames(self, listener) -> None:
+        """Attach a ``listener(old, new)`` invoked after every table
+        rename, whichever entry point requested it.  Adapters holding
+        per-table state keyed by name (pinned snapshot scopes) use this
+        to follow metadata-only renames.
+
+        Bound methods are held weakly so short-lived subscribers (e.g.
+        the per-transaction scoped adapters of :mod:`repro.db`) are
+        reclaimed with their owner instead of accumulating on the
+        engine.  Plain functions and lambdas are held *strongly* (a
+        weak reference to an inline lambda would die immediately), so
+        long-lived engines should subscribe bound methods, not
+        closures, for anything created per-operation."""
+        try:
+            reference = weakref.WeakMethod(listener)
+        except TypeError:
+            reference = (lambda listener=listener: listener)
+        # Prune dead references here too: renames may be rare while
+        # subscribers (per-transaction scoped adapters) come and go, so
+        # the list must not grow with subscriber churn.
+        self._rename_listeners = [
+            existing
+            for existing in self._rename_listeners
+            if existing() is not None
+        ]
+        self._rename_listeners.append(reference)
+
+    def _notify_rename(self, old: str, new: str) -> None:
+        alive = []
+        for reference in self._rename_listeners:
+            listener = reference()
+            if listener is not None:
+                listener(old, new)
+                alive.append(reference)
+        self._rename_listeners = alive
 
     # -- mutable tables (the write path) --------------------------------
 
@@ -161,6 +200,7 @@ class EvolutionEngine:
         if mutable is not None:
             mutable.rewire_metadata(self.catalog.table(new))
             self._mutables[new] = mutable
+        self._notify_rename(old, new)
 
     def rename_column_metadata(
         self, table: str, old: str, new: str, operation: str | None = None

@@ -1,0 +1,61 @@
+"""repro.db — the serving façade over the CODS reproduction.
+
+One ``Database`` object consolidates the four entry points the system
+grew across PRs — SMOs (:class:`~repro.core.engine.EvolutionEngine`),
+SQL (:class:`~repro.sql.executor.SqlExecutor` + adapters), DML/MVCC
+(:class:`~repro.delta.MutableTable`/:class:`~repro.delta.Snapshot`) and
+persistence (:mod:`repro.storage.filefmt`) — behind a DB-API-flavored
+surface:
+
+* :class:`Database` — opens/creates a catalog directory, selects a
+  backend from the :mod:`registry <repro.db.registry>` (``mutable``,
+  ``column``, ``row``);
+* :class:`Session` / :class:`Cursor` — ``execute()`` /
+  ``executemany()`` / ``execute_script()`` accepting SQL **and** SMO
+  text through one routing front door;
+* :class:`Transaction` — ``db.transaction(read_only=...)`` pins a
+  whole-catalog epoch vector for mutually consistent multi-table
+  reads, with buffered-write commit/rollback.
+
+Quickstart::
+
+    from repro.db import Database
+
+    db = Database()                       # in-memory, mutable backend
+    db.execute("CREATE TABLE r (k INT, s STRING)")
+    db.executemany("INSERT INTO r VALUES (?, ?)", [(1, "a"), (2, "b")])
+    db.execute("DECOMPOSE TABLE r INTO a (k), b (k, s)")
+    with db.transaction(read_only=True) as tx:
+        rows = tx.execute("SELECT * FROM b")
+
+See ``docs/ARCHITECTURE.md`` ("The API layer") and ``docs/migration.md``
+for the mapping from the old entry points.
+"""
+
+from repro.db.database import Database, connect
+from repro.db.registry import (
+    BackendSpec,
+    available_backends,
+    backend_spec,
+    create_adapter,
+    register_backend,
+)
+from repro.db.router import classify_statement, iter_script_statements
+from repro.db.session import Cursor, Session, bind_parameters
+from repro.db.transaction import Transaction
+
+__all__ = [
+    "BackendSpec",
+    "Cursor",
+    "Database",
+    "Session",
+    "Transaction",
+    "available_backends",
+    "backend_spec",
+    "bind_parameters",
+    "classify_statement",
+    "connect",
+    "create_adapter",
+    "iter_script_statements",
+    "register_backend",
+]

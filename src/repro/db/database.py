@@ -1,0 +1,219 @@
+"""The Database façade: one object for SQL, SMOs, transactions and
+persistence.
+
+Before this layer the reproduction exposed four disjoint entry points —
+:class:`~repro.core.engine.EvolutionEngine` for SMOs,
+:class:`~repro.sql.executor.SqlExecutor` plus a hand-picked adapter for
+SQL, :class:`~repro.delta.MutableTable` for DML/snapshots, and
+:mod:`repro.storage.filefmt` for disk.  A :class:`Database` owns one
+backend adapter (resolved from the :mod:`repro.db.registry`) and serves
+all four through it, against one catalog::
+
+    from repro.db import Database
+
+    with Database("catalog_dir") as db:          # opens or creates
+        db.execute("CREATE TABLE r (k INT, s STRING)")
+        db.execute("INSERT INTO r VALUES (?, ?)", (1, "a"))
+        db.execute("DECOMPOSE TABLE r INTO a (k), b (k, s)")   # SMO
+        rows = db.execute("SELECT * FROM b")
+    # closed cleanly -> saved back to catalog_dir
+
+Reads that must be mutually consistent across tables go through
+:meth:`Database.transaction`, which pins a whole-catalog epoch vector
+(see :mod:`repro.db.transaction`).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.db.registry import backend_spec, create_adapter
+from repro.db.session import Cursor, Session
+from repro.db.transaction import Transaction
+from repro.errors import CapabilityError, StorageError
+from repro.storage.table import Table
+
+
+class Database:
+    """A catalog served by one named backend (default ``mutable``).
+
+    ``path`` is a catalog directory: when it holds a saved catalog the
+    database opens it, otherwise a fresh in-memory catalog is created
+    and :meth:`save`/:meth:`close` will write it there.  ``path=None``
+    keeps everything in memory.  ``policy`` is the
+    :class:`~repro.delta.CompactionPolicy` handed to delta-backed
+    tables (mutable backend only).
+    """
+
+    def __init__(self, path=None, backend: str = "mutable", policy=None):
+        self.path = Path(path) if path is not None else None
+        self.backend = backend
+        self.policy = policy
+        self._closed = False
+        spec = backend_spec(backend)
+        if (
+            self.path is not None
+            and (self.path / "catalog.json").exists()
+        ):
+            if spec.loader is None:
+                raise CapabilityError(
+                    f"backend {backend!r} cannot open a saved catalog"
+                )
+            self.adapter = spec.loader(self.path, policy)
+        else:
+            self.adapter = create_adapter(backend, policy)
+        self._session = Session(self)
+
+    # -- lifecycle ------------------------------------------------------
+
+    @classmethod
+    def open(cls, path, backend: str = "mutable", policy=None) -> "Database":
+        """Alias of the constructor for callers who prefer a verb."""
+        return cls(path, backend=backend, policy=policy)
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StorageError("database is closed")
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def save(self, path=None) -> Path:
+        """Persist the catalog (and any delta sidecars) to ``path`` or
+        the directory the database was opened with."""
+        self._check_open()
+        spec = backend_spec(self.backend)
+        if spec.saver is None:
+            raise CapabilityError(
+                f"backend {self.backend!r} has no persistence"
+            )
+        target = Path(path) if path is not None else self.path
+        if target is None:
+            raise StorageError(
+                "no catalog directory: pass save(path) or open the "
+                "database with one"
+            )
+        spec.saver(self.adapter, target)
+        return target
+
+    def close(self, save: bool | None = None) -> None:
+        """Close the database (idempotent).  ``save`` defaults to
+        "write back if a catalog directory is attached"."""
+        if self._closed:
+            return
+        if save is None:
+            save = (
+                self.path is not None
+                and backend_spec(self.backend).saver is not None
+            )
+        if save:
+            self.save()
+        self._closed = True
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Persist only on a clean exit; an exception leaves the last
+        # saved state on disk untouched.
+        self.close(save=None if exc_type is None else False)
+
+    # -- the engine underneath ------------------------------------------
+
+    @property
+    def engine(self):
+        """The :class:`~repro.core.engine.EvolutionEngine` under an
+        SMO-capable backend, else ``None``."""
+        return getattr(self.adapter, "evolution_engine", None)
+
+    @property
+    def capabilities(self):
+        return self.adapter.capabilities
+
+    # -- execution (the default session) --------------------------------
+
+    def session(self) -> Session:
+        """A fresh execution scope sharing this database's catalog."""
+        self._check_open()
+        return Session(self)
+
+    def cursor(self) -> Cursor:
+        """A DB-API-flavored cursor on the default session."""
+        self._check_open()
+        return self._session.cursor()
+
+    def execute(self, statement, params=None):
+        """Execute one SQL or SMO statement on the default session."""
+        return self._session.execute(statement, params)
+
+    def executemany(self, statement: str, param_rows) -> int:
+        return self._session.executemany(statement, param_rows)
+
+    def execute_script(self, text: str) -> list:
+        return self._session.execute_script(text)
+
+    def transaction(self, read_only: bool = False) -> Transaction:
+        """A whole-catalog transactional scope (see
+        :class:`~repro.db.transaction.Transaction`)."""
+        self._check_open()
+        return Transaction(self, read_only=read_only)
+
+    # -- catalog introspection ------------------------------------------
+
+    def tables(self) -> list[str]:
+        """Sorted names of every table."""
+        self._check_open()
+        return self.adapter.table_names()
+
+    def schema(self, name: str):
+        self._check_open()
+        return self.adapter.schema(name)
+
+    def load_table(self, table: Table) -> None:
+        """Register an already-built :class:`~repro.storage.table.
+        Table` (CSV imports, workload generators) under its schema
+        name."""
+        self._check_open()
+        self.adapter.load_table(table)
+
+    # -- maintenance ----------------------------------------------------
+
+    def _require_compaction(self) -> None:
+        if not self.adapter.capabilities.compaction:
+            raise CapabilityError(
+                f"backend {self.backend!r} has no delta compaction"
+            )
+
+    def compact(self, name: str):
+        """Fold table ``name``'s write buffer into fresh compressed
+        columns; returns the new main table."""
+        self._check_open()
+        self._require_compaction()
+        return self.adapter.compact(name)
+
+    def compact_step(self, name: str, columns: int | None = None):
+        """One incremental compaction step on table ``name``."""
+        self._check_open()
+        self._require_compaction()
+        return self.adapter.compact_step(name, columns)
+
+    def delta_stats(self) -> list:
+        """Per-table delta statistics (mutable backend), else empty."""
+        self._check_open()
+        engine = self.engine
+        return engine.delta_stats() if engine is not None else []
+
+    def __repr__(self) -> str:
+        if self._closed:
+            return f"Database(backend={self.backend!r}, closed)"
+        location = str(self.path) if self.path is not None else "memory"
+        return (
+            f"Database({location!r}, backend={self.backend!r}, "
+            f"tables={self.tables()})"
+        )
+
+
+def connect(path=None, backend: str = "mutable", policy=None) -> Database:
+    """DB-API-flavored alias: ``repro.db.connect(...)``."""
+    return Database(path, backend=backend, policy=policy)

@@ -1,0 +1,117 @@
+"""The backend registry: storage engines selectable by name.
+
+A backend is an :class:`~repro.sql.adapter.EngineAdapter` factory plus
+(optionally) the load/save pair that persists its catalog to a
+directory.  :class:`repro.db.Database` resolves its ``backend=``
+argument here, so a new storage engine plugs into the whole façade —
+SQL, SMOs, transactions, persistence — by registering one spec instead
+of teaching every entry point about a new class.
+
+Built-in backends:
+
+* ``mutable`` — the CODS write path (delta-backed compressed columns,
+  MVCC snapshots, SMOs, ``.cods`` + ``.delta`` persistence);
+* ``column`` — the query-level column-store baseline (rebuilds
+  compressed columns on every write; ``.cods`` persistence);
+* ``row`` — the row-store baseline (in-memory only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import CapabilityError
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """One registered storage backend.
+
+    ``factory(policy)`` builds a fresh adapter; ``loader(path, policy)``
+    rebuilds one from a saved catalog directory and ``saver(adapter,
+    path)`` writes one — both ``None`` for in-memory-only backends.
+    """
+
+    name: str
+    description: str
+    factory: Callable
+    loader: Callable | None = None
+    saver: Callable | None = None
+
+
+_REGISTRY: dict[str, BackendSpec] = {}
+
+
+def register_backend(spec: BackendSpec, replace: bool = False) -> None:
+    """Add a backend to the registry (``replace`` to override)."""
+    if spec.name in _REGISTRY and not replace:
+        raise CapabilityError(f"backend {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+
+
+def backend_spec(name: str) -> BackendSpec:
+    """Look a backend up by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise CapabilityError(
+            f"unknown backend {name!r}; available: {available_backends()}"
+        ) from None
+
+
+def available_backends() -> list[str]:
+    """Sorted names of every registered backend."""
+    return sorted(_REGISTRY)
+
+
+def create_adapter(name: str, policy=None):
+    """Instantiate a fresh adapter for backend ``name``."""
+    return backend_spec(name).factory(policy)
+
+
+def _register_builtins() -> None:
+    from repro.sql.adapter import (
+        ColumnStoreAdapter,
+        MutableColumnAdapter,
+        RowEngineAdapter,
+    )
+    from repro.storage.filefmt import (
+        load_catalog,
+        load_engine,
+        save_catalog,
+        save_engine,
+    )
+
+    register_backend(BackendSpec(
+        name="mutable",
+        description=(
+            "CODS write path: delta-backed compressed columns, MVCC "
+            "snapshots, SMOs, .cods/.delta persistence"
+        ),
+        factory=lambda policy: MutableColumnAdapter(policy=policy),
+        loader=lambda path, policy: MutableColumnAdapter(
+            load_engine(path, policy), policy
+        ),
+        saver=lambda adapter, path: save_engine(
+            adapter.evolution_engine, path
+        ),
+    ))
+    register_backend(BackendSpec(
+        name="column",
+        description=(
+            "query-level column store baseline (rebuilds compressed "
+            "columns on write)"
+        ),
+        factory=lambda policy: ColumnStoreAdapter(),
+        loader=lambda path, policy: ColumnStoreAdapter(load_catalog(path)),
+        saver=lambda adapter, path: save_catalog(adapter.catalog, path),
+    ))
+    register_backend(BackendSpec(
+        name="row",
+        description="row store baseline (in-memory only)",
+        factory=lambda policy: RowEngineAdapter(),
+    ))
+
+
+_register_builtins()

@@ -1,0 +1,51 @@
+"""Statement routing: one front door for SQL and SMO text.
+
+The platform of the paper is *one* system — schema evolution requests
+and ordinary query/DML traffic hit the same store.  The façade keeps
+that property at the API level: :meth:`repro.db.Session.execute` takes
+any statement text and this module decides which language it belongs
+to, so callers never pick a parser.
+
+Routing is by leading verb (case-insensitive):
+
+* ``DECOMPOSE`` / ``MERGE`` / ``COPY`` / ``UNION`` / ``PARTITION`` /
+  ``ADD`` / ``RENAME`` — always the SMO language (none of these starts
+  a statement of the SQL subset);
+* ``DROP COLUMN`` — SMO; ``DROP TABLE`` — SQL (the adapter's
+  ``drop_table`` also discards the table's delta and releases pinned
+  scopes);
+* everything else (``SELECT``, ``INSERT``, ``UPDATE``, ``DELETE``,
+  ``CREATE``, ``ALTER``, …) — SQL.  Unknown verbs route to the SQL
+  parser so its syntax errors are the ones callers see.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.sql.parser import iter_script_statements
+
+__all__ = ["SQL", "SMO", "classify_statement", "iter_script_statements"]
+
+SQL = "sql"
+SMO = "smo"
+
+#: Verbs that can only begin a schema-modification statement.
+SMO_ONLY_VERBS = frozenset(
+    {"DECOMPOSE", "MERGE", "COPY", "UNION", "PARTITION", "ADD", "RENAME"}
+)
+
+_LEADING_WORDS = re.compile(r"\s*([A-Za-z_]+)(?:\s+([A-Za-z_]+))?")
+
+
+def classify_statement(text: str) -> str:
+    """``"smo"`` or ``"sql"`` for one statement's text."""
+    match = _LEADING_WORDS.match(text or "")
+    if match is None:
+        return SQL
+    verb = match.group(1).upper()
+    if verb in SMO_ONLY_VERBS:
+        return SMO
+    if verb == "DROP" and (match.group(2) or "").upper() == "COLUMN":
+        return SMO
+    return SQL

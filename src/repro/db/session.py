@@ -1,0 +1,280 @@
+"""Sessions and cursors: the DB-API-flavored execution surface.
+
+A :class:`Session` owns a :class:`~repro.sql.executor.SqlExecutor` over
+its database's adapter and routes every statement through the
+:mod:`repro.db.router` front door — SQL and DML to the executor, SMO
+text to the :class:`~repro.core.engine.EvolutionEngine` — so one
+``execute()`` speaks both languages against the same catalog.
+
+Statements take ``qmark``-style positional parameters (``?``), bound by
+literal substitution before parsing:
+
+    session.execute("SELECT * FROM r WHERE k = ?", (3,))
+    session.executemany("INSERT INTO r VALUES (?, ?)", [(1, "a"), (2, "b")])
+
+:class:`Cursor` wraps a session with the familiar
+``execute``/``fetchone``/``fetchall`` protocol plus ``description`` and
+``rowcount``, for callers porting DB-API code.
+"""
+
+from __future__ import annotations
+
+from repro.db.router import SMO, classify_statement, iter_script_statements
+from repro.errors import (
+    CapabilityError,
+    CodsError,
+    SmoValidationError,
+    SqlSyntaxError,
+)
+from repro.smo.parser import render_literal as _render_literal
+from repro.sql.ast import Select, Statement
+from repro.sql.executor import SqlExecutor, script_error
+from repro.sql.parser import parse_sql
+
+
+def render_literal(value) -> str:
+    """One Python value as a literal of the shared SQL/SMO grammar
+    (delegates to :func:`repro.smo.parser.render_literal`, recast as a
+    binding error)."""
+    try:
+        return _render_literal(value)
+    except SmoValidationError as exc:
+        raise SqlSyntaxError(f"cannot bind parameter: {exc}") from exc
+
+
+def bind_parameters(text: str, params) -> str:
+    """Substitute ``?`` placeholders (outside string literals) with the
+    rendered ``params``; arity mismatches raise."""
+    params = tuple(params)
+    out = []
+    next_param = 0
+    in_string = False
+    for char in text:
+        if char == "'":
+            in_string = not in_string
+            out.append(char)
+        elif char == "?" and not in_string:
+            if next_param >= len(params):
+                raise SqlSyntaxError(
+                    f"statement has more placeholders than the "
+                    f"{len(params)} bound parameter(s)"
+                )
+            out.append(render_literal(params[next_param]))
+            next_param += 1
+        else:
+            out.append(char)
+    if next_param != len(params):
+        raise SqlSyntaxError(
+            f"{len(params)} parameter(s) bound but the statement has "
+            f"{next_param} placeholder(s)"
+        )
+    return "".join(out)
+
+
+class Session:
+    """One execution scope over a :class:`~repro.db.Database`.
+
+    Sessions are cheap — they share the database's adapter (and
+    therefore its catalog) and add only the executor and routing
+    state.  A transaction passes its *scoped* adapter instead, so its
+    pinned read view never leaks into other sessions.  ``execute``
+    returns what the underlying layer returns: a row list for SELECT,
+    an affected-row count for DML, ``None`` for DDL, and an
+    :class:`~repro.core.status.EvolutionStatus` for SMO statements.
+    """
+
+    def __init__(self, database, adapter=None):
+        self.database = database
+        self.adapter = adapter if adapter is not None else database.adapter
+        self.executor = SqlExecutor(self.adapter)
+
+    # -- execution ------------------------------------------------------
+
+    def execute(self, statement, params=None):
+        """Execute one SQL *or* SMO statement (text or SQL AST)."""
+        self.database._check_open()
+        if isinstance(statement, Statement):
+            return self.executor.execute(statement)
+        text = statement
+        if params is not None:
+            text = bind_parameters(text, params)
+        if classify_statement(text) == SMO:
+            return self._execute_smo(text)
+        return self.executor.execute(text)
+
+    def _execute_smo(self, text: str):
+        engine = self.database.engine
+        if engine is None or not self.adapter.capabilities.smo:
+            raise CapabilityError(
+                f"backend {self.database.backend!r} cannot run schema "
+                f"modification operators; use backend='mutable'"
+            )
+        return engine.apply_sql_like(text)
+
+    def executemany(self, statement: str, param_rows) -> int:
+        """Execute one parameterized statement per parameter tuple;
+        returns the summed affected-row count."""
+        total = 0
+        for params in param_rows:
+            result = self.execute(statement, params)
+            if isinstance(result, int):
+                total += result
+        return total
+
+    def execute_script(self, text: str) -> list:
+        """Execute a ``;``-separated script that may mix SQL and SMO
+        statements; returns per-statement results.
+
+        The whole script is syntax-checked (with each statement's own
+        parser) before anything runs, so a typo anywhere executes
+        nothing; a statement failing *during execution* leaves the
+        earlier statements applied.  Like
+        :meth:`SqlExecutor.execute_script`, either failure re-raises
+        annotated with its 1-based position and fragment.
+        """
+        from repro.smo.parser import parse_smo
+
+        fragments = iter_script_statements(text)
+        prepared = []
+        for position, fragment in enumerate(fragments, start=1):
+            try:
+                if classify_statement(fragment) == SMO:
+                    parse_smo(fragment)  # syntax check; routed as text
+                    prepared.append(fragment)
+                else:
+                    prepared.append(parse_sql(fragment))
+            except CodsError as exc:
+                raise script_error(exc, position, fragment) from exc
+        results = []
+        for position, (fragment, statement) in enumerate(
+            zip(fragments, prepared), start=1
+        ):
+            try:
+                results.append(self.execute(statement))
+            except CodsError as exc:
+                raise script_error(exc, position, fragment) from exc
+        return results
+
+    def cursor(self) -> "Cursor":
+        """A DB-API-flavored cursor over this session."""
+        return Cursor(self)
+
+    # -- description helper ---------------------------------------------
+
+    def _select_columns(self, select: Select) -> tuple[str, ...]:
+        """The output column names of a SELECT, mirroring the
+        executor's projection rules."""
+        if select.columns is not None:
+            return tuple(select.columns)
+        left = self.adapter.schema(select.table).column_names
+        if select.join is None:
+            return tuple(left)
+        right = self.adapter.schema(select.join.table).column_names
+        return tuple(left) + tuple(
+            n for n in right if n not in select.join.join_attrs
+        )
+
+
+class Cursor:
+    """DB-API-shaped access: ``execute`` then ``fetch*``.
+
+    ``description`` is a sequence of 7-tuples (name first, the rest
+    ``None``) after a SELECT and ``None`` otherwise; ``rowcount`` is
+    the affected-row count after DML and ``-1`` otherwise.
+    """
+
+    arraysize = 1
+
+    def __init__(self, session: Session):
+        self.session = session
+        self.description = None
+        self.rowcount = -1
+        self._rows: list | None = None
+        self._position = 0
+        self._closed = False
+
+    # -- execution ------------------------------------------------------
+
+    def execute(self, statement, params=None) -> "Cursor":
+        self._check_open()
+        self.description = None
+        self.rowcount = -1
+        self._rows, self._position = None, 0
+
+        select = None
+        if isinstance(statement, Select):
+            select = statement
+        elif isinstance(statement, str):
+            text = (
+                bind_parameters(statement, params)
+                if params is not None
+                else statement
+            )
+            if classify_statement(text) != SMO:
+                parsed = parse_sql(text)
+                if isinstance(parsed, Select):
+                    select = parsed
+                statement, params = parsed, None
+            else:
+                statement, params = text, None
+
+        result = self.session.execute(statement, params)
+        if select is not None:
+            self._rows = list(result)
+            self.description = tuple(
+                (name, None, None, None, None, None, None)
+                for name in self.session._select_columns(select)
+            )
+        elif isinstance(result, int):
+            self.rowcount = result
+        return self
+
+    def executemany(self, statement: str, param_rows) -> "Cursor":
+        self._check_open()
+        self.description = None
+        self._rows, self._position = None, 0
+        self.rowcount = self.session.executemany(statement, param_rows)
+        return self
+
+    # -- fetching -------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise CapabilityError("cursor is closed")
+
+    def _result_rows(self) -> list:
+        if self._rows is None:
+            raise CapabilityError("no result set; execute a SELECT first")
+        return self._rows
+
+    def fetchone(self):
+        rows = self._result_rows()
+        if self._position >= len(rows):
+            return None
+        row = rows[self._position]
+        self._position += 1
+        return row
+
+    def fetchmany(self, size: int | None = None) -> list:
+        rows = self._result_rows()
+        count = self.arraysize if size is None else size
+        chunk = rows[self._position:self._position + count]
+        self._position += len(chunk)
+        return chunk
+
+    def fetchall(self) -> list:
+        rows = self._result_rows()
+        chunk = rows[self._position:]
+        self._position = len(rows)
+        return chunk
+
+    def __iter__(self):
+        while True:
+            row = self.fetchone()
+            if row is None:
+                return
+            yield row
+
+    def close(self) -> None:
+        self._closed = True
+        self._rows = None

@@ -1,0 +1,210 @@
+"""Whole-catalog transactions: multi-table epoch-vector snapshots.
+
+PR 2's :class:`~repro.delta.Snapshot` pins *one* table's (generation,
+epoch) pair.  A :class:`Transaction` extends that to the whole catalog:
+entering the scope pins every table atomically (the runtime is
+single-threaded, so no write can interleave with the acquisition loop),
+producing an **epoch vector** — ``{table: (generation, epoch)}`` — that
+stays frozen while concurrent inserts, deletes, updates and
+``compact_step()`` calls proceed outside the scope.  Cross-table reads
+inside the scope are therefore mutually consistent: they all observe
+the catalog as of one instant.
+
+The pins live on a *scoped adapter* (a per-transaction adapter over the
+same engine, see :meth:`~repro.sql.adapter.EngineAdapter.scoped`), so
+only reads issued through the transaction see the frozen view — other
+sessions of the same database keep reading live state throughout.
+
+Write semantics follow the classic deferred-update design:
+
+* ``read_only=True`` scopes reject DML outright;
+* read-write scopes **buffer** DML statements and replay them at commit
+  (when the scope exits cleanly); an exception rolls the buffer away
+  untouched.  Reads inside the scope see the pinned state, *not* the
+  scope's own buffered writes — snapshot-isolation reads with deferred
+  writes, documented in ``docs/ARCHITECTURE.md`` ("The API layer").
+
+Schema changes (SMOs, CREATE/DROP/ALTER) are not transactional and are
+rejected inside any scope.
+"""
+
+from __future__ import annotations
+
+from repro.db.router import SMO, classify_statement
+from repro.db.session import Session, bind_parameters
+from repro.errors import CapabilityError, CodsError, TransactionError
+from repro.sql.adapter import require_table
+from repro.sql.ast import Delete, InsertSelect, InsertValues, Select, Update
+from repro.sql.executor import script_error
+from repro.sql.parser import parse_sql
+
+_DML = (InsertValues, InsertSelect, Update, Delete)
+
+
+class Transaction:
+    """A pinned, whole-catalog scope over an MVCC-capable backend.
+
+    Use as a context manager::
+
+        with db.transaction(read_only=True) as tx:
+            before = tx.execute("SELECT * FROM s")
+            # concurrent DML / compaction elsewhere ...
+            assert tx.execute("SELECT * FROM s") == before
+
+        with db.transaction() as tx:
+            tx.execute("INSERT INTO s VALUES (1, 'a')")  # buffered
+        # committed here; an exception inside the block rolls back
+    """
+
+    def __init__(self, database, read_only: bool = False):
+        if not database.adapter.capabilities.snapshots:
+            raise CapabilityError(
+                f"backend {database.backend!r} has no MVCC snapshots; "
+                f"transactions need backend='mutable'"
+            )
+        self.database = database
+        self.read_only = read_only
+        # Pins land on a scoped adapter so only this transaction's
+        # reads see them; buffered writes replay through a session on
+        # the database's shared adapter at commit.
+        self._adapter = database.adapter.scoped()
+        self._session = Session(database, adapter=self._adapter)
+        self._commit_session = database.session()
+        self._pins: dict = {}
+        self._buffered: list[str] = []
+        self._state = "pending"  # -> open -> committed | rolled-back
+
+    # -- lifecycle ------------------------------------------------------
+
+    def begin(self) -> "Transaction":
+        """Pin every table of the catalog at its current (generation,
+        epoch); reads through this transaction observe that frozen
+        state until the scope ends (other sessions read live)."""
+        if self._state != "pending":
+            raise TransactionError(f"transaction already {self._state}")
+        self._pins = {
+            name: self._adapter.begin_snapshot(name)
+            for name in self._adapter.table_names()
+        }
+        self._state = "open"
+        return self
+
+    @property
+    def epoch_vector(self) -> dict[str, tuple[int, int]]:
+        """The pinned ``{table: (generation, epoch)}`` coordinates."""
+        return {
+            name: (snapshot.generation, snapshot.epoch)
+            for name, snapshot in self._pins.items()
+        }
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    def _release_pins(self) -> None:
+        # Close the handles directly rather than via end_snapshot(name):
+        # a concurrent DROP/RENAME may have moved or already closed a
+        # table's scope stack, and the adapter drains closed entries
+        # lazily on its next read.
+        for snapshot in self._pins.values():
+            snapshot.close()
+
+    def commit(self) -> int:
+        """Release the pins and replay the buffered writes against the
+        live state; returns the summed affected-row count.
+
+        Replay is sequential and non-atomic: a statement that fails
+        mid-commit raises annotated with its 1-based buffer position
+        and leaves the transaction in the terminal ``commit-failed``
+        state — earlier statements stay applied and are *removed* from
+        the buffer, so ``pending_writes`` names exactly the statements
+        that did not land.
+        """
+        self._check_open()
+        self._release_pins()
+        total = 0
+        for position, text in enumerate(self._buffered, start=1):
+            try:
+                result = self._commit_session.execute(text)
+            except CodsError as exc:
+                self._state = "commit-failed"
+                self._buffered = self._buffered[position - 1:]
+                raise script_error(exc, position, text) from exc
+            if isinstance(result, int):
+                total += result
+        self._buffered = []
+        self._state = "committed"
+        return total
+
+    def rollback(self) -> int:
+        """Discard the buffered writes and release the pins; returns
+        how many statements were discarded."""
+        self._check_open()
+        self._release_pins()
+        self._state = "rolled-back"
+        discarded = len(self._buffered)
+        self._buffered.clear()
+        return discarded
+
+    def __enter__(self) -> "Transaction":
+        return self.begin()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._state != "open":
+            return
+        if exc_type is None:
+            self.commit()
+        else:
+            self.rollback()
+
+    def _check_open(self) -> None:
+        if self._state != "open":
+            raise TransactionError(
+                f"transaction is {self._state}, not open"
+            )
+
+    # -- execution ------------------------------------------------------
+
+    def execute(self, statement: str, params=None):
+        """Run a read against the pinned state, or buffer a write.
+
+        SELECTs return their rows immediately (resolved against the
+        epoch vector).  In a read-write scope, DML returns ``None`` and
+        is applied at commit.  SMOs and DDL raise — schema changes are
+        not transactional.
+        """
+        self._check_open()
+        text = (
+            bind_parameters(statement, params)
+            if params is not None
+            else statement
+        )
+        if classify_statement(text) == SMO:
+            raise TransactionError(
+                "schema modification operators are not transactional; "
+                "run them outside the scope"
+            )
+        parsed = parse_sql(text)
+        if isinstance(parsed, Select):
+            return self._session.execute(parsed)
+        if isinstance(parsed, _DML):
+            if self.read_only:
+                raise TransactionError(
+                    "cannot write inside a read-only transaction"
+                )
+            # Fail fast on an unknown target instead of deferring the
+            # error to commit, where earlier statements have already
+            # been applied.
+            require_table(self._adapter, parsed.table)
+            if isinstance(parsed, InsertSelect):
+                require_table(self._adapter, parsed.select.table)
+            self._buffered.append(text)
+            return None
+        raise TransactionError(
+            "DDL is not transactional; run it outside the scope"
+        )
+
+    @property
+    def pending_writes(self) -> int:
+        """Buffered statements awaiting commit."""
+        return len(self._buffered)

@@ -33,11 +33,17 @@ from repro.delta.policy import (
     DeltaStats,
 )
 from repro.delta.snapshot import Snapshot
-from repro.delta.store import DeltaStore
+from repro.delta.store import (
+    DEFAULT_INDEX_THRESHOLD,
+    DEFAULT_RANGE_PROBE_LIMIT,
+    DeltaStore,
+)
 
 __all__ = [
     "CompactionPolicy",
     "CompactionProgress",
+    "DEFAULT_INDEX_THRESHOLD",
+    "DEFAULT_RANGE_PROBE_LIMIT",
     "DeltaStats",
     "DeltaStore",
     "MutableTable",

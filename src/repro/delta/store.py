@@ -29,6 +29,14 @@ from repro.storage.types import coerce
 #: Appended rows after which per-column hash indexes are built on demand.
 DEFAULT_INDEX_THRESHOLD = 256
 
+#: Distinct values above which a range predicate (<, >, <=, >=, !=)
+#: stops probing the hash index value by value and falls back to
+#: row-wise evaluation.  A hash index answers equality in O(1) but a
+#: range only by testing every distinct value; once the distinct count
+#: approaches the row count that probe loop costs as much as the scan
+#: it was meant to avoid.
+DEFAULT_RANGE_PROBE_LIMIT = 1024
+
 
 class DeltaStore:
     """Uncompressed, epoch-versioned write buffer for one table.
@@ -52,6 +60,7 @@ class DeltaStore:
         "deleted_delta",
         "epoch",
         "index_threshold",
+        "range_probe_limit",
         "_indexes",
     )
 
@@ -70,6 +79,7 @@ class DeltaStore:
         self.deleted_delta: dict[int, int] = {}
         self.epoch = start_epoch
         self.index_threshold = index_threshold
+        self.range_probe_limit = DEFAULT_RANGE_PROBE_LIMIT
         self._indexes: dict[str, dict] = {}
 
     @classmethod
@@ -336,15 +346,24 @@ class DeltaStore:
         fall back to row-wise evaluation.
 
         Equality and IN are hash lookups; other comparisons probe each
-        distinct value once (``O(distinct)`` instead of ``O(rows)``).
-        Conjunctions intersect, disjunctions union, and negations
-        complement against the appended universe.
+        distinct value once (``O(distinct)`` instead of ``O(rows)``) —
+        but only while the column's distinct count stays at or below
+        ``range_probe_limit``; past it the probe loop would cost as much
+        as the scan, so the method declines and the caller goes
+        row-wise.  Conjunctions intersect, disjunctions union, and
+        negations complement against the appended universe.
         """
         from repro.smo.predicate import And, Comparison, Not, Or
 
         if isinstance(predicate, Comparison):
             index = self._index_for(predicate.attr)
             if index is None:
+                return None
+            if (
+                predicate.op not in ("=", "IN")
+                and self.range_probe_limit is not None
+                and len(index) > self.range_probe_limit
+            ):
                 return None
             matched: set[int] = set()
             for value, postings in index.items():

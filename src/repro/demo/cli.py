@@ -15,7 +15,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.core.engine import EvolutionEngine
+from repro.db import Database
 from repro.delta import CompactionPolicy
 from repro.errors import CodsError
 from repro.smo.parser import TokenStream, literal_value, parse_predicate, parse_smo
@@ -33,6 +33,7 @@ Commands (mirroring the Figure 4 buttons):
   queue               show queued operators
   execute             run the queued operators (with live status)
   history             show the evolution history
+  sql <statement>     run one SQL or SMO statement via the repro.db facade
   insert <t> (v, ...) [, (v, ...)]  buffer rows in the table's delta
   delete <t> [WHERE <predicate>]    delete rows (delta-masked)
   compact <t>         fold the delta into fresh WAH columns
@@ -69,18 +70,22 @@ def figure1_table() -> Table:
 
 
 class DemoSession:
-    """One interactive session: an engine, a queue, and an output stream."""
+    """One interactive session: a database, a queue, and an output
+    stream.  Built on the :class:`repro.db.Database` façade — the
+    ``sql`` command goes straight through ``db.execute``; the SMO
+    queue and write-path commands use the engine underneath."""
 
     def __init__(self, out=sys.stdout):
-        self.engine = EvolutionEngine()
-        self.queue: list = []
-        self.out = out
-        self.engine.subscribe(self._on_status)
         # Size-only trigger: ratio policies would fold the delta straight
         # back into the tiny demo tables, hiding the buffering from view.
         self.delta_policy = CompactionPolicy(
             max_delta_rows=1024, max_delta_ratio=None, max_deleted_ratio=None
         )
+        self.db = Database(policy=self.delta_policy)
+        self.engine = self.db.engine
+        self.queue: list = []
+        self.out = out
+        self.engine.subscribe(self._on_status)
 
     def _print(self, text: str = "") -> None:
         print(text, file=self.out)
@@ -231,6 +236,24 @@ class DemoSession:
                 f"compactions={stats.compactions}"
             )
 
+    def cmd_sql(self, statement: str) -> None:
+        """One statement through the façade: SELECT prints rows, DML
+        prints the affected count, SMOs print their status summary."""
+        result = self.db.execute(statement)
+        if result is None:
+            self._print("ok")
+        elif isinstance(result, int):
+            self._print(f"{result} row(s) affected")
+        elif isinstance(result, list):
+            for row in result[:20]:
+                self._print(f"    {row}")
+            if len(result) > 20:
+                self._print(f"… ({len(result)} rows total)")
+            self._print(f"({len(result)} row(s))")
+        else:  # EvolutionStatus
+            counters = {k: v for k, v in result.summary().items() if v}
+            self._print(f"done. counters: {counters or '{}'}")
+
     def cmd_history(self) -> None:
         text = self.engine.history.describe()
         self._print(text if text else "(no evolution history)")
@@ -271,6 +294,8 @@ class DemoSession:
                 self.cmd_queue()
             elif verb == "execute":
                 self.cmd_execute()
+            elif verb == "sql":
+                self.cmd_sql(rest)
             elif verb == "insert":
                 self.cmd_insert(rest)
             elif verb == "delete":

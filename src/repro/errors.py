@@ -53,6 +53,17 @@ class SqlExecutionError(SqlError):
     """The statement parsed but could not be executed."""
 
 
+class CapabilityError(CodsError):
+    """A statement needs a capability the selected backend lacks (e.g.
+    SMOs on the row store, snapshots on the query-level column store)."""
+
+
+class TransactionError(CodsError):
+    """Misuse of a :meth:`repro.db.Database.transaction` scope: writes
+    in a read-only scope, schema changes inside any scope, or use of a
+    scope that already committed or rolled back."""
+
+
 class EvolutionError(CodsError):
     """The evolution engine failed while applying an operator."""
 

@@ -22,6 +22,8 @@ AND/OR/NOT and parentheses.
 
 from __future__ import annotations
 
+import decimal
+import math
 import re
 
 from repro.errors import SmoValidationError
@@ -348,6 +350,35 @@ def parse_smo(text: str) -> SchemaModificationOperator:
     tokens.done()
     return AddColumn(
         table, ColumnSchema(column_name, parse_type_name(type_name)), default
+    )
+
+
+def render_literal(value) -> str:
+    """One Python value as literal text of the shared grammar — the
+    inverse of :func:`literal_value`.  Used by parameter binding
+    (:mod:`repro.db`) and SQL-statement generation
+    (:mod:`repro.workload`)."""
+    if value is None:
+        return "NULL"
+    if value is True:
+        return "TRUE"
+    if value is False:
+        return "FALSE"
+    if isinstance(value, int):
+        return repr(value)
+    if isinstance(value, float):
+        # The tokenizer has no exponent form, so 1e20 must render as
+        # plain digits (losslessly, via the repr round-trip decimal).
+        if not math.isfinite(value):
+            raise SmoValidationError(
+                f"cannot render non-finite float {value!r}"
+            )
+        text = format(decimal.Decimal(repr(value)), "f")
+        return text if "." in text else text + ".0"
+    if isinstance(value, str):
+        return "'" + value.replace("'", "''") + "'"
+    raise SmoValidationError(
+        f"cannot render a literal of type {type(value).__name__}"
     )
 
 

@@ -1,6 +1,7 @@
 """A SQL subset: parser + executor over pluggable storage engines."""
 
 from repro.sql.adapter import (
+    AdapterCapabilities,
     ColumnStoreAdapter,
     EngineAdapter,
     MutableColumnAdapter,
@@ -19,9 +20,14 @@ from repro.sql.ast import (
     Update,
 )
 from repro.sql.executor import SqlExecutor
-from repro.sql.parser import parse_sql, parse_sql_script
+from repro.sql.parser import (
+    iter_script_statements,
+    parse_sql,
+    parse_sql_script,
+)
 
 __all__ = [
+    "AdapterCapabilities",
     "ColumnStoreAdapter",
     "CreateIndex",
     "CreateTable",
@@ -36,6 +42,7 @@ __all__ = [
     "Select",
     "SqlExecutor",
     "Update",
+    "iter_script_statements",
     "parse_sql",
     "parse_sql_script",
 ]

@@ -19,6 +19,7 @@ delta buffer) via :meth:`EngineAdapter.filter_rows`.  See
 from __future__ import annotations
 
 from contextlib import contextmanager
+from dataclasses import dataclass
 
 from repro.delta import CompactionPolicy
 from repro.errors import SchemaError, SqlExecutionError
@@ -29,10 +30,48 @@ from repro.storage.table import Table
 from repro.storage.types import coerce
 
 
+@dataclass(frozen=True)
+class AdapterCapabilities:
+    """What a storage adapter can do, declared instead of duck-typed.
+
+    The executor and the :mod:`repro.db` façade branch on these flags
+    rather than special-casing adapter classes, so a new backend opts
+    into behaviours by declaration:
+
+    * ``pushdown`` — :meth:`EngineAdapter.filter_rows` evaluates WHERE
+      predicates inside the storage engine;
+    * ``snapshots`` — ``begin_snapshot``/``end_snapshot``/
+      ``snapshot_scope`` pin MVCC views (required for
+      ``Database.transaction``);
+    * ``hash_join`` — :meth:`EngineAdapter.hash_join` provides an
+      engine-native join the executor should prefer;
+    * ``smo`` — schema modification operators can run against this
+      backend (it is built over an :class:`~repro.core.engine.
+      EvolutionEngine`);
+    * ``persistence`` — the backend's catalog can be saved to and
+      loaded from a directory of ``.cods`` files;
+    * ``compaction`` — ``compact``/``compact_step`` fold a write buffer
+      into fresh compressed columns.
+    """
+
+    pushdown: bool = False
+    snapshots: bool = False
+    hash_join: bool = False
+    smo: bool = False
+    persistence: bool = False
+    compaction: bool = False
+
+
 class EngineAdapter:
     """Interface required by :class:`repro.sql.executor.SqlExecutor`."""
 
+    capabilities: AdapterCapabilities = AdapterCapabilities()
+
     def has_table(self, name: str) -> bool:
+        raise NotImplementedError
+
+    def table_names(self) -> list[str]:
+        """Sorted names of every table this adapter serves."""
         raise NotImplementedError
 
     def schema(self, name: str) -> TableSchema:
@@ -40,6 +79,13 @@ class EngineAdapter:
 
     def create_table(self, schema: TableSchema) -> None:
         raise NotImplementedError
+
+    def load_table(self, table: Table) -> None:
+        """Register an already-built :class:`Table`.  The generic path
+        creates the schema and bulk-inserts the rows; column-backed
+        adapters override it to adopt the compressed table as-is."""
+        self.create_table(table.schema)
+        self.insert_rows(table.schema.name, table.to_rows())
 
     def drop_table(self, name: str) -> None:
         raise NotImplementedError
@@ -68,8 +114,22 @@ class EngineAdapter:
     def filter_rows(self, name: str, predicate):
         """Rows matching ``predicate``, resolved inside the storage
         engine — or ``None`` when the adapter has no pushdown path, in
-        which case the executor filters ``scan_rows`` row by row."""
+        which case the executor filters ``scan_rows`` row by row.
+        Only called when ``capabilities.pushdown`` is set."""
         return None
+
+    def hash_join(self, left: str, right: str, join_attrs, out_columns):
+        """Engine-native equi-join yielding ``out_columns`` tuples.
+        Only called when ``capabilities.hash_join`` is set."""
+        raise NotImplementedError
+
+    def scoped(self) -> "EngineAdapter":
+        """A fresh adapter over the *same* underlying engine, with its
+        own read-scope state (pinned snapshot stacks).  Transactions
+        pin their views on a scoped adapter so readers outside the
+        scope keep seeing live data.  Only meaningful when
+        ``capabilities.snapshots`` is set."""
+        raise NotImplementedError
 
     def create_index(self, table: str, column: str) -> None:
         raise NotImplementedError
@@ -121,11 +181,19 @@ def _filter_rows(schema, rows, predicate):
 class RowEngineAdapter(EngineAdapter):
     """Adapter over the row-oriented engine (the "commercial" baseline)."""
 
+    capabilities = AdapterCapabilities(hash_join=True)
+
     def __init__(self, engine: RowEngine | None = None):
         self.engine = engine if engine is not None else RowEngine()
 
     def has_table(self, name: str) -> bool:
         return name in self.engine.tables
+
+    def table_names(self) -> list[str]:
+        return sorted(self.engine.tables)
+
+    def hash_join(self, left, right, join_attrs, out_columns):
+        return self.engine.hash_join(left, right, join_attrs, out_columns)
 
     def schema(self, name: str) -> TableSchema:
         return self.engine.table(name).schema
@@ -189,6 +257,8 @@ class ColumnStoreAdapter(EngineAdapter):
     it is the MonetDB-style comparator, not the CODS path.
     """
 
+    capabilities = AdapterCapabilities(persistence=True)
+
     def __init__(self, catalog: Catalog | None = None):
         self.catalog = catalog if catalog is not None else Catalog()
         # Row-count of tuples materialized / re-compressed, for reports.
@@ -198,11 +268,17 @@ class ColumnStoreAdapter(EngineAdapter):
     def has_table(self, name: str) -> bool:
         return name in self.catalog
 
+    def table_names(self) -> list[str]:
+        return self.catalog.table_names()
+
     def schema(self, name: str) -> TableSchema:
         return self.catalog.schema(name)
 
     def create_table(self, schema: TableSchema) -> None:
         self.catalog.create(Table.empty(schema))
+
+    def load_table(self, table: Table) -> None:
+        self.catalog.create(table)
 
     def drop_table(self, name: str) -> None:
         self.catalog.drop(name)
@@ -276,6 +352,14 @@ class MutableColumnAdapter(EngineAdapter):
     on each write.
     """
 
+    capabilities = AdapterCapabilities(
+        pushdown=True,
+        snapshots=True,
+        smo=True,
+        persistence=True,
+        compaction=True,
+    )
+
     def __init__(self, engine=None, policy: CompactionPolicy | None = None):
         from repro.core.engine import EvolutionEngine
 
@@ -285,7 +369,11 @@ class MutableColumnAdapter(EngineAdapter):
         self.policy = policy
         # name -> stack of pinned Snapshots; the innermost (last) scope
         # serves reads, and ending a scope re-exposes the one below it.
+        # Renames re-key the stacks via the engine's rename listener, so
+        # scopes follow a rename whichever entry point (SQL ALTER or SMO
+        # RENAME TABLE) requested it.
         self._active_snapshots: dict[str, list] = {}
+        self.evolution_engine.subscribe_renames(self._follow_rename)
 
     @property
     def catalog(self) -> Catalog:
@@ -297,11 +385,20 @@ class MutableColumnAdapter(EngineAdapter):
     def has_table(self, name: str) -> bool:
         return name in self.catalog
 
+    def table_names(self) -> list[str]:
+        return self.catalog.table_names()
+
     def schema(self, name: str) -> TableSchema:
         return self.catalog.schema(name)
 
+    def scoped(self) -> "MutableColumnAdapter":
+        return MutableColumnAdapter(self.evolution_engine, self.policy)
+
     def create_table(self, schema: TableSchema) -> None:
         self.catalog.create(Table.empty(schema))
+
+    def load_table(self, table: Table) -> None:
+        self.evolution_engine.load_table(table)
 
     def drop_table(self, name: str) -> None:
         # The delta dies with the table — compacting it first would be
@@ -314,8 +411,11 @@ class MutableColumnAdapter(EngineAdapter):
 
     def rename_table(self, old: str, new: str) -> None:
         # Metadata-only: O(1), never a compaction — the pending delta is
-        # rewired in place under the new name.
+        # rewired in place under the new name (and the rename listener
+        # moves any pinned snapshot scopes with it).
         self.evolution_engine.rename_table_metadata(old, new)
+
+    def _follow_rename(self, old: str, new: str) -> None:
         if old in self._active_snapshots:
             self._active_snapshots.setdefault(new, []).extend(
                 self._active_snapshots.pop(old)

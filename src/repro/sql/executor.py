@@ -8,7 +8,7 @@ their evolutions through this code path.
 
 from __future__ import annotations
 
-from repro.errors import SqlExecutionError
+from repro.errors import CodsError, SqlExecutionError
 from repro.sql.adapter import EngineAdapter, require_table
 from repro.sql.ast import (
     CreateIndex,
@@ -22,7 +22,7 @@ from repro.sql.ast import (
     Statement,
     Update,
 )
-from repro.sql.parser import parse_sql, parse_sql_script
+from repro.sql.parser import iter_script_statements, parse_sql
 
 
 class SqlExecutor:
@@ -48,8 +48,33 @@ class SqlExecutor:
 
     def execute_script(self, text: str) -> list:
         """Execute a semicolon-separated script; returns per-statement
-        results."""
-        return [self._dispatch(s) for s in parse_sql_script(text)]
+        results.
+
+        ``--`` comments are stripped (see
+        :func:`~repro.sql.parser.iter_script_statements`).  The whole
+        script is parsed before anything runs, so a syntax error
+        anywhere executes nothing; a statement that fails *during
+        execution* leaves the earlier statements applied.  Either way
+        the error re-raises annotated with the 1-based statement
+        position and the offending SQL fragment, so a mid-script
+        failure never loses its place.
+        """
+        fragments = iter_script_statements(text)
+        parsed = []
+        for position, fragment in enumerate(fragments, start=1):
+            try:
+                parsed.append(parse_sql(fragment))
+            except CodsError as exc:
+                raise script_error(exc, position, fragment) from exc
+        results = []
+        for position, (fragment, statement) in enumerate(
+            zip(fragments, parsed), start=1
+        ):
+            try:
+                results.append(self._dispatch(statement))
+            except CodsError as exc:
+                raise script_error(exc, position, fragment) from exc
+        return results
 
     # -- dispatch ---------------------------------------------------------
 
@@ -131,6 +156,10 @@ class SqlExecutor:
                 rows = self._filtered_projection(
                     select.table, left_schema, column_names, select.where
                 )
+            elif tuple(column_names) == left_schema.column_names:
+                # Identity projection: the scan already yields rows in
+                # schema order, so re-tupling would only burn CPU.
+                rows = self.adapter.scan_rows(select.table)
             else:
                 positions = [left_schema.index_of(c) for c in column_names]
                 rows = (
@@ -170,25 +199,33 @@ class SqlExecutor:
     def _filtered_projection(self, table, schema, out_columns, predicate):
         positions = {n: i for i, n in enumerate(schema.column_names)}
         out_positions = [positions[c] for c in out_columns]
-        # Pushdown first: adapters that can evaluate the predicate inside
-        # the storage engine (compressed-domain bitmaps, delta hash
-        # indexes) return only the matching rows; others return None and
-        # we filter the scan row by row.
-        rows = self.adapter.filter_rows(table, predicate)
+        # Pushdown first: adapters that declare the capability evaluate
+        # the predicate inside the storage engine (compressed-domain
+        # bitmaps, delta hash indexes) and return only the matching
+        # rows; the rest are filtered row by row off the scan.
+        rows = (
+            self.adapter.filter_rows(table, predicate)
+            if self.adapter.capabilities.pushdown
+            else None
+        )
         if rows is None:
             rows = (
                 row
                 for row in self.adapter.scan_rows(table)
                 if predicate.matches(lambda a, r=row: r[positions[a]])
             )
+        if tuple(out_columns) == schema.column_names:
+            yield from rows  # identity projection
+            return
         for row in rows:
             yield tuple(row[p] for p in out_positions)
 
     def _hash_join(self, left, right, join_attrs, out_columns):
         """Generic tuple hash join (build on the smaller input)."""
-        engine = getattr(self.adapter, "engine", None)
-        if engine is not None and hasattr(engine, "hash_join"):
-            yield from engine.hash_join(left, right, join_attrs, out_columns)
+        if self.adapter.capabilities.hash_join:
+            yield from self.adapter.hash_join(
+                left, right, join_attrs, out_columns
+            )
             return
         left_schema = self.adapter.schema(left)
         right_schema = self.adapter.schema(right)
@@ -213,6 +250,14 @@ class SqlExecutor:
                     left_row[p] if side == "L" else right_row[p]
                     for side, p in resolution
                 )
+
+
+def script_error(exc: CodsError, position: int, fragment: str) -> CodsError:
+    """Rewrap a per-statement error with its 1-based script position
+    and the offending fragment, preserving the exception type so
+    callers' ``except`` clauses keep matching."""
+    snippet = fragment if len(fragment) <= 120 else fragment[:117] + "..."
+    return type(exc)(f"statement {position} ({snippet!r}): {exc}")
 
 
 def _dedup(rows):

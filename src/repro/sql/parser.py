@@ -246,9 +246,50 @@ def _parse_sql(text: str) -> Statement:
 
 
 def parse_sql_script(text: str) -> list[Statement]:
-    """Parse a semicolon-separated script."""
-    statements = []
-    for chunk in text.split(";"):
-        if chunk.strip():
-            statements.append(parse_sql(chunk))
+    """Parse a semicolon-separated script (same splitting rules as
+    :func:`iter_script_statements`)."""
+    return [parse_sql(f) for f in iter_script_statements(text)]
+
+
+def iter_script_statements(text: str) -> list[str]:
+    """Split a script into statement fragments.
+
+    One character-level scan tracks string-literal state across the
+    whole script: ``--`` comments (full line or trailing) are dropped
+    and ``;`` terminates a statement only *outside* ``'...'`` literals
+    — so a semicolon, comment marker or newline inside a string is
+    data, never structure.  Returned fragments are stripped and
+    non-empty.
+
+    Shared by :meth:`repro.sql.executor.SqlExecutor.execute_script` and
+    :meth:`repro.db.Session.execute_script`, so a script behaves the
+    same through either entry point.
+    """
+    statements: list[str] = []
+    current: list[str] = []
+
+    def close() -> None:
+        fragment = "".join(current).strip()
+        current.clear()
+        if fragment:
+            statements.append(fragment)
+
+    in_string = False
+    index = 0
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if char == "'":
+            in_string = not in_string
+            current.append(char)
+        elif not in_string and text[index:index + 2] == "--":
+            while index < length and text[index] != "\n":
+                index += 1
+            continue  # the newline itself is processed next iteration
+        elif not in_string and char == ";":
+            close()
+        else:
+            current.append(char)
+        index += 1
+    close()
     return statements

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import WorkloadError
+from repro.smo.parser import render_literal
 from repro.smo.predicate import Comparison
 from repro.storage.table import Table
 from repro.workload.generator import EmployeeWorkload
@@ -35,6 +36,32 @@ class WriteOp:
     row: tuple | None = None
     assignments: dict | None = None
     predicate: Comparison | None = None
+
+    def sql(self, table: str) -> str:
+        """This operation as one SQL statement against ``table`` (the
+        form the :class:`repro.db.Database` façade executes)."""
+        if self.kind == INSERT:
+            values = ", ".join(render_literal(v) for v in self.row)
+            return f"INSERT INTO {table} VALUES ({values})"
+        if self.kind == UPDATE:
+            sets = ", ".join(
+                f"{column} = {render_literal(value)}"
+                for column, value in self.assignments.items()
+            )
+            where = self._where_sql()
+            return f"UPDATE {table} SET {sets}{where}"
+        if self.kind == DELETE:
+            return f"DELETE FROM {table}{self._where_sql()}"
+        return f"SELECT * FROM {table}"
+
+    def _where_sql(self) -> str:
+        if self.predicate is None:
+            return ""
+        predicate = self.predicate
+        return (
+            f" WHERE {predicate.attr} {predicate.op} "
+            f"{render_literal(predicate.value)}"
+        )
 
 
 @dataclass(frozen=True)
@@ -166,4 +193,54 @@ class MixedReadWriteWorkload:
         counters["rows_affected"] = affected
         counters["rows_scanned"] = scanned
         counters["scan_seconds"] = scan_seconds
+        return counters
+
+    def apply_to_adapter(
+        self, adapter, table: str = "R", operations=None
+    ) -> dict:
+        """Drive the stream through direct :class:`~repro.sql.adapter.
+        EngineAdapter` calls — the baseline the façade's overhead is
+        measured against (``benchmarks/bench_session_api.py``).
+
+        ``operations`` lets a caller pre-build the stream (e.g. outside
+        a benchmark's timed region); by default it is generated here.
+        """
+        counters = {INSERT: 0, UPDATE: 0, DELETE: 0, SCAN: 0}
+        affected = 0
+        scanned = 0
+        if operations is None:
+            operations = self.operations()
+        for op in operations:
+            counters[op.kind] += 1
+            if op.kind == INSERT:
+                affected += adapter.insert_rows(table, [op.row])
+            elif op.kind == UPDATE:
+                affected += adapter.update_rows(
+                    table, list(op.assignments.items()), op.predicate
+                )
+            elif op.kind == DELETE:
+                affected += adapter.delete_rows(table, op.predicate)
+            else:
+                for _row in adapter.scan_rows(table):
+                    scanned += 1
+        counters["rows_affected"] = affected
+        counters["rows_scanned"] = scanned
+        return counters
+
+    def apply_to_session(self, session, table: str = "R") -> dict:
+        """Drive the stream as SQL text through a :class:`repro.db.
+        Session` (``session.execute`` per operation) — the façade path
+        of the mixed read/write workload."""
+        counters = {INSERT: 0, UPDATE: 0, DELETE: 0, SCAN: 0}
+        affected = 0
+        scanned = 0
+        for op in self.operations():
+            counters[op.kind] += 1
+            result = session.execute(op.sql(table))
+            if op.kind == SCAN:
+                scanned += len(result)
+            elif isinstance(result, int):
+                affected += result
+        counters["rows_affected"] = affected
+        counters["rows_scanned"] = scanned
         return counters

@@ -1,0 +1,190 @@
+"""Whole-catalog transactions through the `repro.db` façade.
+
+The acceptance bar for the API layer: a ``db.transaction()`` read scope
+must return *identical multi-table results* before and after concurrent
+DML and incremental compaction, and read-write scopes must buffer until
+commit and vanish on rollback.
+"""
+
+import pytest
+
+from repro.db import Database
+from repro.delta import CompactionPolicy
+from repro.errors import CapabilityError, TransactionError
+from repro.workload.readwrite import MixedReadWriteWorkload
+
+
+def seeded_db() -> Database:
+    db = Database(policy=CompactionPolicy.never())
+    db.execute_script(
+        """
+        CREATE TABLE emp (name STRING, skill STRING);
+        INSERT INTO emp VALUES ('Jones', 'Typing'), ('Ellis', 'Alchemy');
+        CREATE TABLE addr (name STRING, street STRING);
+        INSERT INTO addr VALUES ('Jones', 'Grant Ave'),
+            ('Ellis', 'Industrial Way');
+        CREATE TABLE audit (name STRING, note STRING);
+        INSERT INTO audit VALUES ('Jones', 'hired')
+        """
+    )
+    return db
+
+
+QUERIES = (
+    "SELECT * FROM emp",
+    "SELECT * FROM addr",
+    "SELECT * FROM audit",
+    "SELECT name, street FROM emp JOIN addr ON (name)",
+)
+
+
+class TestCrossTableSnapshot:
+    def test_read_scope_frozen_under_dml_and_compaction(self):
+        """The acceptance criterion: every table (and a cross-table
+        join) answers identically before and after concurrent inserts,
+        updates, deletes and compact_step() on multiple tables."""
+        db = seeded_db()
+        with db.transaction(read_only=True) as tx:
+            before = [tx.execute(q) for q in QUERIES]
+
+            # Concurrent traffic on every table, outside the scope.
+            db.execute("INSERT INTO emp VALUES ('Smith', 'Welding')")
+            db.execute("UPDATE emp SET skill = 'Filing' "
+                       "WHERE name = 'Ellis'")
+            db.execute("DELETE FROM addr WHERE name = 'Jones'")
+            db.execute("INSERT INTO audit VALUES ('Smith', 'hired')")
+            # Incremental compaction on two tables, driven to completion.
+            while not db.compact_step("emp").done:
+                pass
+            while not db.compact_step("addr").done:
+                pass
+            db.execute("INSERT INTO emp VALUES ('Nguyen', 'Poetry')")
+
+            after = [tx.execute(q) for q in QUERIES]
+            assert before == after
+
+            # The pins are scope-local: a plain read on the database,
+            # issued while the scope is still open, sees live state.
+            outside = db.execute("SELECT * FROM emp")
+            assert ("Smith", "Welding") in outside
+            assert ("Nguyen", "Poetry") in outside
+
+        # After the scope the live state remains visible — and differs.
+        live = [db.execute(q) for q in QUERIES]
+        assert live != before
+        assert ("Smith", "Welding") in live[0]
+        assert all(name != "Jones" for name, _street in live[1])
+
+    def test_epoch_vector_names_every_table(self):
+        db = seeded_db()
+        with db.transaction(read_only=True) as tx:
+            vector = tx.epoch_vector
+        assert set(vector) == {"emp", "addr", "audit"}
+        assert all(
+            isinstance(generation, int) and isinstance(epoch, int)
+            for generation, epoch in vector.values()
+        )
+
+    def test_scopes_nest(self):
+        db = seeded_db()
+        with db.transaction(read_only=True) as outer:
+            base = outer.execute("SELECT * FROM emp")
+            db.execute("INSERT INTO emp VALUES ('Smith', 'Welding')")
+            with db.transaction(read_only=True) as inner:
+                newer = inner.execute("SELECT * FROM emp")
+                assert ("Smith", "Welding") in newer
+            # Ending the inner scope re-exposes the outer pin.
+            assert outer.execute("SELECT * FROM emp") == base
+
+
+class TestReadWriteScopes:
+    def test_writes_buffer_until_commit(self):
+        db = seeded_db()
+        with db.transaction() as tx:
+            frozen = tx.execute("SELECT * FROM emp")
+            assert tx.execute(
+                "INSERT INTO emp VALUES (?, ?)", ("Smith", "Welding")
+            ) is None
+            tx.execute("UPDATE emp SET skill = 'Sonnets' "
+                       "WHERE name = 'Smith'")
+            assert tx.pending_writes == 2
+            # Deferred writes: the pinned read never sees them.
+            assert tx.execute("SELECT * FROM emp") == frozen
+        assert tx.state == "committed"
+        assert ("Smith", "Sonnets") in db.execute("SELECT * FROM emp")
+
+    def test_exception_rolls_back(self):
+        db = seeded_db()
+        with pytest.raises(RuntimeError):
+            with db.transaction() as tx:
+                tx.execute("DELETE FROM emp")
+                raise RuntimeError("abort")
+        assert tx.state == "rolled-back"
+        assert len(db.execute("SELECT * FROM emp")) == 2
+
+    def test_explicit_commit_returns_affected_rows(self):
+        db = seeded_db()
+        tx = db.transaction().begin()
+        tx.execute("INSERT INTO emp VALUES ('A', 'x')")
+        tx.execute("DELETE FROM emp WHERE name = 'A'")
+        assert tx.commit() == 2
+        with pytest.raises(TransactionError, match="committed"):
+            tx.execute("SELECT * FROM emp")
+
+    def test_commit_failure_names_the_statement(self):
+        db = seeded_db()
+        tx = db.transaction().begin()
+        tx.execute("INSERT INTO emp VALUES ('A', 'x')")
+        tx._buffered.append("DELETE FROM vanished")  # simulate a race
+        with pytest.raises(Exception, match="statement 2"):
+            tx.commit()
+        # Terminal failed state: the applied statement left the buffer,
+        # the failing one remains, and the scope cannot be reused.
+        assert tx.state == "commit-failed"
+        assert tx.pending_writes == 1
+        with pytest.raises(TransactionError, match="commit-failed"):
+            tx.execute("SELECT * FROM emp")
+        assert ("A", "x") in db.execute("SELECT * FROM emp")
+
+    def test_buffered_writes_fail_fast_on_unknown_tables(self):
+        db = seeded_db()
+        with db.transaction() as tx:
+            with pytest.raises(Exception, match="vanished"):
+                tx.execute("INSERT INTO vanished VALUES ('A', 'x')")
+            assert tx.pending_writes == 0
+
+    def test_read_only_rejects_writes(self):
+        db = seeded_db()
+        with db.transaction(read_only=True) as tx:
+            with pytest.raises(TransactionError, match="read-only"):
+                tx.execute("DELETE FROM emp")
+
+    def test_schema_changes_rejected_inside_any_scope(self):
+        db = seeded_db()
+        with db.transaction() as tx:
+            with pytest.raises(TransactionError, match="not transactional"):
+                tx.execute("ADD COLUMN age INT TO emp")
+            with pytest.raises(TransactionError, match="not transactional"):
+                tx.execute("DROP TABLE emp")
+
+    def test_transactions_need_snapshot_capability(self):
+        db = Database(backend="row")
+        db.execute("CREATE TABLE r (k INT)")
+        with pytest.raises(CapabilityError, match="snapshots"):
+            db.transaction()
+
+
+class TestTransactionsUnderWorkload:
+    def test_pinned_scope_survives_the_mixed_stream(self):
+        """A long-lived read scope stays frozen while the whole mixed
+        DML stream lands through the façade."""
+        workload = MixedReadWriteWorkload(500, 60, n_employees=20)
+        db = Database(policy=CompactionPolicy(max_delta_rows=64))
+        db.load_table(workload.build())
+        session = db.session()
+        with db.transaction(read_only=True) as tx:
+            frozen = tx.execute("SELECT * FROM R")
+            counters = workload.apply_to_session(session)
+            assert counters["rows_affected"] > 0
+            assert tx.execute("SELECT * FROM R") == frozen
+        assert len(db.execute("SELECT * FROM R")) != len(frozen)

@@ -663,3 +663,72 @@ class TestWritePathExport:
         payload = load_write_path_json(out)
         assert payload["benchmark"] == "write_path"
         assert payload["compaction"]["final_rows"] >= 0
+
+
+class TestRangeProbeGuard:
+    """Range predicates stop probing the hash index past the
+    distinct-count guard and fall back to row-wise evaluation."""
+
+    def make_store(self, n_rows=32, distinct=None):
+        store = DeltaStore(small_table().schema, index_threshold=1)
+        distinct = distinct if distinct is not None else n_rows
+        for i in range(n_rows):
+            store.append((i % distinct, f"s{i % distinct}"))
+        store.build_index("K")
+        return store
+
+    def test_equality_unaffected_by_the_guard(self):
+        store = self.make_store()
+        store.range_probe_limit = 2
+        assert store.index_matches(Comparison("K", "=", 3)) == {3}
+        assert store.index_matches(
+            Comparison("K", "IN", (0, 1))
+        ) == {0, 1}
+
+    def test_range_probe_below_the_limit(self):
+        store = self.make_store(n_rows=8)
+        store.range_probe_limit = 100
+        assert store.index_matches(Comparison("K", "<", 2)) == {0, 1}
+
+    def test_range_declines_past_the_limit(self):
+        store = self.make_store(n_rows=32)
+        store.range_probe_limit = 4  # 32 distinct values > 4
+        assert store.index_matches(Comparison("K", "<", 2)) is None
+        # ... and the public entry point still answers, row-wise.
+        assert store.matching_live_indices(
+            Comparison("K", "<", 2)
+        ) == [0, 1]
+
+    def test_guard_applies_inside_conjunctions(self):
+        store = self.make_store(n_rows=32)
+        store.range_probe_limit = 4
+        predicate = And(
+            Comparison("K", "=", 1), Comparison("K", "<", 10)
+        )
+        assert store.index_matches(predicate) is None
+        assert store.matching_live_indices(predicate) == [1]
+
+    def test_guard_disabled_with_none(self):
+        store = self.make_store(n_rows=32)
+        store.range_probe_limit = None
+        assert store.index_matches(Comparison("K", "<", 2)) == {0, 1}
+
+    def test_default_limit_matches_module_constant(self):
+        from repro.delta import DEFAULT_RANGE_PROBE_LIMIT
+
+        assert self.make_store().range_probe_limit == (
+            DEFAULT_RANGE_PROBE_LIMIT
+        )
+
+    def test_row_wise_and_probed_results_agree(self):
+        probed = self.make_store(n_rows=64, distinct=16)
+        row_wise = self.make_store(n_rows=64, distinct=16)
+        row_wise.range_probe_limit = 1
+        for predicate in (
+            Comparison("K", ">", 7),
+            Comparison("K", "<=", 3),
+            Comparison("K", "!=", 5),
+        ):
+            assert probed.matching_live_indices(predicate) == (
+                row_wise.matching_live_indices(predicate)
+            )

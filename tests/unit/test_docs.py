@@ -110,8 +110,8 @@ class TestFormatDocs:
         text = (REPO / "docs" / "ARCHITECTURE.md").read_text()
         for module in (
             "repro.bitmap", "repro.storage", "repro.delta", "repro.core",
-            "repro.smo", "repro.sql", "repro.demo", "repro.workload",
-            "repro.bench",
+            "repro.smo", "repro.sql", "repro.db", "repro.demo",
+            "repro.workload", "repro.bench",
         ):
             spec_dir = REPO / "src" / module.replace(".", "/")
             assert spec_dir.is_dir(), f"{module} vanished from src/"
@@ -121,3 +121,34 @@ class TestFormatDocs:
         text = (REPO / "docs" / "ARCHITECTURE.md").read_text()
         assert "RENAME TABLE" in text and "RENAME COLUMN" in text
         assert "metadata-only" in text
+
+
+class TestApiDocs:
+    def test_readme_quickstarts_on_the_facade(self):
+        readme = (REPO / "README.md").read_text()
+        assert "from repro.db import Database" in readme
+        assert "db.transaction" in readme
+
+    def test_migration_doc_maps_the_old_entry_points(self):
+        text = (REPO / "docs" / "migration.md").read_text()
+        for old in (
+            "EvolutionEngine", "SqlExecutor", "MutableColumnAdapter",
+            "save_engine", "snapshot_scope",
+        ):
+            assert old in text, f"migration.md does not map {old}"
+        assert "Database" in text
+
+    def test_architecture_documents_the_api_layer(self):
+        text = (REPO / "docs" / "ARCHITECTURE.md").read_text()
+        assert "## The API layer: `repro.db`" in text
+        assert "epoch vector" in text
+        assert "register_backend" in text
+
+    def test_registry_backends_are_documented(self):
+        import repro.db as db
+
+        architecture = (REPO / "docs" / "ARCHITECTURE.md").read_text()
+        for backend in db.available_backends():
+            assert f"`{backend}`" in architecture, (
+                f"ARCHITECTURE.md does not document backend {backend!r}"
+            )

@@ -226,6 +226,31 @@ class TestExecutor:
         assert results[1] == 4
         assert results[2] == [(1,), (1,), (2,), (3,)]
 
+    def test_execute_script_error_carries_position(self, executor):
+        with pytest.raises(SqlExecutionError) as excinfo:
+            executor.execute_script(
+                "CREATE TABLE t3 (a INT); INSERT INTO t3 VALUES (1); "
+                "DELETE FROM missing; SELECT * FROM t3"
+            )
+        message = str(excinfo.value)
+        assert "statement 3" in message
+        assert "DELETE FROM missing" in message
+        # Statements before the failure were applied...
+        assert executor.execute("SELECT * FROM t3") == [(1,)]
+
+    def test_execute_script_syntax_error_carries_position(self, executor):
+        with pytest.raises(SqlSyntaxError, match="statement 2"):
+            executor.execute_script("SELECT * FROM r; FROBNICATE r")
+
+    def test_execute_script_syntax_error_executes_nothing(self, executor):
+        before = executor.execute("SELECT * FROM r")
+        with pytest.raises(SqlSyntaxError):
+            executor.execute_script(
+                "DELETE FROM r; FROBNICATE r"
+            )
+        # The script was rejected wholesale; the DELETE never ran.
+        assert executor.execute("SELECT * FROM r") == before
+
 
 class TestColumnAdapterAccounting:
     def test_materialization_counted(self):
