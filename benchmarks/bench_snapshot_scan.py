@@ -40,13 +40,14 @@ DEFAULT_OPS = 2_000
 def bench_scan_under_write(
     workload: MixedReadWriteWorkload, repeats: int = 3
 ) -> dict:
-    """The same DML/scan stream, scans via snapshot vs merged copy.
+    """The same DML/scan stream, scans via batch pipeline, snapshot
+    tuples, or merged copy.
 
     Each strategy replays the stream ``repeats`` times against a fresh
     table and reports its fastest run (timer noise at this scale is
     larger than the strategies' difference)."""
     results = {}
-    for strategy in ("copy", "snapshot"):
+    for strategy in ("copy", "snapshot", "batch"):
         best = None
         for _ in range(repeats):
             mutable = _mutable_for(
@@ -68,10 +69,14 @@ def bench_scan_under_write(
                 }
         best["repeats"] = repeats
         results[strategy] = best
-    if results["copy"]["final_rows"] != results["snapshot"]["final_rows"]:
+    finals = {results[s]["final_rows"] for s in ("copy", "snapshot", "batch")}
+    if len(finals) != 1:
         raise AssertionError("scan strategies diverged on the final state")
     results["speedup"] = results["copy"]["scan_seconds"] / max(
         results["snapshot"]["scan_seconds"], 1e-9
+    )
+    results["speedup_batch"] = results["copy"]["scan_seconds"] / max(
+        results["batch"]["scan_seconds"], 1e-9
     )
     return results
 

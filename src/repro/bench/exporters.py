@@ -86,6 +86,17 @@ def load_session_api_json(path) -> dict:
     return load_bench_json(path)
 
 
+def vectorized_scan_json(payload: dict, path) -> None:
+    """Write the vectorized-scan benchmark record
+    (``benchmarks/bench_vectorized_scan.py``) as indented JSON."""
+    bench_json(payload, path)
+
+
+def load_vectorized_scan_json(path) -> dict:
+    """Read back a vectorized-scan benchmark record."""
+    return load_bench_json(path)
+
+
 def load_series_csv(path) -> list[dict]:
     """Read back a series CSV (values re-typed)."""
     path = Path(path)

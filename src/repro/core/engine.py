@@ -69,6 +69,7 @@ class EvolutionEngine:
         self.extra_fds = tuple(extra_fds)
         self._listeners: list = []
         self._rename_listeners: list = []
+        self._drop_listeners: list = []
         self._mutables: dict[str, MutableTable] = {}
 
     # -- catalog passthroughs -------------------------------------------
@@ -97,28 +98,47 @@ class EvolutionEngine:
         weak reference to an inline lambda would die immediately), so
         long-lived engines should subscribe bound methods, not
         closures, for anything created per-operation."""
+        self._subscribe_weak(self._rename_listeners, listener)
+
+    def subscribe_drops(self, listener) -> None:
+        """Attach a ``listener(name)`` invoked whenever a table is
+        removed from the catalog — by SQL DROP TABLE or by an SMO that
+        consumes its input (DROP, DECOMPOSE, MERGE, UNION, PARTITION).
+        Adapters use it to invalidate per-table state keyed by name
+        (pinned snapshot scopes), so a name reused after a drop can
+        never serve the dropped rows to a stale scope.  Same weak-
+        reference semantics as :meth:`subscribe_renames`."""
+        self._subscribe_weak(self._drop_listeners, listener)
+
+    @staticmethod
+    def _subscribe_weak(listeners: list, listener) -> None:
         try:
             reference = weakref.WeakMethod(listener)
         except TypeError:
             reference = (lambda listener=listener: listener)
-        # Prune dead references here too: renames may be rare while
-        # subscribers (per-transaction scoped adapters) come and go, so
-        # the list must not grow with subscriber churn.
-        self._rename_listeners = [
-            existing
-            for existing in self._rename_listeners
-            if existing() is not None
+        # Prune dead references here too: notifications may be rare
+        # while subscribers (per-transaction scoped adapters) come and
+        # go, so the list must not grow with subscriber churn.
+        listeners[:] = [
+            existing for existing in listeners if existing() is not None
         ]
-        self._rename_listeners.append(reference)
+        listeners.append(reference)
 
-    def _notify_rename(self, old: str, new: str) -> None:
+    @staticmethod
+    def _notify_weak(listeners: list, *args) -> None:
         alive = []
-        for reference in self._rename_listeners:
+        for reference in listeners:
             listener = reference()
             if listener is not None:
-                listener(old, new)
+                listener(*args)
                 alive.append(reference)
-        self._rename_listeners = alive
+        listeners[:] = alive
+
+    def _notify_rename(self, old: str, new: str) -> None:
+        self._notify_weak(self._rename_listeners, old, new)
+
+    def _notify_drop(self, name: str) -> None:
+        self._notify_weak(self._drop_listeners, name)
 
     # -- mutable tables (the write path) --------------------------------
 
@@ -185,6 +205,17 @@ class EvolutionEngine:
             return False
         mutable.invalidate()
         return True
+
+    def drop_table(self, name: str, operation: str | None = None) -> None:
+        """DROP TABLE at the data level: discard the write buffer
+        unflushed, remove the catalog entry, and notify drop listeners
+        so every adapter over this engine invalidates its pinned scopes
+        on the name.  Both entry points — SQL ``DROP TABLE`` and the
+        SMO operator — route here, so the invalidation semantics cannot
+        diverge."""
+        self.discard_delta(name)
+        self.catalog.drop(name, operation or f"DROP TABLE {name}")
+        self._notify_drop(name)
 
     def rename_table_metadata(
         self, old: str, new: str, operation: str | None = None
@@ -295,7 +326,7 @@ class EvolutionEngine:
         elif isinstance(op, CreateTable):
             self.catalog.create(Table.empty(op.schema), op.describe())
         elif isinstance(op, DropTable):
-            self.catalog.drop(op.table, op.describe())
+            self.drop_table(op.table, op.describe())
         elif isinstance(op, RenameTable):
             self.rename_table_metadata(op.table, op.new_name, op.describe())
         elif isinstance(op, CopyTable):
@@ -304,9 +335,12 @@ class EvolutionEngine:
         elif isinstance(op, UnionTables):
             left = self.catalog.drop(op.left, op.describe())
             right = self.catalog.drop(op.right, op.describe())
+            self._notify_drop(op.left)
+            self._notify_drop(op.right)
             self.catalog.put(union_tables(left, right, op, status), op.describe())
         elif isinstance(op, PartitionTable):
             table = self.catalog.drop(op.table, op.describe())
+            self._notify_drop(op.table)
             true_table, false_table = partition_table(table, op, status)
             self.catalog.put(true_table, op.describe())
             self.catalog.put(false_table, op.describe())
@@ -337,6 +371,7 @@ class EvolutionEngine:
             verify_with_data=self.verify_with_data,
         )
         self.catalog.drop(op.table, op.describe())
+        self._notify_drop(op.table)
         self.catalog.put(left, op.describe())
         self.catalog.put(right, op.describe())
 
@@ -402,4 +437,6 @@ class EvolutionEngine:
             result = result.project(expected, op.out_name, pk)
         self.catalog.drop(op.left, op.describe())
         self.catalog.drop(op.right, op.describe())
+        self._notify_drop(op.left)
+        self._notify_drop(op.right)
         self.catalog.put(result, op.describe())

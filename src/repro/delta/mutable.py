@@ -166,6 +166,9 @@ class MutableTable:
         # valid until the next write (epoch bump) or compaction
         # (generation bump).
         self._merged_cache: tuple[tuple[int, int], list] | None = None
+        # Single-entry surviving-main cache: (generation, deletions) ->
+        # filtered main rows; inserts bump the epoch but not this key.
+        self._main_rows_cache: tuple[tuple[int, int], list] | None = None
 
     # ------------------------------------------------------------------
     # Accessors
@@ -293,6 +296,28 @@ class MutableTable:
             if generation in pinned
         }
 
+    def _surviving_rows(self) -> list[tuple]:
+        """The main store's surviving rows, cached per (generation,
+        deletion count) — within a generation ``deleted_main`` only
+        grows, so the pair identifies the filtered list exactly.  The
+        cache outlives epoch bumps from inserts, and it doubles as the
+        materialization hint of the batch read path's main-side
+        :class:`~repro.exec.batch.TableBatch`."""
+        deleted = self._delta.deleted_main
+        if not deleted:
+            return decoded_main_rows(self._main)
+        key = (self._generation, len(deleted))
+        cached = self._main_rows_cache
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        rows = [
+            row
+            for position, row in enumerate(decoded_main_rows(self._main))
+            if position not in deleted
+        ]
+        self._main_rows_cache = (key, rows)
+        return rows
+
     def _merged_rows(self) -> list[tuple]:
         """The currently visible merged rows, cached per (generation,
         epoch).  The list is immutable by contract — writes never touch
@@ -301,18 +326,9 @@ class MutableTable:
         cached = self._merged_cache
         if cached is not None and cached[0] == key:
             return cached[1]
-        main_rows = decoded_main_rows(self._main)
-        if self._delta.deleted_main:
-            deleted = self._delta.deleted_main
-            main_rows = [
-                row
-                for position, row in enumerate(main_rows)
-                if position not in deleted
-            ]
-            rows = main_rows + self._delta.live_rows()
-        else:
-            live = self._delta.live_rows()
-            rows = main_rows + live if live else main_rows
+        main_rows = self._surviving_rows()
+        live = self._delta.live_rows()
+        rows = main_rows + live if live else main_rows
         self._merged_cache = (key, rows)
         return rows
 
@@ -323,6 +339,38 @@ class MutableTable:
         never change what this iterator yields, and no per-scan copy is
         made."""
         return iter(self._merged_rows())
+
+    def scan_batches(self) -> list:
+        """The currently visible rows as column batches (see
+        ``repro.exec``): the main store as a
+        :class:`~repro.exec.batch.TableBatch` selected by the current
+        validity bitmap, then the live buffered rows as a
+        :class:`~repro.exec.batch.DeltaBatch` pinned at the current
+        epoch.  This is the epoch-wise main+delta merge of the
+        vectorized read path; row order matches :meth:`scan`."""
+        from repro.exec import DeltaBatch, TableBatch
+
+        validity = self._delta.main_validity(self._main.nrows)
+        hint = None
+        if validity is not None:
+            # The hint serves the surviving-rows cache only while the
+            # table is still in the state this batch captured; after a
+            # later delete or compaction it declines (returns None) and
+            # the batch gathers from its own pinned selection instead.
+            key = (self._generation, len(self._delta.deleted_main))
+
+            def hint(key=key):
+                if key == (
+                    self._generation, len(self._delta.deleted_main)
+                ):
+                    return self._surviving_rows()
+                return None
+
+        batches = [TableBatch(self._main, validity, rows_hint=hint)]
+        delta_batch = DeltaBatch(self._delta)
+        if delta_batch.selected_count:
+            batches.append(delta_batch)
+        return batches
 
     def to_rows(self) -> list[tuple]:
         """All visible rows as an eager merged copy: surviving main rows
@@ -614,7 +662,9 @@ class MutableTable:
                 f"delta schema does not match table {self.name!r}"
             )
         self._delta = store
-        self._merged_cache = None  # epochs restart with the new buffer
+        # Epochs (and deletion state) restart with the new buffer.
+        self._merged_cache = None
+        self._main_rows_cache = None
 
     def rewire_metadata(
         self, new_main: Table, renames: dict[str, str] | None = None

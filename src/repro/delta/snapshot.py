@@ -50,7 +50,7 @@ class Snapshot:
     """
 
     __slots__ = ("_owner", "_main", "_delta", "epoch", "generation",
-                 "_closed", "_rows")
+                 "_closed", "_rows", "_main_rows")
 
     def __init__(self, owner, main, delta, epoch: int, generation: int):
         self._owner = owner
@@ -60,6 +60,7 @@ class Snapshot:
         self.generation = generation
         self._closed = False
         self._rows = None  # visible rows, materialized on first read
+        self._main_rows = None  # surviving main rows, same laziness
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -78,6 +79,7 @@ class Snapshot:
         self._main = None
         self._delta = None
         self._rows = None
+        self._main_rows = None
         if owner is not None:
             owner._release_snapshot(self)
 
@@ -138,13 +140,29 @@ class Snapshot:
             if rows is not None:
                 self._rows = rows
                 return rows
-        main, delta, epoch = self._main, self._delta, self.epoch
-        rows = decoded_main_rows(main)
-        if delta.deleted_main:
+        rows = self._surviving_rows()
+        live = self._delta.live_rows(self.epoch)
+        # `rows + live` builds a fresh list, so the shared decoded-rows
+        # cache is never aliased into a list we might hand out.
+        self._rows = rows + live if live else rows
+        return self._rows
+
+    def _surviving_rows(self) -> list[tuple] | None:
+        """Surviving main rows at the pinned epoch, materialized once
+        per snapshot — also the materialization hint for the batch read
+        path's main-side :class:`~repro.exec.batch.TableBatch`.
+        Declines (``None``) once the snapshot is closed; a batch handed
+        out earlier then gathers from its own pinned selection."""
+        if self._main_rows is not None:
+            return self._main_rows
+        if self._closed:
+            return None
+        rows = decoded_main_rows(self._main)
+        if self._delta.deleted_main:
             dead = {
                 position
-                for position, at in delta.deleted_main.items()
-                if at <= epoch
+                for position, at in self._delta.deleted_main.items()
+                if at <= self.epoch
             }
             if dead:
                 rows = [
@@ -152,11 +170,8 @@ class Snapshot:
                     for position, row in enumerate(rows)
                     if position not in dead
                 ]
-        live = delta.live_rows(epoch)
-        # `rows + live` builds a fresh list, so the shared decoded-rows
-        # cache is never aliased into a list we might hand out.
-        self._rows = rows + live if live else rows
-        return self._rows
+        self._main_rows = rows
+        return rows
 
     def scan(self):
         """Iterate the pinned view lazily-materialized: the row list is
@@ -164,6 +179,32 @@ class Snapshot:
         per-generation cache when nothing masks the main store."""
         self._check_open()
         return iter(self._visible_rows())
+
+    def scan_batches(self) -> list:
+        """The pinned view as column batches (see ``repro.exec``): one
+        :class:`~repro.exec.batch.TableBatch` over the pinned main
+        generation, selected by the validity bitmap at the pinned
+        epoch, then one :class:`~repro.exec.batch.DeltaBatch` of the
+        buffered rows live at that epoch.  Batch order reproduces
+        :meth:`scan`'s row order exactly."""
+        self._check_open()
+        from repro.exec import DeltaBatch, TableBatch
+
+        main, delta, epoch = self._main, self._delta, self.epoch
+        validity = delta.main_validity(main.nrows, epoch)
+        batches = [
+            TableBatch(
+                main,
+                validity,
+                rows_hint=(
+                    self._surviving_rows if validity is not None else None
+                ),
+            )
+        ]
+        delta_batch = DeltaBatch(delta, epoch)
+        if delta_batch.selected_count:
+            batches.append(delta_batch)
+        return batches
 
     def to_rows(self) -> list[tuple]:
         """The pinned view as an eager row list (a defensive copy — the

@@ -62,6 +62,7 @@ class DeltaStore:
         "index_threshold",
         "range_probe_limit",
         "_indexes",
+        "_live_cache",
     )
 
     def __init__(
@@ -81,6 +82,12 @@ class DeltaStore:
         self.index_threshold = index_threshold
         self.range_probe_limit = DEFAULT_RANGE_PROBE_LIMIT
         self._indexes: dict[str, dict] = {}
+        # Single-entry memo of (epoch, live indices, live rows|None).
+        # What is visible *at* an epoch never changes once later writes
+        # carry higher epochs, so an entry only needs replacing when a
+        # different epoch is asked for — scans repeating against an
+        # unchanged buffer pay the liveness loop once.
+        self._live_cache: tuple | None = None
 
     @classmethod
     def restore(
@@ -186,6 +193,7 @@ class DeltaStore:
         self.deleted_main.clear()
         self.deleted_delta.clear()
         self._indexes.clear()
+        self._live_cache = None
 
     def adopt_schema(
         self, schema: TableSchema, renames: dict[str, str] | None = None
@@ -235,16 +243,22 @@ class DeltaStore:
         return self.n_appended == 0 and not self.deleted_main
 
     def live_indices(self, epoch: int | None = None) -> list[int]:
-        """Delta indices visible at ``epoch``, in insertion order."""
+        """Delta indices visible at ``epoch``, in insertion order
+        (treat the returned list as read-only — it may be memoized)."""
         if epoch is None:
             epoch = self.epoch
+        cached = self._live_cache
+        if cached is not None and cached[0] == epoch:
+            return cached[1]
         deleted = self.deleted_delta
-        return [
+        indices = [
             index
             for index, inserted in enumerate(self.insert_epochs)
             if inserted <= epoch
             and (index not in deleted or deleted[index] > epoch)
         ]
+        self._live_cache = (epoch, indices, None)
+        return indices
 
     def row(self, index: int) -> tuple:
         """One buffered row by delta index (live or not)."""
@@ -255,12 +269,41 @@ class DeltaStore:
         )
 
     def live_rows(self, epoch: int | None = None) -> list[tuple]:
-        """Buffered rows visible at ``epoch``, in insertion order."""
+        """Buffered rows visible at ``epoch``, in insertion order
+        (treat the returned list as read-only — it may be memoized)."""
+        if epoch is None:
+            epoch = self.epoch
+        indices = self.live_indices(epoch)
+        cached = self._live_cache
+        if cached is not None and cached[0] == epoch and cached[2] is not None:
+            return cached[2]
         names = self.schema.column_names
-        return [
+        rows = [
             tuple(self.columns[name][index] for name in names)
-            for index in self.live_indices(epoch)
+            for index in indices
         ]
+        self._live_cache = (epoch, indices, rows)
+        return rows
+
+    def main_validity(self, main_nrows: int, epoch: int | None = None):
+        """The main store's validity at ``epoch`` as a dense selection
+        bitmap (:class:`~repro.bitmap.plain.PlainBitmap`), or ``None``
+        when no main row is deleted — the main-side selection vector of
+        the batch read path (``repro.exec``)."""
+        if epoch is None:
+            epoch = self.epoch
+        dead = [
+            position
+            for position, deleted in self.deleted_main.items()
+            if deleted <= epoch and position < main_nrows
+        ]
+        if not dead:
+            return None
+        from repro.bitmap.plain import PlainBitmap
+
+        bits = np.ones(main_nrows, dtype=bool)
+        bits[np.asarray(dead, dtype=np.int64)] = False
+        return PlainBitmap(bits)
 
     def surviving_main_positions(
         self, main_nrows: int, epoch: int | None = None

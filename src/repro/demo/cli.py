@@ -34,6 +34,7 @@ Commands (mirroring the Figure 4 buttons):
   execute             run the queued operators (with live status)
   history             show the evolution history
   sql <statement>     run one SQL or SMO statement via the repro.db facade
+                      (SELECTs execute on the vectorized batch pipeline)
   insert <t> (v, ...) [, (v, ...)]  buffer rows in the table's delta
   delete <t> [WHERE <predicate>]    delete rows (delta-masked)
   compact <t>         fold the delta into fresh WAH columns

@@ -1,0 +1,58 @@
+"""The vectorized execution layer: columnar batches from storage to
+the façade.
+
+Everything under :mod:`repro.exec` moves *column batches* — parallel
+per-column value vectors plus a selection bitmap (a
+:class:`repro.bitmap.plain.PlainBitmap`) — instead of row tuples.  The
+read path flows ``scan → filter → project → [hash_join] → limit`` over
+batches, and tuples are only materialized at the cursor/adapter
+boundary (:func:`iter_rows`).  Each batch kind evaluates predicates
+with the cheapest representation its source offers:
+
+* :class:`TableBatch` — the compressed main store; predicates resolve
+  in the compressed domain (``Predicate.bitmap``) without decoding;
+* :class:`DeltaBatch` — the write buffer; predicates resolve through
+  the delta's per-column hash indexes when built, columnar loops below
+  the threshold;
+* :class:`ValuesBatch` — already-decoded column vectors (the row-store
+  and query-level baselines); predicates run as compiled per-column
+  evaluators (:func:`compile_predicate`).
+
+See ``docs/ARCHITECTURE.md``, "The execution pipeline".
+"""
+
+from repro.exec.batch import (
+    ColumnBatch,
+    DeltaBatch,
+    TableBatch,
+    ValuesBatch,
+    mask_from_positions,
+)
+from repro.exec.operators import (
+    DEFAULT_BATCH_ROWS,
+    batches_from_rows,
+    dedup_rows,
+    filter_batches,
+    hash_join_rows,
+    iter_rows,
+    limit_rows,
+)
+from repro.exec.planner import execute_select
+from repro.exec.predicate import compile_predicate
+
+__all__ = [
+    "ColumnBatch",
+    "DEFAULT_BATCH_ROWS",
+    "DeltaBatch",
+    "TableBatch",
+    "ValuesBatch",
+    "batches_from_rows",
+    "compile_predicate",
+    "dedup_rows",
+    "execute_select",
+    "filter_batches",
+    "hash_join_rows",
+    "iter_rows",
+    "limit_rows",
+    "mask_from_positions",
+]

@@ -1,0 +1,315 @@
+"""Column batches: the unit of work of the vectorized read path.
+
+A batch is a window of physical rows from one source (a compressed
+main-store table, a delta write buffer, or plain decoded vectors) plus
+a *selection* — which of those rows are still in play.  The selection
+is a dense :class:`~repro.bitmap.plain.PlainBitmap` (``None`` meaning
+"every row"), so filters compose with bitmap ANDs instead of copying
+data: a predicate never moves values, it only tightens the selection.
+Values are materialized once, at the cursor/adapter boundary
+(:meth:`ColumnBatch.rows`), and only for selected rows.
+
+Each batch kind knows the cheapest way to evaluate a predicate against
+its own representation — see :meth:`TableBatch._matches` (compressed
+domain), :meth:`DeltaBatch._matches` (hash indexes) and
+:meth:`ValuesBatch._matches` (compiled per-column evaluators).
+"""
+
+from __future__ import annotations
+
+from operator import itemgetter
+
+import numpy as np
+
+from repro.bitmap.plain import PlainBitmap
+from repro.delta.snapshot import decoded_main_rows
+from repro.exec.predicate import compile_predicate
+
+
+def mask_from_positions(positions, nbits: int) -> PlainBitmap:
+    """A dense selection bitmap with exactly ``positions`` set."""
+    bits = np.zeros(nbits, dtype=bool)
+    if len(positions):
+        bits[np.asarray(list(positions), dtype=np.int64)] = True
+    return PlainBitmap(bits)
+
+
+def gather(vector, positions) -> list:
+    """``[vector[p] for p in positions]`` as one C-level gather."""
+    count = len(positions)
+    if count == 0:
+        return []
+    if count == 1:
+        return [vector[int(positions[0])]]
+    positions = (
+        positions.tolist()
+        if isinstance(positions, np.ndarray)
+        else positions
+    )
+    return list(itemgetter(*positions)(vector))
+
+
+def project_rows(rows, out_positions) -> list:
+    """Project row tuples onto ``out_positions`` (``None`` = identity,
+    returning ``rows`` unchanged)."""
+    if out_positions is None:
+        return rows
+    if len(out_positions) == 1:
+        index = out_positions[0]
+        return [(row[index],) for row in rows]
+    project = itemgetter(*out_positions)
+    return [project(row) for row in rows]
+
+
+def _and_selection(selection, other: PlainBitmap) -> PlainBitmap:
+    """AND a selection (``None`` = all rows) with a dense bitmap."""
+    return other if selection is None else selection & other
+
+
+class ColumnBatch:
+    """One window of rows, column-wise, with a selection bitmap.
+
+    Subclasses provide ``column_names``, ``physical_rows``, the
+    predicate hook :meth:`_matches` and the materialization hook
+    :meth:`rows`; this base class owns the selection algebra shared by
+    every batch kind.
+    """
+
+    __slots__ = ("selection",)
+
+    column_names: tuple[str, ...]
+    physical_rows: int
+
+    def __init__(self, selection: PlainBitmap | None = None):
+        self.selection = selection
+
+    # -- selection algebra ---------------------------------------------
+
+    @property
+    def selected_count(self) -> int:
+        if self.selection is None:
+            return self.physical_rows
+        return self.selection.count()
+
+    def selected_positions(self) -> np.ndarray:
+        """Sorted physical positions still selected."""
+        if self.selection is None:
+            return np.arange(self.physical_rows, dtype=np.int64)
+        return self.selection.positions()
+
+    def with_selection(self, selection: PlainBitmap | None) -> "ColumnBatch":
+        """The same source under a different selection."""
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def filter(self, predicate) -> "ColumnBatch":
+        """Tighten the selection to rows satisfying ``predicate``.
+
+        No value ever moves: the predicate is resolved to a bitmap in
+        whatever domain the batch's source supports and ANDed in.
+        """
+        return self.with_selection(
+            _and_selection(self.selection, self._matches(predicate))
+        )
+
+    def _matches(self, predicate) -> PlainBitmap:
+        """Bitmap of physical rows satisfying ``predicate``.  May
+        over-approximate outside the current selection (the caller ANDs
+        it back in)."""
+        raise NotImplementedError  # pragma: no cover - interface
+
+    # -- materialization (the boundary) --------------------------------
+
+    def rows(self, out_positions=None) -> list[tuple]:
+        """Selected rows as tuples, projected onto ``out_positions``
+        (schema-order column indices; ``None`` = all columns).  The
+        returned list may be shared with a read cache — treat it as
+        read-only."""
+        raise NotImplementedError  # pragma: no cover - interface
+
+
+class ValuesBatch(ColumnBatch):
+    """A batch over plain, already-decoded column value vectors.
+
+    This is the generic representation: the row-store baseline, the
+    query-level column baseline (which must pay decompression — the
+    cost the paper charges it), chunked wraps of ``scan_rows``, and
+    join outputs re-entering the pipeline all land here.  Predicates
+    run as compiled per-column evaluators over the selected positions.
+    """
+
+    __slots__ = ("column_names", "columns", "physical_rows", "_source_rows")
+
+    def __init__(self, column_names, columns: dict, selection=None,
+                 source_rows=None):
+        super().__init__(selection)
+        self.column_names = tuple(column_names)
+        self.columns = columns
+        self.physical_rows = (
+            len(columns[self.column_names[0]]) if self.column_names else 0
+        )
+        # When built from tuples, keep them: an unfiltered identity
+        # materialization can hand the originals back without re-zipping.
+        self._source_rows = source_rows
+
+    @classmethod
+    def from_rows(cls, column_names, rows, selection=None) -> "ValuesBatch":
+        """Transpose row tuples into column vectors."""
+        rows = rows if isinstance(rows, list) else list(rows)
+        column_names = tuple(column_names)
+        columns = {
+            name: [row[index] for row in rows]
+            for index, name in enumerate(column_names)
+        }
+        return cls(column_names, columns, selection, source_rows=rows)
+
+    def with_selection(self, selection) -> "ValuesBatch":
+        return ValuesBatch(
+            self.column_names, self.columns, selection, self._source_rows
+        )
+
+    def _matches(self, predicate) -> PlainBitmap:
+        positions = self.selected_positions()
+        hits = compile_predicate(predicate)(self.columns, positions)
+        return mask_from_positions(positions[hits], self.physical_rows)
+
+    def rows(self, out_positions=None) -> list[tuple]:
+        if out_positions is None and self.selection is None:
+            if self._source_rows is not None:
+                return self._source_rows
+            names = self.column_names
+            return list(zip(*(self.columns[name] for name in names)))
+        positions = self.selected_positions()
+        names = (
+            self.column_names
+            if out_positions is None
+            else [self.column_names[p] for p in out_positions]
+        )
+        return list(
+            zip(*(gather(self.columns[name], positions) for name in names))
+        )
+
+
+class TableBatch(ColumnBatch):
+    """A batch over a compressed main-store :class:`~repro.storage.
+    table.Table`.
+
+    The initial selection is the table's validity at the reader's epoch
+    (main rows masked by delta deletions).  Predicates are evaluated in
+    the *compressed domain* — ``Predicate.bitmap`` ORs the dictionary
+    values' bitmaps, so no row is decoded to be *rejected*.  Selected
+    rows are gathered from the per-generation decoded-rows cache (a
+    generation's columns never change, so the decode happens at most
+    once per generation however many queries read it — the same cache
+    the tuple read path uses).
+    """
+
+    __slots__ = ("table", "column_names", "physical_rows", "rows_hint")
+
+    def __init__(self, table, selection=None, rows_hint=None):
+        super().__init__(selection)
+        self.table = table
+        self.column_names = table.schema.column_names
+        self.physical_rows = table.nrows
+        # A zero-arg callable returning the materialized rows of the
+        # *initial* selection (owners pass their cached surviving-row
+        # lists so repeated full scans never re-gather), or ``None``
+        # when the owner's state has moved past what this batch
+        # captured — the batch then gathers from its own selection,
+        # which is always correct.  Dropped the moment the selection is
+        # tightened — with_selection never carries it over.
+        self.rows_hint = rows_hint
+
+    def with_selection(self, selection) -> "TableBatch":
+        return TableBatch(self.table, selection)
+
+    def _matches(self, predicate) -> PlainBitmap:
+        bitmap = predicate.bitmap(self.table)
+        if isinstance(bitmap, PlainBitmap):
+            return bitmap
+        return PlainBitmap(bitmap.to_dense())
+
+    def rows(self, out_positions=None) -> list[tuple]:
+        if self.selection is None:
+            base = decoded_main_rows(self.table)
+        else:
+            base = self.rows_hint() if self.rows_hint is not None else None
+            if base is None:
+                positions = self.selection.positions()
+                if not len(positions):
+                    return []
+                base = gather(decoded_main_rows(self.table), positions)
+        return project_rows(base, out_positions)
+
+
+class DeltaBatch(ColumnBatch):
+    """A batch over a :class:`~repro.delta.store.DeltaStore` write
+    buffer, pinned at one epoch.
+
+    Physical rows are every row ever appended (as of construction);
+    the initial selection is the liveness mask at the pinned epoch.
+    Predicates go through the buffer's per-column hash indexes when
+    they apply (equality/IN lookups, bounded range probes — exactly
+    :meth:`DeltaStore.index_matches`), falling back to the compiled
+    per-column evaluators over the buffer's plain vectors.
+    """
+
+    __slots__ = ("delta", "epoch", "column_names", "physical_rows",
+                 "rows_hint")
+
+    def __init__(self, delta, epoch: int | None = None, selection=...,
+                 physical_rows: int | None = None):
+        self.delta = delta
+        self.epoch = delta.epoch if epoch is None else epoch
+        self.column_names = delta.schema.column_names
+        self.physical_rows = (
+            delta.n_appended if physical_rows is None else physical_rows
+        )
+        self.rows_hint = None
+        if selection is ...:
+            live = delta.live_indices(self.epoch)
+            selection = (
+                None
+                if len(live) == self.physical_rows
+                else mask_from_positions(live, self.physical_rows)
+            )
+            # The initial (liveness) selection materializes through the
+            # store's epoch-keyed memo instead of re-gathering per scan.
+            self.rows_hint = self._live_rows
+        super().__init__(selection)
+
+    def _live_rows(self) -> list[tuple]:
+        return self.delta.live_rows(self.epoch)
+
+    def with_selection(self, selection) -> "DeltaBatch":
+        return DeltaBatch(
+            self.delta, self.epoch, selection, self.physical_rows
+        )
+
+    def _matches(self, predicate) -> PlainBitmap:
+        matched = self.delta.index_matches(predicate)
+        if matched is not None:
+            return mask_from_positions(
+                [p for p in matched if p < self.physical_rows],
+                self.physical_rows,
+            )
+        positions = self.selected_positions()
+        hits = compile_predicate(predicate)(self.delta.columns, positions)
+        return mask_from_positions(positions[hits], self.physical_rows)
+
+    def rows(self, out_positions=None) -> list[tuple]:
+        if self.rows_hint is not None:
+            return project_rows(self.rows_hint(), out_positions)
+        names = (
+            self.column_names
+            if out_positions is None
+            else [self.column_names[p] for p in out_positions]
+        )
+        positions = self.selected_positions()
+        return list(
+            zip(
+                *(
+                    gather(self.delta.columns[name], positions)
+                    for name in names
+                )
+            )
+        )

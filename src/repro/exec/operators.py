@@ -1,0 +1,114 @@
+"""Batch iterators: the operators of the vectorized pipeline.
+
+Every operator consumes and produces an iterator of
+:class:`~repro.exec.batch.ColumnBatch`, so a plan is a lazy chain
+``scan → filter → project → [hash_join] → limit`` that materializes
+tuples only at the very end (:func:`iter_rows`).  Laziness is what
+gives LIMIT its early exit for free: a truncated consumer simply stops
+pulling, and upstream batches — whole storage chunks — are never
+decoded.
+"""
+
+from __future__ import annotations
+
+from itertools import chain
+
+from repro.errors import SqlExecutionError
+from repro.exec.batch import ValuesBatch
+
+#: Rows per batch when wrapping a tuple stream (the generic fallback
+#: for adapters without a native ``scan_batches``).
+DEFAULT_BATCH_ROWS = 4096
+
+
+def batches_from_rows(column_names, rows, batch_rows: int = DEFAULT_BATCH_ROWS):
+    """Chunk a row-tuple stream into :class:`ValuesBatch` windows.
+
+    This is the storage-to-pipeline shim for row-oriented sources: rows
+    are transposed into column vectors one window at a time, lazily, so
+    an early-exiting consumer never pays for the tail of the scan.
+    """
+    column_names = tuple(column_names)
+    chunk: list = []
+    for row in rows:
+        chunk.append(row)
+        if len(chunk) >= batch_rows:
+            yield ValuesBatch.from_rows(column_names, chunk)
+            chunk = []
+    if chunk:
+        yield ValuesBatch.from_rows(column_names, chunk)
+
+
+def filter_batches(batches, predicate):
+    """Apply ``predicate`` to every batch; emptied batches are dropped
+    so downstream operators never see them."""
+    for batch in batches:
+        filtered = batch.filter(predicate)
+        if filtered.selected_count:
+            yield filtered
+
+
+def iter_rows(batches, out_positions=None):
+    """Materialize batches into projected row tuples — the pipeline's
+    boundary, and the only place values become tuples.  Batches are
+    pulled (and materialized) one at a time, but their rows flow
+    through a C-level chain, so a full scan costs a list splice rather
+    than a per-row generator hop."""
+    return chain.from_iterable(
+        batch.rows(out_positions) for batch in batches
+    )
+
+
+def dedup_rows(rows):
+    """Streaming DISTINCT (first occurrence wins, order preserved)."""
+    seen = set()
+    for row in rows:
+        if row not in seen:
+            seen.add(row)
+            yield row
+
+
+def limit_rows(rows, limit: int):
+    """Stop after ``limit`` rows.  Because the whole pipeline is lazy,
+    stopping here stops the scan itself — unread batches are never
+    decoded."""
+    for index, row in enumerate(rows):
+        if index >= limit:
+            return
+        yield row
+
+
+def hash_join_rows(left_batches, right_batches, left_names, right_names,
+                   join_attrs, out_columns):
+    """Generic equi-join over two batch pipelines (build on the right).
+
+    The build side is drained batch-wise into hash buckets keyed by the
+    join attributes; the probe side streams, so output order follows
+    the left pipeline's row order (main store first, then delta — the
+    same order the row-wise join produced).
+    """
+    left_names = tuple(left_names)
+    right_names = tuple(right_names)
+    left_index = {name: i for i, name in enumerate(left_names)}
+    right_index = {name: i for i, name in enumerate(right_names)}
+    left_pos = [left_index[a] for a in join_attrs]
+    right_pos = [right_index[a] for a in join_attrs]
+    resolution = []
+    for attr in out_columns:
+        if attr in left_index:
+            resolution.append(("L", left_index[attr]))
+        elif attr in right_index:
+            resolution.append(("R", right_index[attr]))
+        else:
+            raise SqlExecutionError(f"unknown join column {attr!r}")
+    buckets: dict = {}
+    for row in iter_rows(right_batches):
+        key = tuple(row[p] for p in right_pos)
+        buckets.setdefault(key, []).append(row)
+    for left_row in iter_rows(left_batches):
+        key = tuple(left_row[p] for p in left_pos)
+        for right_row in buckets.get(key, ()):
+            yield tuple(
+                left_row[p] if side == "L" else right_row[p]
+                for side, p in resolution
+            )

@@ -1,0 +1,110 @@
+"""Planning SELECTs onto the batch pipeline.
+
+:func:`execute_select` is the one SELECT entry point of the
+reproduction: :class:`~repro.sql.executor.SqlExecutor` delegates every
+query — on every registered backend — here.  The plan is always the
+same lazy chain::
+
+    adapter.scan_batches ── filter (selection bitmaps) ── project
+        ── [hash_join] ── DISTINCT/ORDER BY ── LIMIT ── tuples
+
+with each stage choosing its strategy from the batch kind the adapter
+emitted (compressed-domain bitmaps, delta hash indexes, or compiled
+columnar evaluators).  Semantics — row order, duplicate handling,
+error messages — match the historical row-at-a-time executor exactly;
+tier-1 equivalence is pinned by
+``tests/property/test_exec_properties.py``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SqlExecutionError
+from repro.exec.operators import (
+    batches_from_rows,
+    dedup_rows,
+    filter_batches,
+    hash_join_rows,
+    iter_rows,
+    limit_rows,
+)
+
+
+def execute_select(adapter, select):
+    """Run a parsed SELECT on ``adapter`` via the batch pipeline;
+    returns a lazy iterator of result tuples."""
+    from repro.sql.adapter import require_table
+
+    require_table(adapter, select.table)
+    left_schema = adapter.schema(select.table)
+
+    if select.join is not None:
+        require_table(adapter, select.join.table)
+        right_schema = adapter.schema(select.join.table)
+        out_columns = select.columns or (
+            left_schema.column_names
+            + tuple(
+                name
+                for name in right_schema.column_names
+                if name not in select.join.join_attrs
+            )
+        )
+        column_names = tuple(out_columns)
+        if adapter.capabilities.hash_join:
+            rows = adapter.hash_join(
+                select.table, select.join.table,
+                select.join.join_attrs, out_columns,
+            )
+        else:
+            rows = hash_join_rows(
+                adapter.scan_batches(select.table),
+                adapter.scan_batches(select.join.table),
+                left_schema.column_names,
+                right_schema.column_names,
+                select.join.join_attrs,
+                out_columns,
+            )
+        if select.where is not None:
+            # Joined rows re-enter the pipeline as value batches so the
+            # residual predicate runs columnar like any other filter.
+            rows = iter_rows(
+                filter_batches(
+                    batches_from_rows(column_names, rows), select.where
+                )
+            )
+    else:
+        column_names = select.columns or left_schema.column_names
+        # Validate before any scan work: a bad predicate or projection
+        # must not cost a decode (or skew the baselines' materialization
+        # accounting).
+        if select.where is not None:
+            select.where.validate(left_schema)
+        if tuple(column_names) == left_schema.column_names:
+            out_positions = None  # identity projection
+        else:
+            out_positions = [
+                left_schema.index_of(name) for name in column_names
+            ]
+        batches = adapter.scan_batches(select.table)
+        if select.where is not None:
+            batches = filter_batches(batches, select.where)
+        rows = iter_rows(batches, out_positions)
+
+    if select.distinct:
+        rows = dedup_rows(rows)
+    if select.order_by is not None:
+        column, ascending = select.order_by
+        if column not in column_names:
+            raise SqlExecutionError(
+                f"ORDER BY column {column!r} not in the select list"
+            )
+        index = column_names.index(column)
+        rows = iter(
+            sorted(
+                rows,
+                key=lambda r: (r[index] is None, r[index]),
+                reverse=not ascending,
+            )
+        )
+    if select.limit is not None:
+        rows = limit_rows(rows, select.limit)
+    return rows

@@ -1,0 +1,78 @@
+"""Predicate compilation: SQL/SMO predicate trees as batch evaluators.
+
+:func:`compile_predicate` turns a :class:`~repro.smo.predicate.
+Predicate` tree into a closure evaluated *column-wise*: each
+:class:`~repro.smo.predicate.Comparison` becomes one pass over the
+referenced column's value vector at the selected positions, and the
+boolean combinators (AND/OR/NOT) reduce to NumPy mask algebra instead
+of per-row short-circuiting.  This is the evaluation strategy for
+batches whose values are plain vectors (:class:`~repro.exec.batch.
+ValuesBatch`, and :class:`~repro.exec.batch.DeltaBatch` below the
+index threshold); the compressed main store never uses it — its
+predicates resolve to bitmaps without decoding (``Predicate.bitmap``).
+
+Semantics are exactly those of ``Predicate.matches``: the per-value
+tests are the comparison's own (:meth:`Comparison.value_test`), so the
+row path and the batch path cannot disagree on an edge case like NULL
+ordering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SqlExecutionError
+from repro.smo.predicate import And, Comparison, Not, Or
+
+#: An evaluator takes (columns, positions) — a name->vector mapping and
+#: the physical positions under evaluation — and returns a boolean mask
+#: aligned with ``positions``.
+
+
+def compile_predicate(predicate):
+    """Compile a predicate tree into a columnar evaluator."""
+    if isinstance(predicate, Comparison):
+        attr = predicate.attr
+        test = predicate.value_test()
+
+        def evaluate(columns, positions):
+            values = columns[attr]
+            return np.fromiter(
+                (test(values[index]) for index in positions),
+                dtype=bool,
+                count=len(positions),
+            )
+
+        return evaluate
+    if isinstance(predicate, (And, Or)):
+        left = compile_predicate(predicate.left)
+        right = compile_predicate(predicate.right)
+        if isinstance(predicate, And):
+            # Evaluate the right side only where the left still holds.
+            def evaluate(columns, positions):
+                mask = left(columns, positions)
+                alive = np.flatnonzero(mask)
+                if len(alive):
+                    mask[alive] &= right(columns, positions[alive])
+                return mask
+
+            return evaluate
+
+        def evaluate(columns, positions):
+            mask = left(columns, positions)
+            dead = np.flatnonzero(~mask)
+            if len(dead):
+                mask[dead] |= right(columns, positions[dead])
+            return mask
+
+        return evaluate
+    if isinstance(predicate, Not):
+        inner = compile_predicate(predicate.inner)
+
+        def evaluate(columns, positions):
+            return ~inner(columns, positions)
+
+        return evaluate
+    raise SqlExecutionError(
+        f"cannot compile predicate {predicate!r}"
+    )  # pragma: no cover - all Predicate kinds handled above

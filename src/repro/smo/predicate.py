@@ -71,6 +71,20 @@ class Comparison(Predicate):
             return actual in self.value
         return _COMPARATORS[self.op](actual, self.value)
 
+    def value_test(self):
+        """A per-value callable with exactly :meth:`matches` semantics.
+
+        The batch evaluators (:mod:`repro.exec.predicate`) and the
+        delta hash indexes probe one value at a time; routing them
+        through this closure keeps every evaluation strategy's edge
+        cases (NULLs, IN tuples) identical to the row path's."""
+        if self.op == IN:
+            literals = self.value
+            return lambda value: value in literals
+        compare = _COMPARATORS[self.op]
+        literal = self.value
+        return lambda value: compare(value, literal)
+
     def _matching_vids(self, column) -> list[int]:
         if self.op == IN:
             literals = {coerce(v, column.dtype) for v in self.value}

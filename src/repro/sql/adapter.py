@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 from repro.delta import CompactionPolicy
 from repro.errors import SchemaError, SqlExecutionError
+from repro.exec import TableBatch, ValuesBatch, batches_from_rows
 from repro.rowstore.engine import RowEngine
 from repro.storage.catalog import Catalog
 from repro.storage.schema import TableSchema
@@ -111,11 +112,25 @@ class EngineAdapter:
         """Iterate all rows of a table as tuples (schema column order)."""
         raise NotImplementedError
 
+    def scan_batches(self, name: str):
+        """Iterate a table's visible rows as column batches (see
+        ``repro.exec``) — the entry point of the vectorized SELECT
+        pipeline.  The default wraps :meth:`scan_rows` into chunked
+        :class:`~repro.exec.batch.ValuesBatch` windows, so any adapter
+        that can scan rows joins the pipeline for free; backends with a
+        native columnar representation override it to hand over
+        compressed or buffered batches directly (see
+        ``docs/migration.md``, "scan_batches vs scan_rows")."""
+        return batches_from_rows(
+            self.schema(name).column_names, self.scan_rows(name)
+        )
+
     def filter_rows(self, name: str, predicate):
         """Rows matching ``predicate``, resolved inside the storage
-        engine — or ``None`` when the adapter has no pushdown path, in
-        which case the executor filters ``scan_rows`` row by row.
-        Only called when ``capabilities.pushdown`` is set."""
+        engine — or ``None`` when the adapter has no pushdown path.
+        Retained for direct callers; SELECT execution now routes
+        predicates through :meth:`scan_batches`, whose batch kinds
+        carry the same pushdown strategies."""
         return None
 
     def hash_join(self, left: str, right: str, join_attrs, out_columns):
@@ -139,43 +154,51 @@ class EngineAdapter:
         raise NotImplementedError
 
 
+def _matching_row_ids(schema, rows, predicate):
+    """Row ids of ``rows`` satisfying ``predicate`` (all when ``None``),
+    found by the batch evaluators: the tuples are transposed into one
+    :class:`~repro.exec.batch.ValuesBatch` and the predicate tightens
+    its selection column-wise instead of testing row by row."""
+    batch = ValuesBatch.from_rows(schema.column_names, rows)
+    if predicate is not None:
+        batch = batch.filter(predicate)
+    return batch.selected_positions()
+
+
 def _patch_rows(schema, rows, assignments, predicate):
-    """Row-at-a-time UPDATE over materialized tuples: returns the new
-    row list and the affected count.  Shared by every adapter that
-    stores (or rebuilds from) plain tuples."""
+    """UPDATE over materialized tuples (thin wrapper over the batch
+    evaluators): returns the new row list and the affected count.
+    Shared by every adapter that stores (or rebuilds from) plain
+    tuples."""
     positions = {n: i for i, n in enumerate(schema.column_names)}
     updates = [
         (positions[column], coerce(value, schema.column(column).dtype))
         for column, value in assignments
     ]
     out = list(rows)
-    count = 0
-    for row_id, row in enumerate(out):
-        if predicate is not None and not predicate.matches(
-            lambda a, r=row: r[positions[a]]
-        ):
-            continue
-        patched = list(row)
+    matching = _matching_row_ids(schema, out, predicate)
+    for row_id in map(int, matching):
+        patched = list(out[row_id])
         for position, value in updates:
             patched[position] = value
         out[row_id] = tuple(patched)
-        count += 1
-    return out, count
+    return out, len(matching)
 
 
 def _filter_rows(schema, rows, predicate):
-    """Row-at-a-time DELETE: returns the kept rows and the deleted
-    count (``predicate`` None deletes everything)."""
+    """DELETE over materialized tuples (thin wrapper over the batch
+    evaluators): returns the kept rows and the deleted count
+    (``predicate`` None deletes everything)."""
     rows = list(rows)
     if predicate is None:
         return [], len(rows)
-    positions = {n: i for i, n in enumerate(schema.column_names)}
+    deleted = set(map(int, _matching_row_ids(schema, rows, predicate)))
+    if not deleted:
+        return rows, 0
     kept = [
-        row
-        for row in rows
-        if not predicate.matches(lambda a, r=row: r[positions[a]])
+        row for row_id, row in enumerate(rows) if row_id not in deleted
     ]
-    return kept, len(rows) - len(kept)
+    return kept, len(deleted)
 
 
 class RowEngineAdapter(EngineAdapter):
@@ -328,6 +351,19 @@ class ColumnStoreAdapter(EngineAdapter):
         self.rows_materialized += table.nrows
         return iter(table.to_rows())
 
+    def scan_batches(self, name: str):
+        """One fully-decoded batch per SELECT: the query-level baseline
+        joins the vectorized pipeline but keeps paying the whole
+        decompression cost the paper charges it (every column is
+        materialized and counted, exactly like :meth:`scan_rows`)."""
+        table = self.catalog.table(name)
+        self.rows_materialized += table.nrows
+        columns = {
+            column_name: table.column(column_name).to_values()
+            for column_name in table.schema.column_names
+        }
+        return [ValuesBatch(table.schema.column_names, columns)]
+
     def create_index(self, table: str, column: str) -> None:
         # Bitmap columns *are* the index; rebuilding is implicit in
         # insert_rows.  Validate the reference and accept.
@@ -371,9 +407,13 @@ class MutableColumnAdapter(EngineAdapter):
         # serves reads, and ending a scope re-exposes the one below it.
         # Renames re-key the stacks via the engine's rename listener, so
         # scopes follow a rename whichever entry point (SQL ALTER or SMO
-        # RENAME TABLE) requested it.
+        # RENAME TABLE) requested it; drops — SQL DROP TABLE or an SMO
+        # that consumes the table — invalidate the stacks the same way,
+        # so a name reused after a drop can never serve dropped rows to
+        # a stale scope.
         self._active_snapshots: dict[str, list] = {}
         self.evolution_engine.subscribe_renames(self._follow_rename)
+        self.evolution_engine.subscribe_drops(self._follow_drop)
 
     @property
     def catalog(self) -> Catalog:
@@ -404,10 +444,10 @@ class MutableColumnAdapter(EngineAdapter):
         # The delta dies with the table — compacting it first would be
         # wasted work — and so does any snapshot scope pinned on it (a
         # later table reusing the name must not read the dropped rows).
-        while self.end_snapshot(name):
-            pass
-        self.evolution_engine.discard_delta(name)
-        self.catalog.drop(name)
+        # The engine's drop notification clears the scope stacks of
+        # *every* adapter over this engine (this one included), so
+        # transaction-scoped adapters are invalidated too.
+        self.evolution_engine.drop_table(name)
 
     def rename_table(self, old: str, new: str) -> None:
         # Metadata-only: O(1), never a compaction — the pending delta is
@@ -420,6 +460,15 @@ class MutableColumnAdapter(EngineAdapter):
             self._active_snapshots.setdefault(new, []).extend(
                 self._active_snapshots.pop(old)
             )
+
+    def _follow_drop(self, name: str) -> None:
+        """The table is gone (SQL DROP TABLE or a consuming SMO): close
+        every snapshot scope pinned on the name, so a later table
+        reusing it serves live state instead of the dropped rows."""
+        stack = self._active_snapshots.pop(name, None)
+        if stack:
+            for snapshot in stack:
+                snapshot.close()
 
     def insert_rows(self, name: str, rows) -> int:
         return self._mutable(name).insert_rows(rows)
@@ -447,6 +496,22 @@ class MutableColumnAdapter(EngineAdapter):
         if pending is not None:
             return pending.scan()
         return iter(self.catalog.table(name).to_rows())
+
+    def scan_batches(self, name: str):
+        """Native column batches: the compressed main store flows
+        through as a :class:`~repro.exec.batch.TableBatch` (predicates
+        stay in the compressed domain) and the write buffer as a
+        :class:`~repro.exec.batch.DeltaBatch` (predicates hit the hash
+        indexes), merged epoch-wise.  Honors an active snapshot scope,
+        so pinned transactions read their frozen view through the same
+        pipeline."""
+        snapshot = self._pinned(name)
+        if snapshot is not None:
+            return snapshot.scan_batches()
+        mutable = self.evolution_engine.delta_handle(name)
+        if mutable is not None and mutable.is_valid:
+            return mutable.scan_batches()
+        return [TableBatch(self.catalog.table(name))]
 
     def filter_rows(self, name: str, predicate):
         """Predicate pushdown: compressed-domain bitmaps over the main

@@ -1,14 +1,19 @@
 """The SQL executor: statement evaluation over an engine adapter.
 
-This is the "query execution engine" box of Figure 2 (right side): it
-materializes tuples, filters and deduplicates them row at a time, and
-loads results back through the adapter.  Both query-level baselines run
-their evolutions through this code path.
+This is the "query execution engine" box of Figure 2 (right side).
+SELECTs are planned onto the vectorized batch pipeline of
+:mod:`repro.exec` — data flows column-wise from the storage engine
+through filter, projection and join, with selection bitmaps standing
+in for row movement, and tuples are materialized only at this
+adapter/cursor boundary.  DML and DDL dispatch to the adapter
+directly.  Both query-level baselines run their evolutions through
+this code path.
 """
 
 from __future__ import annotations
 
 from repro.errors import CodsError, SqlExecutionError
+from repro.exec.planner import execute_select
 from repro.sql.adapter import EngineAdapter, require_table
 from repro.sql.ast import (
     CreateIndex,
@@ -128,128 +133,11 @@ class SqlExecutor:
     # -- SELECT pipeline ------------------------------------------------------
 
     def _run_select(self, select: Select):
-        require_table(self.adapter, select.table)
-        left_schema = self.adapter.schema(select.table)
-
-        if select.join is not None:
-            require_table(self.adapter, select.join.table)
-            right_schema = self.adapter.schema(select.join.table)
-            out_columns = select.columns or (
-                left_schema.column_names
-                + tuple(
-                    n
-                    for n in right_schema.column_names
-                    if n not in select.join.join_attrs
-                )
-            )
-            rows = self._hash_join(
-                select.table,
-                select.join.table,
-                select.join.join_attrs,
-                out_columns,
-            )
-            column_names = tuple(out_columns)
-        else:
-            column_names = select.columns or left_schema.column_names
-            if select.where is not None:
-                select.where.validate(left_schema)
-                rows = self._filtered_projection(
-                    select.table, left_schema, column_names, select.where
-                )
-            elif tuple(column_names) == left_schema.column_names:
-                # Identity projection: the scan already yields rows in
-                # schema order, so re-tupling would only burn CPU.
-                rows = self.adapter.scan_rows(select.table)
-            else:
-                positions = [left_schema.index_of(c) for c in column_names]
-                rows = (
-                    tuple(row[p] for p in positions)
-                    for row in self.adapter.scan_rows(select.table)
-                )
-
-        if select.join is not None and select.where is not None:
-            name_index = {n: i for i, n in enumerate(column_names)}
-            predicate = select.where
-            rows = (
-                row
-                for row in rows
-                if predicate.matches(lambda a, r=row: r[name_index[a]])
-            )
-
-        if select.distinct:
-            rows = _dedup(rows)
-        if select.order_by is not None:
-            column, ascending = select.order_by
-            if column not in column_names:
-                raise SqlExecutionError(
-                    f"ORDER BY column {column!r} not in the select list"
-                )
-            index = column_names.index(column)
-            rows = iter(
-                sorted(
-                    rows,
-                    key=lambda r: (r[index] is None, r[index]),
-                    reverse=not ascending,
-                )
-            )
-        if select.limit is not None:
-            rows = _limited(rows, select.limit)
-        return rows
-
-    def _filtered_projection(self, table, schema, out_columns, predicate):
-        positions = {n: i for i, n in enumerate(schema.column_names)}
-        out_positions = [positions[c] for c in out_columns]
-        # Pushdown first: adapters that declare the capability evaluate
-        # the predicate inside the storage engine (compressed-domain
-        # bitmaps, delta hash indexes) and return only the matching
-        # rows; the rest are filtered row by row off the scan.
-        rows = (
-            self.adapter.filter_rows(table, predicate)
-            if self.adapter.capabilities.pushdown
-            else None
-        )
-        if rows is None:
-            rows = (
-                row
-                for row in self.adapter.scan_rows(table)
-                if predicate.matches(lambda a, r=row: r[positions[a]])
-            )
-        if tuple(out_columns) == schema.column_names:
-            yield from rows  # identity projection
-            return
-        for row in rows:
-            yield tuple(row[p] for p in out_positions)
-
-    def _hash_join(self, left, right, join_attrs, out_columns):
-        """Generic tuple hash join (build on the smaller input)."""
-        if self.adapter.capabilities.hash_join:
-            yield from self.adapter.hash_join(
-                left, right, join_attrs, out_columns
-            )
-            return
-        left_schema = self.adapter.schema(left)
-        right_schema = self.adapter.schema(right)
-        left_pos = [left_schema.index_of(a) for a in join_attrs]
-        right_pos = [right_schema.index_of(a) for a in join_attrs]
-        resolution = []
-        for attr in out_columns:
-            if left_schema.has_column(attr):
-                resolution.append(("L", left_schema.index_of(attr)))
-            elif right_schema.has_column(attr):
-                resolution.append(("R", right_schema.index_of(attr)))
-            else:
-                raise SqlExecutionError(f"unknown join column {attr!r}")
-        buckets: dict = {}
-        for row in self.adapter.scan_rows(right):
-            key = tuple(row[p] for p in right_pos)
-            buckets.setdefault(key, []).append(row)
-        for left_row in self.adapter.scan_rows(left):
-            key = tuple(left_row[p] for p in left_pos)
-            for right_row in buckets.get(key, ()):
-                yield tuple(
-                    left_row[p] if side == "L" else right_row[p]
-                    for side, p in resolution
-                )
+        """Plan the SELECT onto the vectorized batch pipeline (see
+        :func:`repro.exec.planner.execute_select`): one code path for
+        every backend, with per-batch predicate strategies instead of
+        row-at-a-time filtering here."""
+        return execute_select(self.adapter, select)
 
 
 def script_error(exc: CodsError, position: int, fragment: str) -> CodsError:
@@ -258,18 +146,3 @@ def script_error(exc: CodsError, position: int, fragment: str) -> CodsError:
     callers' ``except`` clauses keep matching."""
     snippet = fragment if len(fragment) <= 120 else fragment[:117] + "..."
     return type(exc)(f"statement {position} ({snippet!r}): {exc}")
-
-
-def _dedup(rows):
-    seen = set()
-    for row in rows:
-        if row not in seen:
-            seen.add(row)
-            yield row
-
-
-def _limited(rows, limit: int):
-    for index, row in enumerate(rows):
-        if index >= limit:
-            return
-        yield row

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import WorkloadError
+from repro.exec import iter_rows
 from repro.smo.parser import render_literal
 from repro.smo.predicate import Comparison
 from repro.storage.table import Table
@@ -145,7 +146,7 @@ class MixedReadWriteWorkload:
         employee = int(rng.integers(0, self.n_employees))
         return Comparison("Employee", "=", f"emp{employee:07d}")
 
-    def apply_to(self, mutable, scan_strategy: str = "snapshot") -> dict:
+    def apply_to(self, mutable, scan_strategy: str = "batch") -> dict:
         """Drive the whole stream against a DML target exposing
         ``insert/update/delete`` plus a read path (a :class:`repro.delta.
         MutableTable`); returns per-kind operation counts, the rows
@@ -153,18 +154,20 @@ class MixedReadWriteWorkload:
 
         ``scan_strategy`` selects how SCAN operations read:
 
-        * ``"snapshot"`` — pin an MVCC snapshot and iterate it (the
-          MVCC read path: writers are never blocked, and the immutable
-          generation/epoch pair makes the decoded-row and merged-view
-          caches sound);
+        * ``"batch"`` (default) — pin an MVCC snapshot and read it
+          through the vectorized pipeline (``snapshot.scan_batches()``
+          materialized by :func:`repro.exec.iter_rows`), the path
+          SELECTs take since the columnar refactor;
+        * ``"snapshot"`` — pin an MVCC snapshot and iterate its tuple
+          view (the pre-vectorization MVCC read path);
         * ``"copy"`` — the copy-on-read baseline, reproduced exactly as
           the pre-MVCC read path did it: decode the main store and
           rebuild the merged row list on every scan.
         """
-        if scan_strategy not in ("snapshot", "copy"):
+        if scan_strategy not in ("batch", "snapshot", "copy"):
             raise WorkloadError(
                 f"unknown scan strategy {scan_strategy!r} "
-                "(expected 'snapshot' or 'copy')"
+                "(expected 'batch', 'snapshot' or 'copy')"
             )
         counters = {INSERT: 0, UPDATE: 0, DELETE: 0, SCAN: 0}
         affected = 0
@@ -183,6 +186,12 @@ class MixedReadWriteWorkload:
                 started = time.perf_counter()
                 for _row in mutable.copy_on_read_rows():
                     scanned += 1
+                scan_seconds += time.perf_counter() - started
+            elif scan_strategy == "batch":
+                started = time.perf_counter()
+                with mutable.snapshot() as snapshot:
+                    for _row in iter_rows(snapshot.scan_batches()):
+                        scanned += 1
                 scan_seconds += time.perf_counter() - started
             else:
                 started = time.perf_counter()

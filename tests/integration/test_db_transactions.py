@@ -188,3 +188,65 @@ class TestTransactionsUnderWorkload:
             assert counters["rows_affected"] > 0
             assert tx.execute("SELECT * FROM R") == frozen
         assert len(db.execute("SELECT * FROM R")) != len(frozen)
+
+
+class TestDroppedTableScopes:
+    """A pinned scope must be invalidated when its table is dropped —
+    by SQL DROP TABLE *or* by an SMO that consumes the table — so a
+    name reused after the drop serves live state, never dropped rows,
+    to the stale scope (the PR-3 ROADMAP hazard)."""
+
+    def test_smo_drop_invalidates_the_pinned_scope(self):
+        db = seeded_db()
+        tx = db.transaction(read_only=True).begin()
+        assert len(tx.execute("SELECT * FROM audit")) == 1
+        # An SMO consumes the pinned table outside the scope ...
+        db.execute("DECOMPOSE TABLE audit INTO audit (name), "
+                   "note_log (name, note)")
+        # ... and reuses the name.  The stale scope must see the new
+        # live table (one column now), not the dropped two-column rows.
+        rows = tx.execute("SELECT * FROM audit")
+        assert rows == [("Jones",)]
+        db.execute("INSERT INTO audit VALUES ('Reused')")
+        assert ("Reused",) in tx.execute("SELECT * FROM audit")
+        tx.rollback()
+
+    def test_sql_drop_invalidates_other_scopes_too(self):
+        db = seeded_db()
+        tx = db.transaction(read_only=True).begin()
+        db.execute("DROP TABLE audit")
+        db.execute("CREATE TABLE audit (n INT)")
+        db.execute("INSERT INTO audit VALUES (7)")
+        # The scope's pin died with the dropped table: reads of the
+        # reused name go to the live replacement.
+        assert tx.execute("SELECT * FROM audit") == [(7,)]
+        tx.rollback()
+
+    def test_unconsumed_tables_stay_pinned(self):
+        """Dropping one table must not disturb the other pins."""
+        db = seeded_db()
+        with db.transaction(read_only=True) as tx:
+            before = tx.execute("SELECT * FROM emp")
+            db.execute("DROP TABLE audit")
+            db.execute("INSERT INTO emp VALUES ('Smith', 'Welding')")
+            assert tx.execute("SELECT * FROM emp") == before
+
+    def test_merge_consuming_pinned_inputs_clears_both(self):
+        db = seeded_db()
+        with db.transaction(read_only=True) as tx:
+            tx.execute("SELECT * FROM emp")
+            db.execute("MERGE TABLES emp, addr INTO emp ON (name)")
+            rows = tx.execute("SELECT * FROM emp")
+            # Live post-merge shape: name, skill, street.
+            assert all(len(row) == 3 for row in rows)
+
+    def test_snapshot_scope_on_adapter_follows_smo_drop(self):
+        """The same invalidation through the shared adapter's
+        snapshot_scope (no transaction machinery involved)."""
+        db = seeded_db()
+        adapter = db.adapter
+        with adapter.snapshot_scope("audit"):
+            db.execute("DECOMPOSE TABLE audit INTO audit (name), "
+                       "note_log (name, note)")
+            rows = list(adapter.scan_rows("audit"))
+            assert rows == [("Jones",)]

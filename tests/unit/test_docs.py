@@ -110,8 +110,8 @@ class TestFormatDocs:
         text = (REPO / "docs" / "ARCHITECTURE.md").read_text()
         for module in (
             "repro.bitmap", "repro.storage", "repro.delta", "repro.core",
-            "repro.smo", "repro.sql", "repro.db", "repro.demo",
-            "repro.workload", "repro.bench",
+            "repro.smo", "repro.sql", "repro.exec", "repro.db",
+            "repro.demo", "repro.workload", "repro.bench",
         ):
             spec_dir = REPO / "src" / module.replace(".", "/")
             assert spec_dir.is_dir(), f"{module} vanished from src/"
@@ -152,3 +152,37 @@ class TestApiDocs:
             assert f"`{backend}`" in architecture, (
                 f"ARCHITECTURE.md does not document backend {backend!r}"
             )
+
+
+class TestExecutionPipelineDocs:
+    def test_architecture_documents_the_batch_pipeline(self):
+        text = (REPO / "docs" / "ARCHITECTURE.md").read_text()
+        assert "## The execution pipeline: `repro.exec`" in text
+        for term in (
+            "ColumnBatch", "TableBatch", "DeltaBatch", "ValuesBatch",
+            "selection bitmap", "scan_batches",
+        ):
+            assert term in text, (
+                f"ARCHITECTURE.md does not explain {term!r}"
+            )
+
+    def test_architecture_names_the_batch_kinds_that_exist(self):
+        import repro.exec as exec_module
+
+        text = (REPO / "docs" / "ARCHITECTURE.md").read_text()
+        for name in ("TableBatch", "DeltaBatch", "ValuesBatch"):
+            assert hasattr(exec_module, name), f"repro.exec lost {name}"
+            assert name in text
+
+    def test_migration_doc_covers_adapter_authors(self):
+        text = (REPO / "docs" / "migration.md").read_text()
+        assert "scan_batches" in text and "scan_rows" in text
+        assert "ValuesBatch" in text
+        assert "filter_rows" in text
+
+    def test_vectorized_scan_bench_is_wired(self):
+        # The benchmark the execution-pipeline section points at must
+        # exist and CI must smoke it alongside the other benches.
+        assert (REPO / "benchmarks" / "bench_vectorized_scan.py").exists()
+        ci = (REPO / ".github" / "workflows" / "ci.yml").read_text()
+        assert "bench_vectorized_scan.py" in ci

@@ -1,0 +1,371 @@
+"""The vectorized read path: batches, operators, and the planner.
+
+Covers the three batch kinds' predicate strategies (compressed-domain
+bitmaps, delta hash indexes, compiled columnar evaluators), selection
+algebra, LIMIT's batch-level early exit, and SELECT execution through
+the pipeline on all three registered backends.
+"""
+
+import numpy as np
+import pytest
+
+from repro.db import Database
+from repro.delta import CompactionPolicy, DeltaStore, MutableTable
+from repro.exec import (
+    DeltaBatch,
+    TableBatch,
+    ValuesBatch,
+    batches_from_rows,
+    compile_predicate,
+    filter_batches,
+    iter_rows,
+    limit_rows,
+    mask_from_positions,
+)
+from repro.smo.predicate import And, Comparison, Not, Or
+from repro.sql import (
+    ColumnStoreAdapter,
+    MutableColumnAdapter,
+    RowEngineAdapter,
+    SqlExecutor,
+)
+from repro.storage.table import table_from_python
+from repro.storage.types import DataType
+
+
+def small_table(name="r"):
+    return table_from_python(
+        name,
+        {
+            "k": (DataType.INT, [1, 2, 3, 4, 5]),
+            "s": (DataType.STRING, ["a", "b", "a", "c", "b"]),
+        },
+    )
+
+
+def reference_filter(rows, names, predicate):
+    """Seed row-at-a-time semantics, the oracle for every strategy."""
+    positions = {n: i for i, n in enumerate(names)}
+    return [
+        row
+        for row in rows
+        if predicate.matches(lambda a, r=row: r[positions[a]])
+    ]
+
+
+class TestValuesBatch:
+    def test_filter_matches_row_wise(self):
+        rows = [(1, "a"), (2, "b"), (3, "a"), (4, "c")]
+        batch = ValuesBatch.from_rows(("k", "s"), rows)
+        predicate = Or(
+            And(Comparison("k", ">", 1), Comparison("s", "=", "a")),
+            Not(Comparison("s", "!=", "c")),
+        )
+        got = batch.filter(predicate).rows()
+        assert got == reference_filter(rows, ("k", "s"), predicate)
+
+    def test_identity_full_selection_returns_source(self):
+        rows = [(1, "a"), (2, "b")]
+        batch = ValuesBatch.from_rows(("k", "s"), rows)
+        assert batch.rows() is rows
+
+    def test_projection_and_selection(self):
+        rows = [(1, "a"), (2, "b"), (3, "c")]
+        batch = ValuesBatch.from_rows(("k", "s"), rows).filter(
+            Comparison("k", ">=", 2)
+        )
+        assert batch.rows([1]) == [("b",), ("c",)]
+        assert batch.rows([1, 0]) == [("b", 2), ("c", 3)]
+
+    def test_empty_positions(self):
+        batch = ValuesBatch.from_rows(("k", "s"), []).filter(
+            Comparison("k", "=", 1)
+        )
+        assert batch.selected_count == 0
+        assert batch.rows() == []
+
+
+class TestCompiledPredicates:
+    @pytest.mark.parametrize("op,literal", [
+        ("=", 2), ("!=", 2), ("<", 3), ("<=", 3), (">", 2), (">=", 2),
+        ("IN", (1, 4)),
+    ])
+    def test_each_operator_matches_row_semantics(self, op, literal):
+        rows = [(1,), (2,), (3,), (4,), (None,)]
+        predicate = Comparison("k", op, literal)
+        evaluate = compile_predicate(predicate)
+        got = evaluate({"k": [r[0] for r in rows]}, np.arange(5))
+        expected = [
+            predicate.matches(lambda a, r=row: r[0]) for row in rows
+        ]
+        assert list(got) == expected
+
+    def test_and_short_circuits_but_agrees(self):
+        rows = [(1, "a"), (2, "b"), (3, "a")]
+        predicate = And(Comparison("k", ">", 1), Comparison("s", "=", "a"))
+        evaluate = compile_predicate(predicate)
+        columns = {"k": [1, 2, 3], "s": ["a", "b", "a"]}
+        assert list(evaluate(columns, np.arange(3))) == [
+            False, False, True,
+        ]
+        assert reference_filter(rows, ("k", "s"), predicate) == [(3, "a")]
+
+
+class TestTableBatch:
+    def test_compressed_domain_filter(self):
+        table = small_table()
+        batch = TableBatch(table)
+        predicate = Or(Comparison("s", "=", "a"), Comparison("k", ">", 4))
+        got = batch.filter(predicate).rows()
+        assert got == reference_filter(
+            table.to_rows(), ("k", "s"), predicate
+        )
+
+    def test_validity_selection_masks_rows(self):
+        table = small_table()
+        validity = mask_from_positions([0, 2, 4], table.nrows)
+        assert TableBatch(table, validity).rows() == [
+            (1, "a"), (3, "a"), (5, "b"),
+        ]
+
+    def test_filter_composes_with_validity(self):
+        table = small_table()
+        validity = mask_from_positions([0, 2, 4], table.nrows)
+        batch = TableBatch(table, validity).filter(
+            Comparison("s", "=", "b")
+        )
+        assert batch.rows() == [(5, "b")]
+
+    def test_rows_hint_serves_unfiltered_reads_only(self):
+        table = small_table()
+        validity = mask_from_positions([0, 1], table.nrows)
+        sentinel = [("hint", "rows")]
+        batch = TableBatch(table, validity, rows_hint=lambda: sentinel)
+        assert batch.rows() is sentinel
+        # Tightening the selection must drop the hint.
+        filtered = batch.filter(Comparison("s", "=", "a"))
+        assert filtered.rows() == [(1, "a")]
+
+
+class TestDeltaBatch:
+    def delta(self, threshold):
+        schema = small_table().schema
+        store = DeltaStore(schema, index_threshold=threshold)
+        store.append_rows([(10, "x"), (11, "y"), (12, "x"), (13, "z")])
+        store.delete_delta(1)
+        return store
+
+    @pytest.mark.parametrize("threshold", [1, None])
+    def test_filter_matches_row_wise_with_and_without_index(
+        self, threshold
+    ):
+        store = self.delta(threshold)
+        if threshold is not None:
+            store.build_index("s")
+            assert store.indexed_columns == ("s",)
+        predicate = Or(Comparison("s", "=", "x"), Comparison("k", ">", 12))
+        batch = DeltaBatch(store)
+        got = batch.filter(predicate).rows()
+        live = store.live_rows()
+        assert got == reference_filter(live, ("k", "s"), predicate)
+
+    def test_epoch_pinned_visibility(self):
+        store = self.delta(None)
+        pinned = store.epoch
+        store.append((14, "w"))
+        store.delete_delta(0)
+        batch = DeltaBatch(store, pinned)
+        assert batch.rows() == [(10, "x"), (12, "x"), (13, "z")]
+
+    def test_projection(self):
+        store = self.delta(None)
+        assert DeltaBatch(store).rows([1]) == [("x",), ("x",), ("z",)]
+
+
+class TestOperatorsAndLimit:
+    def test_limit_early_exits_the_scan(self):
+        pulled = []
+
+        def source():
+            for i in range(100):
+                pulled.append(i)
+                yield (i, "x")
+
+        batches = batches_from_rows(("k", "s"), source(), batch_rows=10)
+        got = list(limit_rows(iter_rows(batches), 3))
+        assert got == [(0, "x"), (1, "x"), (2, "x")]
+        # Only the first chunk (plus one row of lookahead) was pulled;
+        # the remaining ~90 rows were never materialized.
+        assert len(pulled) <= 12
+
+    def test_filter_drops_emptied_batches(self):
+        batches = batches_from_rows(
+            ("k",), [(i,) for i in range(20)], batch_rows=5
+        )
+        survivors = list(
+            filter_batches(batches, Comparison("k", ">=", 15))
+        )
+        assert len(survivors) == 1
+        assert survivors[0].rows() == [(15,), (16,), (17,), (18,), (19,)]
+
+
+def seeded_executor(adapter):
+    executor = SqlExecutor(adapter)
+    executor.execute("CREATE TABLE t (k INT, s STRING)")
+    executor.execute(
+        "INSERT INTO t VALUES (1, 'a'), (2, 'b'), (3, 'a'), (4, 'c')"
+    )
+    return executor
+
+
+class TestSelectThroughPipeline:
+    @pytest.mark.parametrize("adapter_factory", [
+        MutableColumnAdapter, ColumnStoreAdapter, RowEngineAdapter,
+    ])
+    def test_same_answers_on_every_backend(self, adapter_factory):
+        executor = seeded_executor(adapter_factory())
+        assert executor.execute("SELECT * FROM t WHERE s = 'a'") == [
+            (1, "a"), (3, "a"),
+        ]
+        assert executor.execute(
+            "SELECT s FROM t WHERE k > 1 ORDER BY s DESC LIMIT 2"
+        ) == [("c",), ("b",)]
+        assert executor.execute("SELECT DISTINCT s FROM t") == [
+            ("a",), ("b",), ("c",),
+        ]
+
+    def test_mutable_backend_merges_main_and_delta_in_order(self):
+        adapter = MutableColumnAdapter(policy=CompactionPolicy.never())
+        executor = seeded_executor(adapter)
+        adapter.compact("t")  # push the seed rows into the main store
+        executor.execute("INSERT INTO t VALUES (5, 'a')")
+        executor.execute("DELETE FROM t WHERE k = 2")
+        # Main survivors in row order, then live delta appends.
+        assert executor.execute("SELECT * FROM t") == [
+            (1, "a"), (3, "a"), (4, "c"), (5, "a"),
+        ]
+        assert executor.execute("SELECT k FROM t WHERE s = 'a'") == [
+            (1,), (3,), (5,),
+        ]
+        assert executor.execute("SELECT * FROM t LIMIT 3") == [
+            (1, "a"), (3, "a"), (4, "c"),
+        ]
+
+    def test_limit_matches_row_path_semantics(self):
+        executor = seeded_executor(RowEngineAdapter())
+        assert executor.execute("SELECT * FROM t LIMIT 0") == []
+        assert executor.execute("SELECT * FROM t LIMIT 99") == [
+            (1, "a"), (2, "b"), (3, "a"), (4, "c"),
+        ]
+        assert executor.execute(
+            "SELECT DISTINCT s FROM t WHERE k >= 2 LIMIT 1"
+        ) == [("b",)]
+
+    def test_join_through_batches_without_native_hash_join(self):
+        adapter = ColumnStoreAdapter()
+        executor = SqlExecutor(adapter)
+        executor.execute("CREATE TABLE l (a INT, b INT)")
+        executor.execute("CREATE TABLE r2 (a INT, c STRING)")
+        executor.execute("INSERT INTO l VALUES (1, 10), (2, 20)")
+        executor.execute(
+            "INSERT INTO r2 VALUES (1, 'x'), (1, 'y'), (3, 'z')"
+        )
+        assert executor.execute("SELECT * FROM l JOIN r2 ON (a)") == [
+            (1, 10, "x"), (1, 10, "y"),
+        ]
+        assert executor.execute(
+            "SELECT b, c FROM l JOIN r2 ON (a) WHERE c != 'x'"
+        ) == [(10, "y")]
+
+    def test_snapshot_scope_reads_through_batches(self):
+        adapter = MutableColumnAdapter(policy=CompactionPolicy.never())
+        executor = seeded_executor(adapter)
+        with adapter.snapshot_scope("t"):
+            before = executor.execute("SELECT * FROM t WHERE s = 'a'")
+            executor.execute("INSERT INTO t VALUES (9, 'a')")
+            assert executor.execute(
+                "SELECT * FROM t WHERE s = 'a'"
+            ) == before
+        assert (9, "a") in executor.execute("SELECT * FROM t WHERE s = 'a'")
+
+
+class TestScanBatchesSurface:
+    def test_mutable_table_batches_match_scan(self):
+        mutable = MutableTable(small_table(), CompactionPolicy.never())
+        mutable.insert((6, "d"))
+        mutable.delete(Comparison("k", "=", 2))
+        assert list(iter_rows(mutable.scan_batches())) == list(
+            mutable.scan()
+        )
+
+    def test_batches_keep_their_captured_selection_under_later_dml(self):
+        """A batch handed out by scan_batches describes one instant;
+        deletes (or compaction) landing before it is consumed must not
+        leak into its materialization."""
+        mutable = MutableTable(small_table(), CompactionPolicy.never())
+        mutable.delete(Comparison("k", "=", 2))  # validity is non-None
+        batches = mutable.scan_batches()
+        captured = [b.selected_count for b in batches]
+        mutable.delete(Comparison("k", "=", 4))
+        assert [b.selected_count for b in batches] == captured
+        assert list(iter_rows(batches)) == [
+            (1, "a"), (3, "a"), (4, "c"), (5, "b"),
+        ]
+        batches = mutable.scan_batches()
+        mutable.compact("test")
+        assert list(iter_rows(batches)) == [(1, "a"), (3, "a"), (5, "b")]
+
+    def test_failed_validation_charges_no_materialization(self):
+        from repro.errors import SchemaError
+
+        adapter = ColumnStoreAdapter()
+        executor = seeded_executor(adapter)
+        before = adapter.rows_materialized
+        with pytest.raises(SchemaError):
+            executor.execute("SELECT * FROM t WHERE nosuch = 1")
+        with pytest.raises(SchemaError):
+            executor.execute("SELECT nosuch FROM t WHERE k = 1")
+        assert adapter.rows_materialized == before
+
+    def test_snapshot_batches_stay_pinned(self):
+        mutable = MutableTable(small_table(), CompactionPolicy.never())
+        with mutable.snapshot() as snapshot:
+            frozen = list(iter_rows(snapshot.scan_batches()))
+            mutable.insert((7, "e"))
+            mutable.delete(Comparison("k", "=", 1))
+            assert list(iter_rows(snapshot.scan_batches())) == frozen
+            assert frozen == snapshot.to_rows()
+
+    def test_generic_wrap_for_foreign_adapters(self):
+        """An adapter that only implements scan_rows joins the pipeline
+        through the EngineAdapter default."""
+        adapter = RowEngineAdapter()
+        seeded_executor(adapter)
+        batches = list(adapter.scan_batches("t"))
+        assert [b.column_names for b in batches] == [("k", "s")]
+        assert list(iter_rows(batches)) == list(adapter.scan_rows("t"))
+
+    def test_column_adapter_still_charges_materialization(self):
+        adapter = ColumnStoreAdapter()
+        executor = seeded_executor(adapter)
+        before = adapter.rows_materialized
+        executor.execute("SELECT * FROM t WHERE k = 1")
+        assert adapter.rows_materialized == before + 4
+
+
+class TestWorkloadBatchStrategy:
+    def test_batch_strategy_agrees_with_the_others(self):
+        from repro.workload.readwrite import MixedReadWriteWorkload
+
+        workload = MixedReadWriteWorkload(200, 40, n_employees=10)
+        results = {}
+        for strategy in ("batch", "snapshot", "copy"):
+            db = Database(policy=CompactionPolicy(max_delta_rows=64))
+            db.load_table(workload.build())
+            mutable = db.engine.mutable("R")
+            results[strategy] = workload.apply_to(
+                mutable, scan_strategy=strategy
+            )
+        scanned = {r["rows_scanned"] for r in results.values()}
+        affected = {r["rows_affected"] for r in results.values()}
+        assert len(scanned) == 1 and len(affected) == 1
