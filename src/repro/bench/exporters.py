@@ -97,6 +97,17 @@ def load_vectorized_scan_json(path) -> dict:
     return load_bench_json(path)
 
 
+def obs_overhead_json(payload: dict, path) -> None:
+    """Write the observability-overhead benchmark record
+    (``benchmarks/bench_obs_overhead.py``) as indented JSON."""
+    bench_json(payload, path)
+
+
+def load_obs_overhead_json(path) -> dict:
+    """Read back an observability-overhead benchmark record."""
+    return load_bench_json(path)
+
+
 def load_series_csv(path) -> list[dict]:
     """Read back a series CSV (values re-typed)."""
     path = Path(path)

@@ -25,12 +25,14 @@ Reads that must be mutually consistent across tables go through
 
 from __future__ import annotations
 
+from collections import deque
 from pathlib import Path
 
 from repro.db.registry import backend_spec, create_adapter
 from repro.db.session import Cursor, Session
 from repro.db.transaction import Transaction
-from repro.errors import CapabilityError, StorageError
+from repro.errors import CapabilityError, ObservabilityError, StorageError
+from repro.obs.export import to_json_lines, to_prometheus
 from repro.storage.table import Table
 
 
@@ -62,6 +64,10 @@ class Database:
             self.adapter = spec.loader(self.path, policy)
         else:
             self.adapter = create_adapter(backend, policy)
+        # Slow-query log: statements at or over the threshold (seconds)
+        # are appended by every session; None disables the timing.
+        self.slow_query_seconds: float | None = None
+        self.slow_query_log: deque = deque(maxlen=128)
         self._session = Session(self)
 
     # -- lifecycle ------------------------------------------------------
@@ -203,6 +209,26 @@ class Database:
         self._check_open()
         engine = self.engine
         return engine.delta_stats() if engine is not None else []
+
+    # -- observability --------------------------------------------------
+
+    def metrics(self, fmt: str | None = None):
+        """The adapter's metrics as a snapshot dict (default), JSON
+        lines (``fmt="json"``) or Prometheus text exposition
+        (``fmt="prometheus"``).  See ``docs/observability.md`` for the
+        metric catalog."""
+        self._check_open()
+        snapshot = self.adapter.metrics.snapshot()
+        if fmt is None:
+            return snapshot
+        if fmt == "json":
+            return to_json_lines(snapshot)
+        if fmt == "prometheus":
+            return to_prometheus(snapshot)
+        raise ObservabilityError(
+            f"unknown metrics format {fmt!r}; use None, 'json' or "
+            f"'prometheus'"
+        )
 
     def __repr__(self) -> str:
         if self._closed:

@@ -19,6 +19,8 @@ literal substitution before parsing:
 
 from __future__ import annotations
 
+import time
+
 from repro.db.router import SMO, classify_statement, iter_script_statements
 from repro.errors import (
     CapabilityError,
@@ -26,8 +28,9 @@ from repro.errors import (
     SmoValidationError,
     SqlSyntaxError,
 )
+from repro.obs.trace import TRACE_COLUMNS
 from repro.smo.parser import render_literal as _render_literal
-from repro.sql.ast import Select, Statement
+from repro.sql.ast import Explain, Select, Statement
 from repro.sql.executor import SqlExecutor, script_error
 from repro.sql.parser import parse_sql
 
@@ -88,11 +91,53 @@ class Session:
         self.adapter = adapter if adapter is not None else database.adapter
         self.executor = SqlExecutor(self.adapter)
 
+    # -- observability ---------------------------------------------------
+
+    @property
+    def trace_queries(self) -> bool:
+        """When set, every SELECT records a timed span tree (see
+        :attr:`last_trace`).  Off by default — span timing wraps each
+        pipeline stage; the always-on counters do not."""
+        return self.executor.trace_queries
+
+    @trace_queries.setter
+    def trace_queries(self, value: bool) -> None:
+        self.executor.trace_queries = bool(value)
+
+    @property
+    def last_trace(self):
+        """The :class:`~repro.obs.QueryTrace` of the most recent traced
+        SELECT or EXPLAIN on this session (``None`` before one runs)."""
+        return self.executor.last_trace
+
     # -- execution ------------------------------------------------------
 
     def execute(self, statement, params=None):
-        """Execute one SQL *or* SMO statement (text or SQL AST)."""
+        """Execute one SQL *or* SMO statement (text or SQL AST).
+
+        When the database's ``slow_query_seconds`` threshold is set,
+        statements at or over it are appended to
+        ``database.slow_query_log``.
+        """
         self.database._check_open()
+        threshold = self.database.slow_query_seconds
+        if threshold is None:
+            return self._execute(statement, params)
+        start = time.perf_counter()
+        result = self._execute(statement, params)
+        elapsed = time.perf_counter() - start
+        if elapsed >= threshold:
+            self.database.slow_query_log.append({
+                "statement": (
+                    statement
+                    if isinstance(statement, str)
+                    else repr(statement)
+                ),
+                "seconds": elapsed,
+            })
+        return result
+
+    def _execute(self, statement, params=None):
         if isinstance(statement, Statement):
             return self.executor.execute(statement)
         text = statement
@@ -180,7 +225,11 @@ class Cursor:
 
     ``description`` is a sequence of 7-tuples (name first, the rest
     ``None``) after a SELECT and ``None`` otherwise; ``rowcount`` is
-    the affected-row count after DML and ``-1`` otherwise.
+    the affected-row count after DML and ``-1`` otherwise.  After an
+    EXPLAIN [ANALYZE] the result set uses the fixed
+    :data:`~repro.obs.TRACE_COLUMNS` shape and :attr:`trace` retains
+    the underlying :class:`~repro.obs.QueryTrace` (also populated after
+    a SELECT when the session's ``trace_queries`` is on).
     """
 
     arraysize = 1
@@ -189,6 +238,7 @@ class Cursor:
         self.session = session
         self.description = None
         self.rowcount = -1
+        self.trace = None
         self._rows: list | None = None
         self._position = 0
         self._closed = False
@@ -199,11 +249,15 @@ class Cursor:
         self._check_open()
         self.description = None
         self.rowcount = -1
+        self.trace = None
         self._rows, self._position = None, 0
 
         select = None
+        explain = None
         if isinstance(statement, Select):
             select = statement
+        elif isinstance(statement, Explain):
+            explain = statement
         elif isinstance(statement, str):
             text = (
                 bind_parameters(statement, params)
@@ -214,17 +268,28 @@ class Cursor:
                 parsed = parse_sql(text)
                 if isinstance(parsed, Select):
                     select = parsed
+                elif isinstance(parsed, Explain):
+                    explain = parsed
                 statement, params = parsed, None
             else:
                 statement, params = text, None
 
         result = self.session.execute(statement, params)
-        if select is not None:
+        if explain is not None:
+            self._rows = list(result)
+            self.description = tuple(
+                (name, None, None, None, None, None, None)
+                for name in TRACE_COLUMNS
+            )
+            self.trace = self.session.last_trace
+        elif select is not None:
             self._rows = list(result)
             self.description = tuple(
                 (name, None, None, None, None, None, None)
                 for name in self.session._select_columns(select)
             )
+            if self.session.trace_queries:
+                self.trace = self.session.last_trace
         elif isinstance(result, int):
             self.rowcount = result
         return self
@@ -232,6 +297,7 @@ class Cursor:
     def executemany(self, statement: str, param_rows) -> "Cursor":
         self._check_open()
         self.description = None
+        self.trace = None
         self._rows, self._position = None, 0
         self.rowcount = self.session.executemany(statement, param_rows)
         return self

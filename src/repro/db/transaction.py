@@ -34,7 +34,14 @@ from repro.db.router import SMO, classify_statement
 from repro.db.session import Session, bind_parameters
 from repro.errors import CapabilityError, CodsError, TransactionError
 from repro.sql.adapter import require_table
-from repro.sql.ast import Delete, InsertSelect, InsertValues, Select, Update
+from repro.sql.ast import (
+    Delete,
+    Explain,
+    InsertSelect,
+    InsertValues,
+    Select,
+    Update,
+)
 from repro.sql.executor import script_error
 from repro.sql.parser import parse_sql
 
@@ -134,6 +141,7 @@ class Transaction:
                 total += result
         self._buffered = []
         self._state = "committed"
+        self.database.adapter.metrics.counter("txn.commits").inc()
         return total
 
     def rollback(self) -> int:
@@ -144,6 +152,7 @@ class Transaction:
         self._state = "rolled-back"
         discarded = len(self._buffered)
         self._buffered.clear()
+        self.database.adapter.metrics.counter("txn.rollbacks").inc()
         return discarded
 
     def __enter__(self) -> "Transaction":
@@ -185,7 +194,9 @@ class Transaction:
                 "run them outside the scope"
             )
         parsed = parse_sql(text)
-        if isinstance(parsed, Select):
+        if isinstance(parsed, (Select, Explain)):
+            # EXPLAIN [ANALYZE] is a read: it plans (or runs) its SELECT
+            # against the pinned state like any other query here.
             return self._session.execute(parsed)
         if isinstance(parsed, _DML):
             if self.read_only:

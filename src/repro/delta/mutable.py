@@ -156,6 +156,7 @@ class MutableTable:
         )
         self.on_compact = on_compact
         self.compactions = 0
+        self.compaction_steps = 0
         self._invalidated = False
         self._generation = 0
         self._snapshots: list[Snapshot] = []
@@ -255,6 +256,7 @@ class MutableTable:
             epoch=self._delta.epoch,
             open_snapshots=len(self._snapshots),
             indexed_columns=len(self._delta.indexed_columns),
+            compaction_steps=self.compaction_steps,
         )
 
     # ------------------------------------------------------------------
@@ -566,6 +568,7 @@ class MutableTable:
                 return CompactionProgress(0, 0, True)
             self._compaction_run = _CompactionRun(self._main, self._delta)
         run = self._compaction_run
+        self.compaction_steps += 1
         budget = (
             columns if columns is not None else max(1, self.policy.step_columns)
         )

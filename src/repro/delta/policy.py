@@ -32,6 +32,7 @@ class DeltaStats:
     epoch: int = 0        # write-versioning counter (monotonic)
     open_snapshots: int = 0   # pinned MVCC snapshots
     indexed_columns: int = 0  # delta columns with a built hash index
+    compaction_steps: int = 0  # incremental compact_step() calls
 
     @property
     def live_rows(self) -> int:
@@ -63,7 +64,46 @@ class DeltaStats:
             "epoch": self.epoch,
             "open_snapshots": self.open_snapshots,
             "indexed_columns": self.indexed_columns,
+            "compaction_steps": self.compaction_steps,
         }
+
+    def as_gauges(self) -> dict:
+        """This table's contribution to the registry's delta gauges
+        (the exported names of ``docs/observability.md``).  The
+        :class:`~repro.sql.adapter.MutableColumnAdapter` registers
+        callback gauges that aggregate these across
+        ``engine.delta_stats()`` — one source of truth for the
+        compaction policy, the exporters and the demo's ``deltastat``
+        command."""
+        return {
+            "delta.tables": 1,
+            "delta.buffered_rows": self.delta_live,
+            "delta.live_rows": self.live_rows,
+            "delta.deleted_main": self.deleted_main,
+            "delta.indexed_columns": self.indexed_columns,
+            "snapshot.pins_active": self.open_snapshots,
+            "compaction.runs": self.compactions,
+            "compaction.steps": self.compaction_steps,
+        }
+
+
+def aggregate_gauges(stats_list) -> dict:
+    """Sum :meth:`DeltaStats.as_gauges` across tables — the values the
+    adapter's callback gauges expose process-wide."""
+    totals = {
+        "delta.tables": 0,
+        "delta.buffered_rows": 0,
+        "delta.live_rows": 0,
+        "delta.deleted_main": 0,
+        "delta.indexed_columns": 0,
+        "snapshot.pins_active": 0,
+        "compaction.runs": 0,
+        "compaction.steps": 0,
+    }
+    for stats in stats_list:
+        for key, value in stats.as_gauges().items():
+            totals[key] += value
+    return totals
 
 
 @dataclass(frozen=True)

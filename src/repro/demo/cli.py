@@ -39,6 +39,8 @@ Commands (mirroring the Figure 4 buttons):
   delete <t> [WHERE <predicate>]    delete rows (delta-masked)
   compact <t>         fold the delta into fresh WAH columns
   deltastat [t]       show main/delta statistics
+  explain <SELECT>    show the query plan (no execution)
+  stats [fmt]         dump the metrics registry (fmt: json | prometheus)
   example             load the paper's Figure 1 table R
   help                this text
   quit                exit\
@@ -236,6 +238,42 @@ class DemoSession:
                 f"ratio={stats.delta_ratio:.3f} "
                 f"compactions={stats.compactions}"
             )
+        if not name:
+            # The registry's delta gauges aggregate the same
+            # delta_stats() — one source of truth for both views.
+            snapshot = self.db.metrics()
+            self._print(
+                f"totals: tables={snapshot['delta.tables']} "
+                f"buffered={snapshot['delta.buffered_rows']} "
+                f"live={snapshot['delta.live_rows']} "
+                f"pins={snapshot['snapshot.pins_active']} "
+                f"compaction_steps={snapshot['compaction.steps']}"
+            )
+
+    def cmd_explain(self, statement: str) -> None:
+        """The static plan of a SELECT, via EXPLAIN (no execution)."""
+        for row in self.db.execute(f"EXPLAIN {statement}"):
+            operator, detail = row[0], row[1]
+            self._print(f"    {operator}  {detail}")
+
+    def cmd_stats(self, fmt: str = "") -> None:
+        """Dump the metrics registry (plain, JSON lines or Prometheus
+        text — the same exporters ``db.metrics(fmt)`` serves)."""
+        fmt = fmt.strip().lower()
+        if fmt in ("json", "prometheus"):
+            self._print(self.db.metrics(fmt))
+            return
+        for name, value in sorted(self.db.metrics().items()):
+            if isinstance(value, dict):  # histogram
+                if value["count"]:
+                    self._print(
+                        f"{name}: count={value['count']} "
+                        f"mean={value['mean']:.6f}s max={value['max']:.6f}s"
+                    )
+                else:
+                    self._print(f"{name}: count=0")
+            else:
+                self._print(f"{name}: {value}")
 
     def cmd_sql(self, statement: str) -> None:
         """One statement through the façade: SELECT prints rows, DML
@@ -305,6 +343,10 @@ class DemoSession:
                 self.cmd_compact(rest.strip())
             elif verb == "deltastat":
                 self.cmd_deltastat(rest.strip())
+            elif verb == "explain":
+                self.cmd_explain(rest.strip())
+            elif verb == "stats":
+                self.cmd_stats(rest)
             elif verb == "history":
                 self.cmd_history()
             elif verb == "example":

@@ -68,5 +68,10 @@ class EvolutionError(CodsError):
     """The evolution engine failed while applying an operator."""
 
 
+class ObservabilityError(CodsError):
+    """Misuse of the metrics registry (e.g. setting a callback-backed
+    gauge) or of the query-tracing machinery."""
+
+
 class WorkloadError(CodsError):
     """Invalid workload-generator parameters."""

@@ -48,15 +48,29 @@ def filter_batches(batches, predicate):
             yield filtered
 
 
-def iter_rows(batches, out_positions=None):
+def iter_rows(batches, out_positions=None, stats=None):
     """Materialize batches into projected row tuples — the pipeline's
     boundary, and the only place values become tuples.  Batches are
     pulled (and materialized) one at a time, but their rows flow
     through a C-level chain, so a full scan costs a list splice rather
-    than a per-row generator hop."""
-    return chain.from_iterable(
-        batch.rows(out_positions) for batch in batches
-    )
+    than a per-row generator hop.
+
+    ``stats`` (an :class:`repro.obs.ExecStats`) counts batches and
+    decoded rows *here*, per materialized batch — one ``len()`` per
+    4096-row window, which is what keeps the always-on accounting
+    inside the observability overhead gate."""
+    if stats is None:
+        return chain.from_iterable(
+            batch.rows(out_positions) for batch in batches
+        )
+
+    def counted(batch):
+        rows = batch.rows(out_positions)
+        stats.batches += 1
+        stats.rows_decoded += len(rows)
+        return rows
+
+    return chain.from_iterable(counted(batch) for batch in batches)
 
 
 def dedup_rows(rows):

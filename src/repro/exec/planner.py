@@ -14,9 +14,24 @@ columnar evaluators).  Semantics — row order, duplicate handling,
 error messages — match the historical row-at-a-time executor exactly;
 tier-1 equivalence is pinned by
 ``tests/property/test_exec_properties.py``.
+
+Observability hooks (see ``docs/observability.md``):
+
+* ``stats`` — an :class:`repro.obs.ExecStats`; batch and decoded-row
+  counts accumulate per *batch* at the materialization boundary, so
+  the always-on accounting adds no per-row work;
+* ``trace`` — a timed :class:`repro.obs.QueryTrace`; every stage is
+  wrapped in a timing iterator and emits a :class:`repro.obs.Span`
+  with inclusive wall time (this is the EXPLAIN ANALYZE path and is
+  never active by default);
+* :func:`plan_select` — the static span tree for plain EXPLAIN,
+  built without executing (and therefore without charging any
+  backend's materialization counters).
 """
 
 from __future__ import annotations
+
+import time
 
 from repro.errors import SqlExecutionError
 from repro.exec.operators import (
@@ -29,13 +44,129 @@ from repro.exec.operators import (
 )
 
 
-def execute_select(adapter, select):
+def _scan_detail(adapter, table: str) -> str:
+    """The backend path a scan of ``table`` takes, from the adapter's
+    declared capabilities (static — safe for plan-only EXPLAIN)."""
+    capabilities = adapter.capabilities
+    if capabilities.pushdown:
+        path = "main: compressed-domain bitmap, delta: hash index"
+    elif capabilities.hash_join:
+        path = "row heap via compiled evaluator batches"
+    else:
+        path = "decoded column vectors via compiled evaluator"
+    return f"table={table} ({path})"
+
+
+def _observed_batches(batches, span):
+    """Pass batches through, timing the pull (inclusive of upstream)
+    and recording batch count, selected rows, and the batch kinds
+    actually seen (TableBatch / DeltaBatch / ValuesBatch — the
+    compressed-domain, hash-index and compiled-evaluator paths)."""
+    base_detail = span.detail
+    kinds: list[str] = []
+    iterator = iter(batches)
+    while True:
+        started = time.perf_counter()
+        try:
+            batch = next(iterator)
+        except StopIteration:
+            span.seconds += time.perf_counter() - started
+            return
+        span.seconds += time.perf_counter() - started
+        span.batches += 1
+        span.rows_out += batch.selected_count
+        kind = type(batch).__name__
+        if kind not in kinds:
+            kinds.append(kind)
+            joined = "+".join(kinds)
+            span.detail = (
+                f"{base_detail} [{joined}]" if base_detail else joined
+            )
+        yield batch
+
+
+def _plan_spans(adapter, select, trace, sql_detail=True):
+    """Build the span skeleton for ``select`` on ``trace`` and return
+    the spans keyed by stage name (stages absent from the query are
+    omitted).  Shared by the static plan and the analyzed run so both
+    render the same tree."""
+    root = trace.span("select", f"table={select.table}")
+    spans = {"select": root}
+    if select.join is not None:
+        spans["scan"] = root.child(
+            "scan", _scan_detail(adapter, select.table)
+        )
+        spans["scan_right"] = root.child(
+            "scan", _scan_detail(adapter, select.join.table)
+        )
+        native = adapter.capabilities.hash_join
+        spans["join"] = root.child(
+            "hash_join",
+            f"on={','.join(select.join.join_attrs)} "
+            + ("(engine-native)" if native else "(batch pipeline)"),
+        )
+        if select.where is not None:
+            spans["filter"] = root.child(
+                "filter", f"residual where {select.where}"
+            )
+        spans["project"] = root.child("project", "joined columns")
+    else:
+        spans["scan"] = root.child(
+            "scan", _scan_detail(adapter, select.table)
+        )
+        if select.where is not None:
+            spans["filter"] = root.child("filter", f"where {select.where}")
+        columns = select.columns or adapter.schema(select.table).column_names
+        spans["project"] = root.child(
+            "project", f"columns={','.join(columns)}"
+        )
+    if select.distinct:
+        spans["distinct"] = root.child("distinct", "streaming dedup")
+    if select.order_by is not None:
+        column, ascending = select.order_by
+        spans["order_by"] = root.child(
+            "order_by", f"{column} {'ASC' if ascending else 'DESC'}"
+        )
+    if select.limit is not None:
+        spans["limit"] = root.child("limit", f"limit={select.limit}")
+    return spans
+
+
+def plan_select(adapter, select, trace):
+    """Fill ``trace`` with the *static* plan of ``select`` — the span
+    tree EXPLAIN renders — validating references like execution would
+    but running nothing (no scan, no materialization counters)."""
+    from repro.sql.adapter import require_table
+
+    require_table(adapter, select.table)
+    schema = adapter.schema(select.table)
+    if select.join is not None:
+        require_table(adapter, select.join.table)
+    elif select.where is not None:
+        select.where.validate(schema)
+    _plan_spans(adapter, select, trace)
+    trace.executed = False
+    return trace
+
+
+def execute_select(adapter, select, stats=None, trace=None):
     """Run a parsed SELECT on ``adapter`` via the batch pipeline;
-    returns a lazy iterator of result tuples."""
+    returns a lazy iterator of result tuples.
+
+    ``stats`` accumulates always-on batch/row counters; ``trace`` (a
+    timed :class:`~repro.obs.QueryTrace`) additionally wraps each
+    stage in timing iterators for EXPLAIN ANALYZE.
+    """
+    from repro.obs.trace import TimedIter
     from repro.sql.adapter import require_table
 
     require_table(adapter, select.table)
     left_schema = adapter.schema(select.table)
+    spans = (
+        _plan_spans(adapter, select, trace) if trace is not None else None
+    )
+    if trace is not None:
+        trace.executed = True
 
     if select.join is not None:
         require_table(adapter, select.join.table)
@@ -55,22 +186,36 @@ def execute_select(adapter, select):
                 select.join.join_attrs, out_columns,
             )
         else:
+            left_batches = adapter.scan_batches(select.table)
+            right_batches = adapter.scan_batches(select.join.table)
+            if spans is not None:
+                left_batches = _observed_batches(
+                    left_batches, spans["scan"]
+                )
+                right_batches = _observed_batches(
+                    right_batches, spans["scan_right"]
+                )
             rows = hash_join_rows(
-                adapter.scan_batches(select.table),
-                adapter.scan_batches(select.join.table),
+                left_batches,
+                right_batches,
                 left_schema.column_names,
                 right_schema.column_names,
                 select.join.join_attrs,
                 out_columns,
             )
+        if spans is not None:
+            rows = TimedIter(rows, spans["join"])
         if select.where is not None:
             # Joined rows re-enter the pipeline as value batches so the
             # residual predicate runs columnar like any other filter.
-            rows = iter_rows(
-                filter_batches(
-                    batches_from_rows(column_names, rows), select.where
-                )
+            batches = filter_batches(
+                batches_from_rows(column_names, rows), select.where
             )
+            if spans is not None:
+                batches = _observed_batches(batches, spans["filter"])
+            rows = iter_rows(batches, stats=stats)
+        if spans is not None:
+            rows = TimedIter(rows, spans["project"])
     else:
         column_names = select.columns or left_schema.column_names
         # Validate before any scan work: a bad predicate or projection
@@ -85,12 +230,20 @@ def execute_select(adapter, select):
                 left_schema.index_of(name) for name in column_names
             ]
         batches = adapter.scan_batches(select.table)
+        if spans is not None:
+            batches = _observed_batches(batches, spans["scan"])
         if select.where is not None:
             batches = filter_batches(batches, select.where)
-        rows = iter_rows(batches, out_positions)
+            if spans is not None:
+                batches = _observed_batches(batches, spans["filter"])
+        rows = iter_rows(batches, out_positions, stats=stats)
+        if spans is not None:
+            rows = TimedIter(rows, spans["project"])
 
     if select.distinct:
         rows = dedup_rows(rows)
+        if spans is not None:
+            rows = TimedIter(rows, spans["distinct"])
     if select.order_by is not None:
         column, ascending = select.order_by
         if column not in column_names:
@@ -98,6 +251,7 @@ def execute_select(adapter, select):
                 f"ORDER BY column {column!r} not in the select list"
             )
         index = column_names.index(column)
+        started = time.perf_counter() if spans is not None else 0.0
         rows = iter(
             sorted(
                 rows,
@@ -105,6 +259,12 @@ def execute_select(adapter, select):
                 reverse=not ascending,
             )
         )
+        if spans is not None:
+            span = spans["order_by"]
+            span.seconds += time.perf_counter() - started
+            rows = TimedIter(rows, span)
     if select.limit is not None:
         rows = limit_rows(rows, select.limit)
+        if spans is not None:
+            rows = TimedIter(rows, spans["limit"])
     return rows

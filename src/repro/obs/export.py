@@ -1,0 +1,58 @@
+"""Exporters: a registry snapshot as JSON-lines or Prometheus text.
+
+Both formats consume the plain dict of
+:meth:`repro.obs.MetricsRegistry.snapshot` — counters and gauges as
+numbers, histograms as stats dicts — so they work on any registry
+(per-adapter or global) and on stored snapshots alike.  Exposed to
+users as ``db.metrics(fmt=...)`` and the demo CLI's ``stats`` command.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+_NAME = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def prometheus_name(name: str) -> str:
+    """A metric name sanitized for the Prometheus exposition format
+    (dots and other punctuation become underscores)."""
+    return _NAME.sub("_", name)
+
+
+def to_json_lines(snapshot: dict) -> str:
+    """One JSON object per line: ``{"metric": name, ...value fields}``.
+    Counters/gauges carry ``"value"``; histograms inline their stats."""
+    lines = []
+    for name in sorted(snapshot):
+        value = snapshot[name]
+        if isinstance(value, dict):
+            record = {"metric": name, "type": "histogram", **value}
+        else:
+            record = {"metric": name, "value": value}
+        lines.append(json.dumps(record, sort_keys=True))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def to_prometheus(snapshot: dict) -> str:
+    """The Prometheus text exposition format.  Histograms expand to
+    ``_bucket``/``_sum``/``_count`` series with cumulative ``le``
+    labels; everything else is emitted as an untyped sample."""
+    lines = []
+    for name in sorted(snapshot):
+        value = snapshot[name]
+        flat = prometheus_name(name)
+        if isinstance(value, dict):
+            lines.append(f"# TYPE {flat} histogram")
+            cumulative = 0
+            for bound, count in value["buckets"].items():
+                cumulative += count
+                lines.append(
+                    f'{flat}_bucket{{le="{bound}"}} {cumulative}'
+                )
+            lines.append(f"{flat}_sum {value['sum']}")
+            lines.append(f"{flat}_count {value['count']}")
+        else:
+            lines.append(f"{flat} {value}")
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,326 @@
+"""The metrics registry: named counters, gauges and histograms.
+
+One process-wide :func:`global_registry` aggregates everything; each
+adapter owns a :class:`MetricsRegistry` whose counters and histograms
+*propagate* to the global one, so ``adapter.metrics`` answers "what did
+this backend do" while ``global_registry()`` answers "what did the
+process do".  Gauges are callbacks — they read live state (the delta
+buffer, pinned snapshots) at snapshot time instead of being pushed —
+and therefore stay local to the registry that owns the state.
+
+Design constraints (enforced by ``benchmarks/bench_obs_overhead.py``):
+counter increments are one attribute add plus one parent hop, metric
+handles are created once and cached on the hot path, and
+:class:`NullRegistry` offers the same surface with every operation a
+no-op, so instrumented code needs no ``if enabled`` branches.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import ObservabilityError
+
+#: Histogram bucket upper bounds, in seconds (the last bucket is +Inf).
+DEFAULT_BUCKETS = (
+    0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0,
+)
+
+
+class Counter:
+    """A monotonically increasing value; ``inc`` propagates to the
+    parent registry's counter of the same name."""
+
+    __slots__ = ("name", "value", "_parent")
+
+    def __init__(self, name: str, parent: "Counter | None" = None):
+        self.name = name
+        self.value = 0
+        self._parent = parent
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+        if self._parent is not None:
+            self._parent.inc(amount)
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Gauge:
+    """A point-in-time value: either set explicitly or computed by a
+    callback at read time (the delta/snapshot gauges use callbacks, so
+    the registry never drifts from the store's own accounting)."""
+
+    __slots__ = ("name", "_value", "fn")
+
+    def __init__(self, name: str, fn=None):
+        self.name = name
+        self._value = 0
+        self.fn = fn
+
+    def set(self, value) -> None:
+        if self.fn is not None:
+            raise ObservabilityError(
+                f"gauge {self.name!r} is callback-backed; it cannot be set"
+            )
+        self._value = value
+
+    @property
+    def value(self):
+        if self.fn is not None:
+            return self.fn()
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, {self.value})"
+
+
+class _Timer:
+    """Context manager recording one observation into a histogram."""
+
+    __slots__ = ("_histogram", "_started")
+
+    def __init__(self, histogram: "Histogram"):
+        self._histogram = histogram
+
+    def __enter__(self) -> "_Timer":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._histogram.observe(time.perf_counter() - self._started)
+
+
+class Histogram:
+    """Observations bucketed by value (seconds for timers), with
+    count/sum/min/max; ``observe`` propagates to the parent."""
+
+    __slots__ = (
+        "name", "count", "total", "min", "max", "buckets",
+        "bucket_counts", "_parent",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        buckets: tuple = DEFAULT_BUCKETS,
+        parent: "Histogram | None" = None,
+    ):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+        self.buckets = tuple(buckets)
+        self.bucket_counts = [0] * (len(self.buckets) + 1)
+        self._parent = parent
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+                break
+        else:
+            self.bucket_counts[-1] += 1
+        if self._parent is not None:
+            self._parent.observe(value)
+
+    def time(self) -> _Timer:
+        """``with histogram.time(): ...`` — observe the block's wall
+        time via the monotonic clock."""
+        return _Timer(self)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "buckets": {
+                str(bound): count
+                for bound, count in zip(self.buckets, self.bucket_counts)
+            }
+            | {"+Inf": self.bucket_counts[-1]},
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, n={self.count})"
+
+
+_GLOBAL = object()  # sentinel: "parent to the process-wide registry"
+
+
+class MetricsRegistry:
+    """A namespace of metrics.
+
+    ``MetricsRegistry()`` parents to :func:`global_registry` — counter
+    and histogram traffic aggregates process-wide.  Pass ``parent=None``
+    for a standalone registry (tests), or another registry to chain.
+    ``counter``/``gauge``/``histogram`` are get-or-create and return the
+    same object on every call, so hot paths cache the handle once.
+    """
+
+    def __init__(self, parent=_GLOBAL):
+        if parent is _GLOBAL:
+            parent = global_registry()
+        self.parent: MetricsRegistry | None = parent
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- get-or-create ---------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            upstream = (
+                self.parent.counter(name) if self.parent is not None else None
+            )
+            counter = self._counters[name] = Counter(name, upstream)
+        return counter
+
+    def gauge(self, name: str, fn=None) -> Gauge:
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge(name, fn)
+        elif fn is not None:
+            gauge.fn = fn  # re-registration rebinds the callback
+        return gauge
+
+    def histogram(
+        self, name: str, buckets: tuple = DEFAULT_BUCKETS
+    ) -> Histogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            upstream = (
+                self.parent.histogram(name, buckets)
+                if self.parent is not None
+                else None
+            )
+            histogram = self._histograms[name] = Histogram(
+                name, buckets, upstream
+            )
+        return histogram
+
+    # -- introspection ---------------------------------------------------
+
+    def names(self) -> list[str]:
+        return sorted(
+            set(self._counters) | set(self._gauges) | set(self._histograms)
+        )
+
+    def snapshot(self) -> dict:
+        """Every metric's current value, sorted by name: plain numbers
+        for counters and gauges, a stats dict for histograms.  Callback
+        gauges are evaluated here, so the snapshot always reflects the
+        store's live accounting."""
+        out: dict = {}
+        for name in self.names():
+            if name in self._counters:
+                out[name] = self._counters[name].value
+            elif name in self._gauges:
+                out[name] = self._gauges[name].value
+            else:
+                out[name] = self._histograms[name].as_dict()
+        return out
+
+    def reset(self) -> None:
+        """Zero every counter and histogram (gauges read live state and
+        have nothing to reset).  Parents are left untouched."""
+        for counter in self._counters.values():
+            counter.value = 0
+        for histogram in self._histograms.values():
+            histogram.count = 0
+            histogram.total = 0.0
+            histogram.min = None
+            histogram.max = None
+            histogram.bucket_counts = [0] * (len(histogram.buckets) + 1)
+
+
+class _NullInstrument:
+    """One no-op object standing in for Counter/Gauge/Histogram."""
+
+    __slots__ = ()
+    name = "null"
+    value = 0
+    count = 0
+    total = 0.0
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def set(self, value) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def time(self):
+        return self
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry:
+    """A registry whose every instrument is a shared no-op — the
+    zero-overhead baseline :mod:`benchmarks.bench_obs_overhead`
+    measures against, and the off-switch for embedders that want no
+    accounting at all (``adapter.metrics = NullRegistry()``)."""
+
+    parent = None
+
+    def counter(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, fn=None) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, buckets=DEFAULT_BUCKETS) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def names(self) -> list[str]:
+        return []
+
+    def snapshot(self) -> dict:
+        return {}
+
+    def reset(self) -> None:
+        pass
+
+
+_global_registry: MetricsRegistry | None = None
+
+
+def global_registry() -> MetricsRegistry:
+    """The process-wide aggregate registry (created on first use)."""
+    global _global_registry
+    if _global_registry is None:
+        _global_registry = MetricsRegistry(parent=None)
+    return _global_registry
+
+
+def reset_global_registry() -> None:
+    """Replace the process-wide registry with a fresh one.  Registries
+    already parented to the old instance keep propagating there; tests
+    use this to isolate their counting."""
+    global _global_registry
+    _global_registry = MetricsRegistry(parent=None)

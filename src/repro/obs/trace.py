@@ -1,0 +1,192 @@
+"""Per-query tracing: span trees and the always-on execution stats.
+
+Two instruments with very different costs live here:
+
+* :class:`ExecStats` — a tiny mutable record the planner fills on
+  *every* SELECT (batch and row counts, accumulated per batch, never
+  per row) and the executor flushes into the adapter's registry once
+  per query.  Always on.
+* :class:`QueryTrace` / :class:`Span` — the operator tree behind
+  ``EXPLAIN ANALYZE`` and opt-in query tracing.  When a trace is
+  active the planner wraps each pipeline stage in a timing iterator,
+  so spans carry *inclusive* wall time (a span's seconds include its
+  upstream producers, exactly like pulling on that iterator does).
+  Never constructed on the default path.
+
+The row shape of a rendered trace is fixed —
+``(operator, detail, batches, rows_in, rows_out, ms)`` with the
+operator indented two spaces per tree level — and documented in
+``docs/observability.md`` ("Span schema").
+"""
+
+from __future__ import annotations
+
+import time
+
+#: Column names of a rendered trace (the EXPLAIN cursor description).
+TRACE_COLUMNS = ("operator", "detail", "batches", "rows_in", "rows_out", "ms")
+
+
+class Span:
+    """One operator of a query's plan, with its observed traffic."""
+
+    __slots__ = (
+        "operator", "detail", "batches", "rows_in", "rows_out",
+        "seconds", "children",
+    )
+
+    def __init__(self, operator: str, detail: str = ""):
+        self.operator = operator
+        self.detail = detail
+        self.batches = 0
+        self.rows_in = 0
+        self.rows_out = 0
+        self.seconds = 0.0
+        self.children: list[Span] = []
+
+    def child(self, operator: str, detail: str = "") -> "Span":
+        span = Span(operator, detail)
+        self.children.append(span)
+        return span
+
+    def as_dict(self) -> dict:
+        return {
+            "operator": self.operator,
+            "detail": self.detail,
+            "batches": self.batches,
+            "rows_in": self.rows_in,
+            "rows_out": self.rows_out,
+            "ms": round(self.seconds * 1e3, 3),
+            "children": [child.as_dict() for child in self.children],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.operator!r}, rows_out={self.rows_out}, "
+            f"children={len(self.children)})"
+        )
+
+
+class QueryTrace:
+    """The span tree of one SELECT.
+
+    ``timed=True`` (EXPLAIN ANALYZE, opt-in tracing) makes the planner
+    wrap pipeline stages in timing iterators; ``timed=False`` renders a
+    static plan (plain EXPLAIN) with zeroed counters.
+    """
+
+    def __init__(self, sql: str = "", timed: bool = False):
+        self.sql = sql
+        self.timed = timed
+        self.executed = False
+        self.root: Span | None = None
+
+    def span(self, operator: str, detail: str = "") -> Span:
+        self.root = Span(operator, detail)
+        return self.root
+
+    def finalize(self) -> "QueryTrace":
+        """Fill derived fields after execution: each pipeline stage's
+        ``rows_in`` is its predecessor's ``rows_out`` (the stages of a
+        SELECT form a chain; only scans and join inputs originate
+        rows, and those set their counts during execution)."""
+        if self.root is not None:
+            _chain_rows(self.root)
+        return self
+
+    def rows(self) -> list[tuple]:
+        """The trace as result rows — the fixed 6-tuple shape of
+        :data:`TRACE_COLUMNS`, operator indented by tree depth."""
+        out: list[tuple] = []
+        if self.root is not None:
+            _render(self.root, 0, out)
+        return out
+
+    def as_dict(self) -> dict:
+        return {
+            "sql": self.sql,
+            "timed": self.timed,
+            "executed": self.executed,
+            "plan": self.root.as_dict() if self.root is not None else None,
+        }
+
+
+def _chain_rows(span: Span) -> None:
+    previous = None
+    for child in span.children:
+        _chain_rows(child)
+        if previous is not None and child.rows_in == 0:
+            child.rows_in = previous.rows_out
+        previous = child
+    if previous is not None and span.rows_in == 0:
+        # A parent consumes what its last stage produced.
+        span.rows_in = previous.rows_out
+
+
+def _render(span: Span, depth: int, out: list[tuple]) -> None:
+    out.append((
+        "  " * depth + span.operator,
+        span.detail,
+        span.batches,
+        span.rows_in,
+        span.rows_out,
+        round(span.seconds * 1e3, 3),
+    ))
+    for child in span.children:
+        _render(child, depth + 1, out)
+
+
+class ExecStats:
+    """Always-on per-query accounting, flushed once per statement.
+
+    The planner adds to these plain attributes batch-wise (one addition
+    per 4096-row batch, not per row); the executor copies the totals
+    into the adapter's registry counters after the result list
+    materializes.  Keeping the hot path free of registry lookups is
+    what holds the overhead gate at <= 5%.
+    """
+
+    __slots__ = ("queries", "batches", "rows_decoded", "rows_returned")
+
+    def __init__(self):
+        self.queries = 0
+        self.batches = 0
+        self.rows_decoded = 0
+        self.rows_returned = 0
+
+    def flush_to(self, registry) -> None:
+        registry.counter("exec.queries").inc(self.queries)
+        if self.batches:
+            registry.counter("exec.batches").inc(self.batches)
+        if self.rows_decoded:
+            registry.counter("exec.rows_decoded").inc(self.rows_decoded)
+        if self.rows_returned:
+            registry.counter("exec.rows_returned").inc(self.rows_returned)
+
+
+class TimedIter:
+    """Wrap an iterator, accumulating the wall time spent pulling from
+    it (and everything upstream) into a span — the inclusive-time
+    semantics of EXPLAIN ANALYZE.  ``count_rows`` also tallies items
+    into ``span.rows_out`` (used for row-level stages; batch stages
+    count rows from batch sizes instead)."""
+
+    __slots__ = ("_iterator", "_span", "_count_rows")
+
+    def __init__(self, iterable, span: Span, count_rows: bool = True):
+        self._iterator = iter(iterable)
+        self._span = span
+        self._count_rows = count_rows
+
+    def __iter__(self):
+        return self
+
+    def __next__(self):
+        started = time.perf_counter()
+        try:
+            item = next(self._iterator)
+        finally:
+            self._span.seconds += time.perf_counter() - started
+        if self._count_rows:
+            self._span.rows_out += 1
+        return item

@@ -68,6 +68,30 @@ class EngineAdapter:
 
     capabilities: AdapterCapabilities = AdapterCapabilities()
 
+    @property
+    def metrics(self):
+        """This adapter's :class:`~repro.obs.MetricsRegistry`, created
+        lazily and parented to the process-wide registry — counters
+        charged here aggregate globally.  Assign a
+        :class:`~repro.obs.NullRegistry` to disable accounting."""
+        registry = self.__dict__.get("_metrics")
+        if registry is None:
+            from repro.obs import MetricsRegistry
+
+            registry = self.__dict__["_metrics"] = MetricsRegistry()
+            self._register_gauges(registry)
+        return registry
+
+    @metrics.setter
+    def metrics(self, registry) -> None:
+        self.__dict__["_metrics"] = registry
+        self._register_gauges(registry)
+
+    def _register_gauges(self, registry) -> None:
+        """Hook: install callback gauges over this adapter's live
+        state (delta buffers, pinned snapshots).  The base adapter has
+        none."""
+
     def has_table(self, name: str) -> bool:
         raise NotImplementedError
 
@@ -284,9 +308,28 @@ class ColumnStoreAdapter(EngineAdapter):
 
     def __init__(self, catalog: Catalog | None = None):
         self.catalog = catalog if catalog is not None else Catalog()
-        # Row-count of tuples materialized / re-compressed, for reports.
-        self.rows_materialized = 0
-        self.rows_recompressed = 0
+        # Row-count of tuples materialized / re-compressed.  These were
+        # plain ints in the seed; they are registry counters now, with
+        # the attributes below kept as read-through aliases so existing
+        # reports and tests are unchanged.
+        self._rows_materialized = self.metrics.counter(
+            "adapter.rows_materialized"
+        )
+        self._rows_recompressed = self.metrics.counter(
+            "adapter.rows_recompressed"
+        )
+
+    @property
+    def rows_materialized(self) -> int:
+        """Read-through alias of the ``adapter.rows_materialized``
+        registry counter (the seed's ad-hoc attribute)."""
+        return self._rows_materialized.value
+
+    @property
+    def rows_recompressed(self) -> int:
+        """Read-through alias of the ``adapter.rows_recompressed``
+        registry counter."""
+        return self._rows_recompressed.value
 
     def has_table(self, name: str) -> bool:
         return name in self.catalog
@@ -315,7 +358,7 @@ class ColumnStoreAdapter(EngineAdapter):
         if not incoming:
             return 0
         existing = table.to_rows() if table.nrows else []
-        self.rows_recompressed += len(existing) + len(incoming)
+        self._rows_recompressed.inc(len(existing) + len(incoming))
         rebuilt = Table.from_rows(table.schema, existing + incoming)
         self.catalog.put(rebuilt, f"INSERT {name}")
         return len(incoming)
@@ -323,12 +366,12 @@ class ColumnStoreAdapter(EngineAdapter):
     def update_rows(self, name: str, assignments, predicate) -> int:
         table = self.catalog.table(name)
         rows = table.to_rows()
-        self.rows_materialized += len(rows)
+        self._rows_materialized.inc(len(rows))
         patched, count = _patch_rows(
             table.schema, rows, assignments, predicate
         )
         if count:
-            self.rows_recompressed += len(patched)
+            self._rows_recompressed.inc(len(patched))
             self.catalog.put(
                 Table.from_rows(table.schema, patched), f"UPDATE {name}"
             )
@@ -337,10 +380,10 @@ class ColumnStoreAdapter(EngineAdapter):
     def delete_rows(self, name: str, predicate) -> int:
         table = self.catalog.table(name)
         rows = table.to_rows()
-        self.rows_materialized += len(rows)
+        self._rows_materialized.inc(len(rows))
         kept, count = _filter_rows(table.schema, rows, predicate)
         if count:
-            self.rows_recompressed += len(kept)
+            self._rows_recompressed.inc(len(kept))
             self.catalog.put(
                 Table.from_rows(table.schema, kept), f"DELETE FROM {name}"
             )
@@ -348,7 +391,7 @@ class ColumnStoreAdapter(EngineAdapter):
 
     def scan_rows(self, name: str):
         table = self.catalog.table(name)
-        self.rows_materialized += table.nrows
+        self._rows_materialized.inc(table.nrows)
         return iter(table.to_rows())
 
     def scan_batches(self, name: str):
@@ -357,7 +400,7 @@ class ColumnStoreAdapter(EngineAdapter):
         decompression cost the paper charges it (every column is
         materialized and counted, exactly like :meth:`scan_rows`)."""
         table = self.catalog.table(name)
-        self.rows_materialized += table.nrows
+        self._rows_materialized.inc(table.nrows)
         columns = {
             column_name: table.column(column_name).to_values()
             for column_name in table.schema.column_names
@@ -415,6 +458,33 @@ class MutableColumnAdapter(EngineAdapter):
         self.evolution_engine.subscribe_renames(self._follow_rename)
         self.evolution_engine.subscribe_drops(self._follow_drop)
 
+    def _register_gauges(self, registry) -> None:
+        """Callback gauges over the engine's own delta accounting —
+        the registry never stores a copy, it evaluates
+        ``engine.delta_stats()`` (aggregated via
+        :meth:`~repro.delta.DeltaStats.as_gauges`) at snapshot time,
+        so exports, the demo's ``deltastat`` command and the
+        :class:`~repro.delta.CompactionPolicy` all read one source of
+        truth."""
+        from repro.delta.policy import aggregate_gauges
+
+        engine = self.evolution_engine
+
+        def reader(key):
+            return lambda: aggregate_gauges(engine.delta_stats())[key]
+
+        for key in (
+            "delta.tables",
+            "delta.buffered_rows",
+            "delta.live_rows",
+            "delta.deleted_main",
+            "delta.indexed_columns",
+            "snapshot.pins_active",
+            "compaction.runs",
+            "compaction.steps",
+        ):
+            registry.gauge(key, fn=reader(key))
+
     @property
     def catalog(self) -> Catalog:
         return self.evolution_engine.catalog
@@ -432,7 +502,11 @@ class MutableColumnAdapter(EngineAdapter):
         return self.catalog.schema(name)
 
     def scoped(self) -> "MutableColumnAdapter":
-        return MutableColumnAdapter(self.evolution_engine, self.policy)
+        clone = MutableColumnAdapter(self.evolution_engine, self.policy)
+        # One engine, one accounting: the scoped adapter (transactions)
+        # charges the same registry as its parent.
+        clone.__dict__["_metrics"] = self.metrics
+        return clone
 
     def create_table(self, schema: TableSchema) -> None:
         self.catalog.create(Table.empty(schema))

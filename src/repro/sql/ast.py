@@ -89,6 +89,20 @@ class CreateIndex:
     column: str
 
 
+@dataclass(frozen=True)
+class Explain:
+    """``EXPLAIN [ANALYZE] <select>`` — the plan as result rows.
+
+    Plain EXPLAIN renders the static span tree without executing;
+    ANALYZE runs the query through the traced pipeline and reports
+    per-operator batches, rows and wall time (see
+    ``docs/observability.md``, "EXPLAIN grammar").
+    """
+
+    select: Select
+    analyze: bool = False
+
+
 Statement = (
     Select
     | InsertValues
@@ -99,4 +113,5 @@ Statement = (
     | DropTable
     | RenameTable
     | CreateIndex
+    | Explain
 )

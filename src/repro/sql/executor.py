@@ -13,13 +13,15 @@ this code path.
 from __future__ import annotations
 
 from repro.errors import CodsError, SqlExecutionError
-from repro.exec.planner import execute_select
+from repro.exec.planner import execute_select, plan_select
+from repro.obs.trace import ExecStats, QueryTrace
 from repro.sql.adapter import EngineAdapter, require_table
 from repro.sql.ast import (
     CreateIndex,
     CreateTable,
     Delete,
     DropTable,
+    Explain,
     InsertSelect,
     InsertValues,
     RenameTable,
@@ -31,10 +33,40 @@ from repro.sql.parser import iter_script_statements, parse_sql
 
 
 class SqlExecutor:
-    """Executes parsed statements against an adapter."""
+    """Executes parsed statements against an adapter.
 
-    def __init__(self, adapter: EngineAdapter):
+    Observability: every SELECT charges the adapter's metrics registry
+    (``exec.queries``/``exec.batches``/``exec.rows_decoded``/
+    ``exec.rows_returned``) unless ``instrument=False``; setting
+    ``trace_queries`` additionally records a timed
+    :class:`~repro.obs.QueryTrace` span tree for each SELECT,
+    retained as :attr:`last_trace` (span timing is opt-in — it wraps
+    every pipeline stage, so it is never on by default).
+    """
+
+    def __init__(self, adapter: EngineAdapter, instrument: bool = True):
         self.adapter = adapter
+        self.instrument = instrument
+        self.trace_queries = False
+        self.last_trace: QueryTrace | None = None
+        # Metric handles resolved once — get-or-create lookups stay off
+        # the per-query path (the registry returns stable objects).
+        if instrument:
+            registry = adapter.metrics
+            self._select_seconds = registry.histogram("exec.select_seconds")
+            self._flush_counters = tuple(
+                registry.counter(name)
+                for name in (
+                    "exec.queries", "exec.batches",
+                    "exec.rows_decoded", "exec.rows_returned",
+                )
+            )
+
+    @property
+    def metrics(self):
+        """The adapter's metrics registry (per-backend, aggregating
+        into :func:`repro.obs.global_registry`)."""
+        return self.adapter.metrics
 
     # -- entry points ------------------------------------------------------
 
@@ -85,7 +117,9 @@ class SqlExecutor:
 
     def _dispatch(self, statement: Statement):
         if isinstance(statement, Select):
-            return list(self._run_select(statement))
+            return self._run_select_list(statement)
+        if isinstance(statement, Explain):
+            return self._run_explain(statement)
         if isinstance(statement, InsertValues):
             require_table(self.adapter, statement.table)
             return self.adapter.insert_rows(statement.table, statement.rows)
@@ -136,8 +170,54 @@ class SqlExecutor:
         """Plan the SELECT onto the vectorized batch pipeline (see
         :func:`repro.exec.planner.execute_select`): one code path for
         every backend, with per-batch predicate strategies instead of
-        row-at-a-time filtering here."""
+        row-at-a-time filtering here.  Lazy and uninstrumented — the
+        INSERT … SELECT drain; statement-level SELECTs go through
+        :meth:`_run_select_list`."""
         return execute_select(self.adapter, select)
+
+    def _run_select_list(self, select: Select, trace=None) -> list:
+        """Execute a SELECT to a list, with the always-on counters:
+        batch/row totals accumulate per batch during the run and flush
+        into the registry exactly once, after materialization."""
+        if trace is None and self.instrument and self.trace_queries:
+            trace = QueryTrace(timed=True)
+        if not self.instrument:
+            if trace is None:
+                return list(execute_select(self.adapter, select))
+            rows = list(execute_select(self.adapter, select, None, trace))
+        else:
+            stats = ExecStats()
+            with self._select_seconds.time():
+                rows = list(
+                    execute_select(self.adapter, select, stats, trace)
+                )
+            queries, batches, decoded, returned = self._flush_counters
+            queries.inc()
+            batches.inc(stats.batches)
+            decoded.inc(stats.rows_decoded)
+            returned.inc(len(rows))
+        if trace is not None:
+            if trace.root is not None:
+                trace.root.rows_out = len(rows)
+            self.last_trace = trace.finalize()
+        return rows
+
+    def _run_explain(self, explain: Explain) -> list:
+        """EXPLAIN renders the static plan; EXPLAIN ANALYZE executes
+        the SELECT through the traced pipeline (charging the same
+        counters a plain SELECT would) and renders the populated span
+        tree.  Either way the trace is retained on :attr:`last_trace`
+        and the rows use the fixed
+        :data:`repro.obs.TRACE_COLUMNS` shape."""
+        if explain.analyze:
+            trace = QueryTrace(timed=True)
+            self._run_select_list(explain.select, trace=trace)
+        else:
+            trace = plan_select(
+                self.adapter, explain.select, QueryTrace(timed=False)
+            )
+            self.last_trace = trace
+        return trace.rows()
 
 
 def script_error(exc: CodsError, position: int, fragment: str) -> CodsError:

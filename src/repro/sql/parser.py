@@ -16,6 +16,7 @@ from repro.sql.ast import (
     CreateTable,
     Delete,
     DropTable,
+    Explain,
     InsertSelect,
     InsertValues,
     JoinClause,
@@ -134,6 +135,17 @@ def _parse_create_columns(tokens: TokenStream):
     return tuple(columns), primary_key
 
 
+def _unwrap_star(select: Select) -> Select:
+    """Translate the ``__STAR__`` sentinel (the rewritten ``SELECT *``)
+    back to the 'all columns' form."""
+    if select.columns == ("__STAR__",):
+        return Select(
+            None, select.table, select.distinct, select.join,
+            select.where, select.order_by, select.limit,
+        )
+    return select
+
+
 def parse_sql(text: str) -> Statement:
     """Parse one SQL statement."""
     from repro.errors import SmoValidationError
@@ -155,19 +167,24 @@ def _parse_sql(text: str) -> Statement:
     )
     tokens = TokenStream(stripped)
     verb = tokens.expect_keyword(
-        "SELECT", "INSERT", "UPDATE", "DELETE", "CREATE", "DROP", "ALTER"
+        "SELECT", "INSERT", "UPDATE", "DELETE", "CREATE", "DROP", "ALTER",
+        "EXPLAIN",
     )
 
     if verb == "SELECT":
         tokens.index = 0
         select = _parse_select(tokens)
         tokens.done()
-        if select.columns == ("__STAR__",):
-            select = Select(
-                None, select.table, select.distinct, select.join,
-                select.where, select.order_by, select.limit,
-            )
-        return select
+        return _unwrap_star(select)
+
+    if verb == "EXPLAIN":
+        analyze = False
+        if tokens.keyword_is("ANALYZE"):
+            tokens.next()
+            analyze = True
+        select = _parse_select(tokens)
+        tokens.done()
+        return Explain(_unwrap_star(select), analyze)
 
     if verb == "INSERT":
         tokens.expect_keyword("INTO")
@@ -182,12 +199,7 @@ def _parse_sql(text: str) -> Statement:
             return InsertValues(table, tuple(rows))
         select = _parse_select(tokens)
         tokens.done()
-        if select.columns == ("__STAR__",):
-            select = Select(
-                None, select.table, select.distinct, select.join,
-                select.where, select.order_by, select.limit,
-            )
-        return InsertSelect(table, select)
+        return InsertSelect(table, _unwrap_star(select))
 
     if verb == "UPDATE":
         table = tokens.expect_ident()

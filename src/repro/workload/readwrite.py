@@ -239,10 +239,16 @@ class MixedReadWriteWorkload:
     def apply_to_session(self, session, table: str = "R") -> dict:
         """Drive the stream as SQL text through a :class:`repro.db.
         Session` (``session.execute`` per operation) — the façade path
-        of the mixed read/write workload."""
+        of the mixed read/write workload.
+
+        Alongside the per-kind counters, the returned dict carries a
+        ``"metrics"`` summary of what the run charged to the session's
+        registry (the delta of the exec counters across the run)."""
         counters = {INSERT: 0, UPDATE: 0, DELETE: 0, SCAN: 0}
         affected = 0
         scanned = 0
+        registry = session.adapter.metrics
+        before = registry.snapshot()
         for op in self.operations():
             counters[op.kind] += 1
             result = session.execute(op.sql(table))
@@ -250,6 +256,15 @@ class MixedReadWriteWorkload:
                 scanned += len(result)
             elif isinstance(result, int):
                 affected += result
+        after = registry.snapshot()
         counters["rows_affected"] = affected
         counters["rows_scanned"] = scanned
+        counters["metrics"] = {
+            name: after[name] - before.get(name, 0)
+            for name in (
+                "exec.queries", "exec.batches",
+                "exec.rows_decoded", "exec.rows_returned",
+            )
+            if name in after
+        }
         return counters

@@ -154,6 +154,48 @@ class TestApiDocs:
             )
 
 
+class TestObservabilityDocs:
+    def test_architecture_documents_the_obs_layer(self):
+        text = (REPO / "docs" / "ARCHITECTURE.md").read_text()
+        assert "## Observability: `repro.obs`" in text
+        assert "EXPLAIN" in text
+        assert "observability.md" in text
+
+    def test_metric_catalog_covers_the_exported_names(self):
+        # Every metric a fresh database exports after a tiny workload
+        # must appear in the observability doc's catalog.
+        from repro.db import Database
+
+        text = (REPO / "docs" / "observability.md").read_text()
+        db = Database()
+        db.execute("CREATE TABLE d (k INT, KEY(k))")
+        db.execute("INSERT INTO d VALUES (1)")
+        db.execute("SELECT * FROM d")
+        with db.transaction() as tx:
+            tx.execute("SELECT * FROM d")
+        undocumented = [
+            name for name in db.metrics() if f"`{name}`" not in text
+        ]
+        assert not undocumented, (
+            f"observability.md catalog is missing {undocumented}"
+        )
+
+    def test_span_schema_names_the_real_columns(self):
+        from repro.obs import TRACE_COLUMNS
+
+        text = (REPO / "docs" / "observability.md").read_text()
+        for column in TRACE_COLUMNS:
+            assert column in text, (
+                f"observability.md does not mention trace column "
+                f"{column!r}"
+            )
+
+    def test_obs_overhead_bench_is_wired(self):
+        assert (REPO / "benchmarks" / "bench_obs_overhead.py").exists()
+        ci = (REPO / ".github" / "workflows" / "ci.yml").read_text()
+        assert "bench_obs_overhead.py" in ci
+
+
 class TestExecutionPipelineDocs:
     def test_architecture_documents_the_batch_pipeline(self):
         text = (REPO / "docs" / "ARCHITECTURE.md").read_text()

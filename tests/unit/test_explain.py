@@ -1,0 +1,181 @@
+"""EXPLAIN / EXPLAIN ANALYZE through the Database façade.
+
+The shape contract: both variants return rows in the fixed
+``TRACE_COLUMNS`` 6-tuple layout on every backend; plain EXPLAIN
+renders the static plan without executing (and charges no counters),
+EXPLAIN ANALYZE executes the SELECT through the traced pipeline and
+charges exactly what a plain SELECT would."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import Database
+from repro.errors import SqlError
+from repro.obs import TRACE_COLUMNS, QueryTrace
+
+BACKENDS = ("mutable", "column", "row")
+ROWS = [(i % 3, "ab"[i % 2]) for i in range(10)]
+SELECT = "SELECT s FROM r WHERE k = 1 ORDER BY s LIMIT 3"
+
+
+def operators(rows):
+    return [row[0].strip() for row in rows]
+
+
+@pytest.fixture(params=BACKENDS)
+def db(request):
+    database = Database(backend=request.param)
+    database.execute("CREATE TABLE r (k INT, s STRING, KEY(k))")
+    database.executemany("INSERT INTO r VALUES (?, ?)", ROWS)
+    return database
+
+
+class TestShape:
+    def test_plain_explain_renders_the_static_plan(self, db):
+        rows = db.execute("EXPLAIN " + SELECT)
+        assert operators(rows) == [
+            "select", "scan", "filter", "project", "order_by", "limit",
+        ]
+        for row in rows:
+            assert len(row) == len(TRACE_COLUMNS)
+            # Static plan: nothing ran, every counter is zero.
+            assert row[2:] == (0, 0, 0, 0.0)
+        # Child stages indent two spaces under the select root.
+        assert rows[0][0] == "select"
+        assert all(row[0].startswith("  ") for row in rows[1:])
+
+    def test_analyze_populates_the_same_tree(self, db):
+        expected = db.execute(SELECT)
+        rows = db.execute("EXPLAIN ANALYZE " + SELECT)
+        assert operators(rows) == operators(db.execute("EXPLAIN " + SELECT))
+        by_operator = {row[0].strip(): row for row in rows}
+        # The scan produced the whole table, the filter kept k = 1,
+        # and the root returned what the SELECT returns.
+        assert by_operator["scan"][4] == len(ROWS)
+        assert by_operator["scan"][2] >= 1  # at least one batch flowed
+        assert by_operator["filter"][3] == len(ROWS)
+        assert by_operator["filter"][4] == len(expected)
+        assert by_operator["select"][4] == len(expected)
+
+    def test_scan_detail_names_the_backend_path(self, db):
+        detail = {
+            row[0].strip(): row[1] for row in db.execute("EXPLAIN " + SELECT)
+        }["scan"]
+        expected_fragment = {
+            "mutable": "main: compressed-domain bitmap",
+            "column": "decoded column vectors",
+            "row": "row heap",
+        }[db.backend]
+        assert expected_fragment in detail
+
+    def test_explain_requires_a_select(self, db):
+        with pytest.raises(SqlError):
+            db.execute("EXPLAIN DROP TABLE r")
+
+
+class TestCounters:
+    def test_plain_explain_charges_nothing(self, db):
+        before = db.adapter.metrics.snapshot()
+        db.execute("EXPLAIN " + SELECT)
+        after = db.adapter.metrics.snapshot()
+        assert after.get("exec.queries", 0) == before.get("exec.queries", 0)
+        assert after.get("exec.rows_decoded", 0) == before.get(
+            "exec.rows_decoded", 0
+        )
+
+    def test_plain_explain_materializes_no_rows(self):
+        # The column backend counts every row it turns into a tuple,
+        # so it can witness that planning never touches data.
+        db = Database(backend="column")
+        db.execute("CREATE TABLE r (k INT, s STRING)")
+        db.executemany("INSERT INTO r VALUES (?, ?)", ROWS)
+        assert db.adapter.rows_materialized == 0
+        db.execute("EXPLAIN " + SELECT)
+        assert db.adapter.rows_materialized == 0
+        db.execute("EXPLAIN ANALYZE " + SELECT)
+        assert db.adapter.rows_materialized == len(ROWS)
+
+    def test_analyze_charges_like_a_plain_select(self, db):
+        def deltas(statement):
+            before = db.adapter.metrics.snapshot()
+            db.execute(statement)
+            after = db.adapter.metrics.snapshot()
+            return {
+                name: after[name] - before.get(name, 0)
+                for name in (
+                    "exec.queries", "exec.batches",
+                    "exec.rows_decoded", "exec.rows_returned",
+                )
+            }
+
+        assert deltas("EXPLAIN ANALYZE " + SELECT) == deltas(SELECT)
+
+
+class TestRetention:
+    def test_cursor_description_and_trace(self, db):
+        cursor = db.cursor()
+        cursor.execute("EXPLAIN ANALYZE " + SELECT)
+        assert [entry[0] for entry in cursor.description] == list(
+            TRACE_COLUMNS
+        )
+        assert all(len(entry) == 7 for entry in cursor.description)
+        rows = cursor.fetchall()
+        assert rows and all(len(row) == len(TRACE_COLUMNS) for row in rows)
+        assert isinstance(cursor.trace, QueryTrace)
+        assert cursor.trace.executed
+
+    def test_plain_explain_trace_is_not_executed(self, db):
+        cursor = db.cursor()
+        cursor.execute("EXPLAIN " + SELECT)
+        assert isinstance(cursor.trace, QueryTrace)
+        assert not cursor.trace.executed
+        assert not cursor.trace.timed
+
+    def test_session_retains_the_last_trace(self, db):
+        db.execute("EXPLAIN ANALYZE " + SELECT)
+        trace = db._session.last_trace
+        assert trace is not None and trace.executed
+        assert trace.rows() == db._session.last_trace.rows()
+
+    def test_trace_queries_retains_traces_for_plain_selects(self, db):
+        session = db.session()
+        session.execute(SELECT)
+        assert session.last_trace is None  # span timing is opt-in
+        session.trace_queries = True
+        expected = session.execute(SELECT)
+        trace = session.last_trace
+        assert trace is not None and trace.timed and trace.executed
+        assert trace.root.rows_out == len(expected)
+
+
+class TestTransactions:
+    def test_explain_analyze_runs_against_the_pinned_state(self):
+        # Transactions buffer their writes until commit and read the
+        # epoch vector pinned at entry; EXPLAIN ANALYZE, being a read,
+        # observes exactly that frozen state.
+        db = Database()
+        db.execute("CREATE TABLE r (k INT, s STRING, KEY(k))")
+        db.executemany("INSERT INTO r VALUES (?, ?)", ROWS)
+        with db.transaction() as tx:
+            tx.execute("INSERT INTO r VALUES (1, 'z')")
+            db.execute("INSERT INTO r VALUES (1, 'y')")  # outside the pin
+            rows = tx.execute("EXPLAIN ANALYZE SELECT * FROM r WHERE k = 1")
+            by_operator = {row[0].strip(): row for row in rows}
+            assert by_operator["scan"][4] == len(ROWS)
+        # After commit both writes land and ANALYZE sees the live state.
+        rows = db.execute("EXPLAIN ANALYZE SELECT * FROM r WHERE k = 1")
+        by_operator = {row[0].strip(): row for row in rows}
+        assert by_operator["scan"][4] == len(ROWS) + 2
+
+    def test_explain_is_a_read_in_a_read_only_transaction(self):
+        db = Database()
+        db.execute("CREATE TABLE r (k INT, s STRING)")
+        db.executemany("INSERT INTO r VALUES (?, ?)", ROWS)
+        with db.transaction(read_only=True) as tx:
+            plan = tx.execute("EXPLAIN SELECT * FROM r")
+            assert operators(plan)[0] == "select"
+            analyzed = tx.execute("EXPLAIN ANALYZE SELECT * FROM r")
+            assert {row[0].strip(): row for row in analyzed}["select"][
+                4
+            ] == len(ROWS)
