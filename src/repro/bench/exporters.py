@@ -108,6 +108,17 @@ def load_obs_overhead_json(path) -> dict:
     return load_bench_json(path)
 
 
+def wal_commit_json(payload: dict, path) -> None:
+    """Write the WAL commit-overhead benchmark record
+    (``benchmarks/bench_wal_commit.py``) as indented JSON."""
+    bench_json(payload, path)
+
+
+def load_wal_commit_json(path) -> dict:
+    """Read back a WAL commit-overhead benchmark record."""
+    return load_bench_json(path)
+
+
 def load_series_csv(path) -> list[dict]:
     """Read back a series CSV (values re-typed)."""
     path = Path(path)

@@ -71,6 +71,7 @@ class EvolutionEngine:
         self._rename_listeners: list = []
         self._drop_listeners: list = []
         self._mutables: dict[str, MutableTable] = {}
+        self._wal = None
 
     # -- catalog passthroughs -------------------------------------------
 
@@ -142,6 +143,16 @@ class EvolutionEngine:
 
     # -- mutable tables (the write path) --------------------------------
 
+    def attach_wal(self, wal) -> None:
+        """Route every mutable table's redo records into ``wal`` (a
+        :class:`repro.wal.WriteAheadLog`) — existing handles and any
+        created later.  Renames rewire the per-table facade in place."""
+        from repro.wal.log import TableWal
+
+        self._wal = wal
+        for name, mutable in self._mutables.items():
+            mutable.attach_wal(TableWal(wal, name))
+
     def mutable(
         self, name: str, policy: CompactionPolicy | None = None
     ) -> MutableTable:
@@ -160,6 +171,10 @@ class EvolutionEngine:
         mutable.on_compact = lambda table, reason: self.catalog.put(
             table, f"COMPACT {table.name}: {reason}"
         )
+        if self._wal is not None:
+            from repro.wal.log import TableWal
+
+            mutable.attach_wal(TableWal(self._wal, name))
         self._mutables[name] = mutable
         return mutable
 
@@ -230,6 +245,8 @@ class EvolutionEngine:
         mutable = self._mutables.pop(old, None)
         if mutable is not None:
             mutable.rewire_metadata(self.catalog.table(new))
+            if mutable._wal is not None:
+                mutable._wal.rename(new)
             self._mutables[new] = mutable
         self._notify_rename(old, new)
 

@@ -31,9 +31,25 @@ from pathlib import Path
 from repro.db.registry import backend_spec, create_adapter
 from repro.db.session import Cursor, Session
 from repro.db.transaction import Transaction
-from repro.errors import CapabilityError, ObservabilityError, StorageError
+from repro.errors import (
+    CapabilityError,
+    ObservabilityError,
+    StorageError,
+    WalCorruptionError,
+    WalError,
+)
 from repro.obs.export import to_json_lines, to_prometheus
 from repro.storage.table import Table
+from repro.wal import (
+    DEFAULT_GROUP_SIZE,
+    WriteAheadLog,
+    log_has_records,
+    recover,
+    wal_path,
+)
+from repro.wal import checkpoint as run_checkpoint
+
+_DURABILITY_MODES = ("none", "commit", "group")
 
 
 class Database:
@@ -45,13 +61,46 @@ class Database:
     keeps everything in memory.  ``policy`` is the
     :class:`~repro.delta.CompactionPolicy` handed to delta-backed
     tables (mutable backend only).
+
+    ``durability`` selects the write-ahead-log mode (mutable backend,
+    catalog directory required):
+
+    ``"none"`` (default)
+        no redo logging; writes persist only at :meth:`save`/
+        :meth:`close` — the pre-WAL behaviour;
+    ``"commit"``
+        every committed statement/transaction is fsynced to ``wal.log``
+        before it is acknowledged;
+    ``"group"``
+        commits are fsynced in groups of ``group_size`` — a bounded
+        loss window in exchange for amortized fsyncs.
+
+    With durability on, opening a directory runs recovery: committed
+    transactions past the last checkpoint are replayed into the
+    deltas, torn log tails are discarded, and deeper damage raises
+    :class:`~repro.errors.WalCorruptionError` (``docs/wal-format.md``).
     """
 
-    def __init__(self, path=None, backend: str = "mutable", policy=None):
+    def __init__(
+        self,
+        path=None,
+        backend: str = "mutable",
+        policy=None,
+        durability: str = "none",
+        group_size: int = DEFAULT_GROUP_SIZE,
+    ):
+        if durability not in _DURABILITY_MODES:
+            raise WalError(
+                f"unknown durability {durability!r}; use one of "
+                f"{_DURABILITY_MODES}"
+            )
         self.path = Path(path) if path is not None else None
         self.backend = backend
         self.policy = policy
+        self.durability = durability
+        self.group_size = group_size
         self._closed = False
+        self._wal: WriteAheadLog | None = None
         spec = backend_spec(backend)
         if (
             self.path is not None
@@ -64,18 +113,81 @@ class Database:
             self.adapter = spec.loader(self.path, policy)
         else:
             self.adapter = create_adapter(backend, policy)
+        self._wire_durability()
         # Slow-query log: statements at or over the threshold (seconds)
         # are appended by every session; None disables the timing.
         self.slow_query_seconds: float | None = None
         self.slow_query_log: deque = deque(maxlen=128)
         self._session = Session(self)
 
+    def _wire_durability(self) -> None:
+        if self.durability == "none":
+            # Refuse to strand committed-but-uncheckpointed writes: a
+            # log with records means the directory was last written by
+            # a durable database that crashed before checkpointing.
+            if self.path is not None:
+                log = wal_path(self.path)
+                if log.exists() and log_has_records(log):
+                    raise WalError(
+                        f"{log} holds unapplied committed records; open "
+                        f"with durability='commit' or 'group' to recover "
+                        f"them"
+                    )
+            return
+        if self.path is None:
+            raise WalError(
+                "durability needs a catalog directory: pass a path"
+            )
+        if self.engine is None:
+            raise CapabilityError(
+                f"backend {self.backend!r} has no write-ahead log; use "
+                f"backend='mutable'"
+            )
+        self.path.mkdir(parents=True, exist_ok=True)
+        had_catalog = (self.path / "catalog.json").exists()
+        log = wal_path(self.path)
+        if not had_catalog and log.exists() and log_has_records(log):
+            raise WalCorruptionError(
+                f"{log} holds records but {self.path} has no "
+                f"catalog.json to recover into"
+            )
+        self._wal = WriteAheadLog(
+            log,
+            flush_policy=(
+                "commit" if self.durability == "commit" else "group"
+            ),
+            group_size=self.group_size,
+            metrics=self.adapter.metrics,
+        )
+        # Recover BEFORE attaching the log to the engine: replay must
+        # not re-emit the records it is applying.
+        if had_catalog and recover(
+            self.engine, self.path, self._wal, self.policy
+        ):
+            # Replayed state is in memory only; checkpoint right away
+            # so the next crash does not have to replay it again.
+            run_checkpoint(self.engine, self.path, self._wal, self.policy)
+        self.engine.attach_wal(self._wal)
+
     # -- lifecycle ------------------------------------------------------
 
     @classmethod
-    def open(cls, path, backend: str = "mutable", policy=None) -> "Database":
+    def open(
+        cls,
+        path,
+        backend: str = "mutable",
+        policy=None,
+        durability: str = "none",
+        group_size: int = DEFAULT_GROUP_SIZE,
+    ) -> "Database":
         """Alias of the constructor for callers who prefer a verb."""
-        return cls(path, backend=backend, policy=policy)
+        return cls(
+            path,
+            backend=backend,
+            policy=policy,
+            durability=durability,
+            group_size=group_size,
+        )
 
     def _check_open(self) -> None:
         if self._closed:
@@ -100,8 +212,34 @@ class Database:
                 "no catalog directory: pass save(path) or open the "
                 "database with one"
             )
+        if self._wal is not None and target == self.path:
+            # A durable database's home-directory save IS a checkpoint:
+            # versioned mains, sidecars carrying the log position, and
+            # log truncation, in crash-atomic order.
+            self.checkpoint()
+            return target
         spec.saver(self.adapter, target)
         return target
+
+    def checkpoint(self) -> int:
+        """Flush the log and publish an incremental checkpoint (every
+        table's main + sidecar, then truncate the log).  Returns the
+        checkpointed log position.  Durability must be on."""
+        self._check_open()
+        if self._wal is None:
+            raise WalError(
+                "checkpoint needs durability: open the database with "
+                "durability='commit' or 'group'"
+            )
+        return run_checkpoint(self.engine, self.path, self._wal, self.policy)
+
+    def _schema_changed(self) -> None:
+        """Table-set changes (DDL, SMOs, bulk loads) checkpoint
+        synchronously: redo records name tables, so the table set in
+        the manifest must never lag the log (see
+        ``docs/wal-format.md``)."""
+        if self._wal is not None:
+            self.checkpoint()
 
     def close(self, save: bool | None = None) -> None:
         """Close the database (idempotent).  ``save`` defaults to
@@ -115,6 +253,9 @@ class Database:
             )
         if save:
             self.save()
+        if self._wal is not None:
+            # Flushes any acked-but-buffered group commits.
+            self._wal.close()
         self._closed = True
 
     def __enter__(self) -> "Database":
@@ -182,6 +323,7 @@ class Database:
         name."""
         self._check_open()
         self.adapter.load_table(table)
+        self._schema_changed()
 
     # -- maintenance ----------------------------------------------------
 
@@ -240,6 +382,18 @@ class Database:
         )
 
 
-def connect(path=None, backend: str = "mutable", policy=None) -> Database:
+def connect(
+    path=None,
+    backend: str = "mutable",
+    policy=None,
+    durability: str = "none",
+    group_size: int = DEFAULT_GROUP_SIZE,
+) -> Database:
     """DB-API-flavored alias: ``repro.db.connect(...)``."""
-    return Database(path, backend=backend, policy=policy)
+    return Database(
+        path,
+        backend=backend,
+        policy=policy,
+        durability=durability,
+        group_size=group_size,
+    )

@@ -30,9 +30,25 @@ from repro.errors import (
 )
 from repro.obs.trace import TRACE_COLUMNS
 from repro.smo.parser import render_literal as _render_literal
-from repro.sql.ast import Explain, Select, Statement
+from repro.sql.ast import (
+    CreateIndex,
+    CreateTable,
+    DropTable,
+    Explain,
+    RenameTable,
+    Select,
+    Statement,
+)
 from repro.sql.executor import SqlExecutor, script_error
 from repro.sql.parser import parse_sql
+
+#: SQL AST nodes that change the table set or its physical layout —
+#: under durability these checkpoint synchronously (see
+#: ``Database._schema_changed``).
+_DDL_NODES = (CreateTable, DropTable, RenameTable, CreateIndex)
+
+#: Leading keywords of textual DDL, mirroring :data:`_DDL_NODES`.
+_DDL_KEYWORDS = ("CREATE", "DROP", "ALTER")
 
 
 def render_literal(value) -> str:
@@ -139,13 +155,20 @@ class Session:
 
     def _execute(self, statement, params=None):
         if isinstance(statement, Statement):
-            return self.executor.execute(statement)
+            result = self.executor.execute(statement)
+            if isinstance(statement, _DDL_NODES):
+                self.database._schema_changed()
+            return result
         text = statement
         if params is not None:
             text = bind_parameters(text, params)
         if classify_statement(text) == SMO:
             return self._execute_smo(text)
-        return self.executor.execute(text)
+        result = self.executor.execute(text)
+        first_word = text.lstrip().split(None, 1)[0].upper() if text.strip() else ""
+        if first_word in _DDL_KEYWORDS:
+            self.database._schema_changed()
+        return result
 
     def _execute_smo(self, text: str):
         engine = self.database.engine
@@ -154,7 +177,9 @@ class Session:
                 f"backend {self.database.backend!r} cannot run schema "
                 f"modification operators; use backend='mutable'"
             )
-        return engine.apply_sql_like(text)
+        status = engine.apply_sql_like(text)
+        self.database._schema_changed()
+        return status
 
     def executemany(self, statement: str, param_rows) -> int:
         """Execute one parameterized statement per parameter tuple;

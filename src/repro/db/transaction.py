@@ -130,15 +130,38 @@ class Transaction:
         self._check_open()
         self._release_pins()
         total = 0
-        for position, text in enumerate(self._buffered, start=1):
-            try:
-                result = self._commit_session.execute(text)
-            except CodsError as exc:
-                self._state = "commit-failed"
-                self._buffered = self._buffered[position - 1:]
-                raise script_error(exc, position, text) from exc
-            if isinstance(result, int):
-                total += result
+        # Under durability the whole replay is one WAL transaction: its
+        # commit record lands (and is fsynced, per the flush policy)
+        # when the loop finishes.  A *statement* failure mid-replay
+        # leaves the earlier statements applied (documented above), so
+        # that path commits the WAL transaction too — the applied
+        # prefix must survive a crash.  Any other unwind (notably the
+        # fault-injection harness's simulated power cut) aborts
+        # instead: abort touches no disk, so the partial replay is
+        # forgotten exactly as a real crash would forget it.
+        wal = self.database._wal
+        in_wal_txn = wal is not None and bool(self._buffered)
+        if in_wal_txn:
+            wal.begin()
+        try:
+            for position, text in enumerate(self._buffered, start=1):
+                try:
+                    result = self._commit_session.execute(text)
+                except CodsError as exc:
+                    self._state = "commit-failed"
+                    self._buffered = self._buffered[position - 1:]
+                    if in_wal_txn:
+                        in_wal_txn = False
+                        wal.commit()
+                    raise script_error(exc, position, text) from exc
+                if isinstance(result, int):
+                    total += result
+        except BaseException:
+            if in_wal_txn and wal.in_transaction:
+                wal.abort()
+            raise
+        if in_wal_txn:
+            wal.commit()
         self._buffered = []
         self._state = "committed"
         self.database.adapter.metrics.counter("txn.commits").inc()

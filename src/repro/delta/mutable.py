@@ -26,6 +26,9 @@ rows it actually touches.
 
 from __future__ import annotations
 
+from bisect import bisect_right
+from contextlib import contextmanager
+
 import numpy as np
 
 from repro.bitmap.builder import WAHBuilder
@@ -100,12 +103,24 @@ class _CompactionRun:
         "next_index",
     )
 
-    def __init__(self, main: Table, delta: DeltaStore):
-        self.cutoff_epoch = delta.epoch
+    def __init__(
+        self, main: Table, delta: DeltaStore,
+        cutoff_epoch: int | None = None,
+    ):
+        # Recovery pins the fold at the *logged* cutoff epoch so the
+        # rebuilt main reproduces the crashed fold's row positions
+        # exactly; live operation pins at "now".
+        self.cutoff_epoch = (
+            delta.epoch if cutoff_epoch is None else cutoff_epoch
+        )
         self.keep = delta.surviving_main_positions(
             main.nrows, self.cutoff_epoch
         )
-        self.cutoff_appended = delta.n_appended
+        self.cutoff_appended = (
+            delta.n_appended
+            if cutoff_epoch is None
+            else bisect_right(delta.insert_epochs, cutoff_epoch)
+        )
         self.live_cutoff = delta.live_indices(self.cutoff_epoch)
         self.column_names = list(main.schema.column_names)
         self.merged: dict[str, BitmapColumn] = {}
@@ -162,6 +177,9 @@ class MutableTable:
         self._snapshots: list[Snapshot] = []
         self._retained: dict[int, tuple[Table, DeltaStore]] = {}
         self._compaction_run: _CompactionRun | None = None
+        # Redo logging: a repro.wal.TableWal once durability is on
+        # (shared with the delta store; see attach_wal).
+        self._wal = None
         # Single-entry merged-view cache: (generation, epoch) -> rows.
         # Visibility is fully determined by that pair, so the entry is
         # valid until the next write (epoch bump) or compaction
@@ -431,15 +449,48 @@ class MutableTable:
     # DML
     # ------------------------------------------------------------------
 
+    def attach_wal(self, table_wal) -> None:
+        """Start emitting redo records (a :class:`repro.wal.TableWal`)
+        for every write on this handle and its delta store."""
+        self._wal = table_wal
+        self._delta._wal = table_wal
+
+    @contextmanager
+    def _wal_txn(self):
+        """One DML statement as one redo transaction: every record the
+        statement emits (including an auto-compaction it triggers)
+        commits or vanishes together.  Inside an outer transaction
+        (``db.transaction()`` replay) the log just nests."""
+        if self._wal is None:
+            yield
+            return
+        self._wal.begin()
+        try:
+            yield
+        except BaseException:
+            self._wal.abort()
+            raise
+        else:
+            self._wal.commit()
+
     def insert(self, row) -> None:
-        """Append one row tuple (schema column order)."""
+        """Append one row tuple (schema column order).
+
+        No ``_wal_txn`` here: an insert emits exactly one redo record,
+        which auto-commits as a single self-committed frame — the hot
+        write path skips the begin/commit-record machinery.  A
+        triggered auto-compaction's ``compact`` record rides its own
+        frame, which is safe: the fold is structural and idempotent.
+        """
         self._check_valid()
         self._delta.append(row)
         self._maybe_autocompact()
 
     def insert_rows(self, rows) -> int:
         """Append an iterable of row tuples atomically (a malformed row
-        rejects the whole batch); returns the count."""
+        rejects the whole batch); returns the count.  Like
+        :meth:`insert`, the batch is one redo record, so it needs no
+        surrounding WAL transaction."""
         self._check_valid()
         count = self._delta.append_rows(rows)
         self._maybe_autocompact()
@@ -455,13 +506,14 @@ class MutableTable:
         """
         self._check_valid()
         count = 0
-        for position in self._matching_main_positions(predicate):
-            if self._delta.delete_main(int(position)):
-                count += 1
-        for index in self._matching_delta_indices(predicate):
-            if self._delta.delete_delta(index):
-                count += 1
-        self._maybe_autocompact()
+        with self._wal_txn():
+            for position in self._matching_main_positions(predicate):
+                if self._delta.delete_main(int(position)):
+                    count += 1
+            for index in self._matching_delta_indices(predicate):
+                if self._delta.delete_delta(index):
+                    count += 1
+            self._maybe_autocompact()
         return count
 
     def update(self, assignments: dict, predicate=None) -> int:
@@ -495,18 +547,20 @@ class MutableTable:
         delta_indices = self._matching_delta_indices(predicate)
         old_delta = [self._delta.row(index) for index in delta_indices]
 
-        for position in main_positions:
-            self._delta.delete_main(int(position))
-        for index in delta_indices:
-            self._delta.delete_delta(index)
         count = 0
-        for row in old_main + old_delta:
-            updated = tuple(
-                coerced.get(name, value) for name, value in zip(names, row)
-            )
-            self._delta.append(updated)
-            count += 1
-        self._maybe_autocompact()
+        with self._wal_txn():
+            for position in main_positions:
+                self._delta.delete_main(int(position))
+            for index in delta_indices:
+                self._delta.delete_delta(index)
+            for row in old_main + old_delta:
+                updated = tuple(
+                    coerced.get(name, value)
+                    for name, value in zip(names, row)
+                )
+                self._delta.append(updated)
+                count += 1
+            self._maybe_autocompact()
         return count
 
     def _matching_main_positions(self, predicate) -> np.ndarray:
@@ -600,11 +654,33 @@ class MutableTable:
             return main_part.concat(delta_part)
         return main_part
 
-    def _finish_compaction(self, run: _CompactionRun, reason: str) -> None:
+    def replay_compact(self, cutoff_epoch: int) -> None:
+        """Recovery-only: re-run a logged fold at its logged cutoff.
+
+        The fold is a pure function of (main, delta state at cutoff), so
+        replaying it reproduces the crashed compaction's row positions
+        exactly — later redo records that name post-fold positions and
+        indices land where they were logged.  Emits nothing."""
+        run = _CompactionRun(self._main, self._delta, cutoff_epoch)
+        while not run.done:
+            name = run.column_names[run.next_index]
+            run.merged[name] = self._merge_column(name, run)
+            run.next_index += 1
+        self._finish_compaction(run, "wal replay", log=False)
+
+    def _finish_compaction(
+        self, run: _CompactionRun, reason: str, log: bool = True
+    ) -> None:
         """Publish the merged table, carry post-cutoff writes into a
         fresh buffer (remapping deletions of folded rows onto the new
         main's positions), and retain the old generation if snapshots
         still pin it."""
+        if log and self._wal is not None:
+            # Write-ahead: the structural record lands before the state
+            # changes, inside the statement's transaction when the fold
+            # was triggered by DML (auto-compaction), auto-committed
+            # when requested directly.
+            self._wal.log_compact(run.cutoff_epoch)
         old_main, old_delta = self._main, self._delta
         nrows = len(run.keep) + len(run.live_cutoff)
         new_main = Table(self.schema, run.merged, nrows)
@@ -638,6 +714,7 @@ class MutableTable:
             old_delta.epoch,
             index_threshold=old_delta.index_threshold,
         )
+        new_delta._wal = old_delta._wal
 
         if any(s.generation == self._generation for s in self._snapshots):
             self._retained[self._generation] = (old_main, old_delta)
@@ -664,6 +741,7 @@ class MutableTable:
             raise SchemaError(
                 f"delta schema does not match table {self.name!r}"
             )
+        store._wal = self._wal
         self._delta = store
         # Epochs (and deletion state) restart with the new buffer.
         self._merged_cache = None

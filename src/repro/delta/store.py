@@ -63,6 +63,7 @@ class DeltaStore:
         "range_probe_limit",
         "_indexes",
         "_live_cache",
+        "_wal",
     )
 
     def __init__(
@@ -88,6 +89,8 @@ class DeltaStore:
         # different epoch is asked for — scans repeating against an
         # unchanged buffer pay the liveness loop once.
         self._live_cache: tuple | None = None
+        # Redo emission: a repro.wal.TableWal once durability is on.
+        self._wal = None
 
     @classmethod
     def restore(
@@ -151,6 +154,8 @@ class DeltaStore:
         delta index."""
         coerced = self._coerce_row(row)
         self.epoch += 1
+        if self._wal is not None:
+            self._wal.log_insert([coerced], self.epoch)
         return self._admit(coerced, self.epoch)
 
     def append_rows(self, rows) -> int:
@@ -161,6 +166,8 @@ class DeltaStore:
         if not coerced:
             return 0
         self.epoch += 1
+        if self._wal is not None:
+            self._wal.log_insert(coerced, self.epoch)
         for row in coerced:
             self._admit(row, self.epoch)
         return len(coerced)
@@ -170,6 +177,8 @@ class DeltaStore:
         if position in self.deleted_main:
             return False
         self.epoch += 1
+        if self._wal is not None:
+            self._wal.log_delete_main(position, self.epoch)
         self.deleted_main[position] = self.epoch
         return True
 
@@ -180,8 +189,32 @@ class DeltaStore:
         if index in self.deleted_delta:
             return False
         self.epoch += 1
+        if self._wal is not None:
+            self._wal.log_delete_delta(index, self.epoch)
         self.deleted_delta[index] = self.epoch
         return True
+
+    # ------------------------------------------------------------------
+    # Redo replay (recovery-only: re-apply a logged write at its
+    # original epoch, emitting nothing — the records already exist)
+    # ------------------------------------------------------------------
+
+    def replay_insert(self, rows, epoch: int) -> None:
+        """Re-admit logged rows at their logged (shared) epoch."""
+        coerced = [self._coerce_row(row) for row in rows]
+        self.epoch = epoch
+        for row in coerced:
+            self._admit(row, epoch)
+
+    def replay_delete_main(self, position: int, epoch: int) -> None:
+        self.epoch = epoch
+        self.deleted_main[position] = epoch
+
+    def replay_delete_delta(self, index: int, epoch: int) -> None:
+        if index < 0 or index >= self.n_appended:
+            raise StorageError(f"delta index {index} out of range")
+        self.epoch = epoch
+        self.deleted_delta[index] = epoch
 
     def clear(self) -> None:
         """Reset to empty (after the delta is folded into the main).

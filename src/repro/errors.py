@@ -25,6 +25,20 @@ class SerializationError(StorageError):
     """A table or column file is malformed or version-incompatible."""
 
 
+class WalError(StorageError):
+    """A problem in the write-ahead log subsystem (``repro.wal``):
+    misuse of the log API, a durability mode mismatch on open, or a
+    recovery precondition that does not hold."""
+
+
+class WalCorruptionError(WalError):
+    """The write-ahead log is damaged in a way recovery cannot repair
+    silently: a checksum mismatch *before* the final record, a mangled
+    header, or a checkpoint pointing outside the log.  A torn final
+    record is *not* corruption — it is the expected shape of a crash
+    mid-append and recovery discards it."""
+
+
 class SchemaError(CodsError):
     """Schema-level violation: unknown table/column, duplicate names, etc."""
 

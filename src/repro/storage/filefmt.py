@@ -23,16 +23,26 @@ The delta is uncompressed in memory, so it is stored uncompressed too:
 the JSON carries the appended column vectors, the per-row insert
 epochs, both epoch-tagged deletion maps, the epoch counter, and the
 hash-index metadata (threshold + which columns had an index built, so
-it can be rebuilt on load).  Version 1 sidecars (no epochs, deletion
-*sets*) are still readable.  Both layouts are specified field by field
-in ``docs/delta-format.md``.
+it can be rebuilt on load).  Version 3 adds the write-ahead-log
+checkpoint fields: ``wal_lsn`` (the log position this sidecar
+checkpoints) and ``main_file`` (the versioned main this sidecar
+masks — the sidecar is the per-table atomic commit point of the
+checkpoint protocol, see ``docs/wal-format.md``).  Versions 1 (no
+epochs, deletion *sets*) and 2 are still readable.  All layouts are
+specified field by field in ``docs/delta-format.md``.
+
+Every file in this module is written atomically: to a temp file that is
+fsynced and ``os.replace``\\ d into place, so a crash mid-save can never
+leave a truncated or half-written table, sidecar or manifest behind.
 """
 
 from __future__ import annotations
 
 import datetime
 import json
+import os
 import struct
+from contextlib import contextmanager
 from pathlib import Path
 
 from repro.bitmap.codecs import get_codec
@@ -46,13 +56,34 @@ from repro.storage.types import DataType, coerce
 _MAGIC = b"CODS"
 _VERSION = 1
 _DELTA_MAGIC = b"CODD"
-_DELTA_VERSION = 2
+_DELTA_VERSION = 3
 
 
 def delta_sidecar_path(path) -> Path:
     """The ``.delta`` sidecar belonging to a ``.cods`` table file."""
     path = Path(path)
     return path.with_name(path.name + ".delta")
+
+
+@contextmanager
+def _atomic_write(path, label: str):
+    """Write-to-temp + fsync + ``os.replace``: the file at ``path`` is
+    either its old content or the complete new one, never a torn
+    in-between.  ``label`` names the crash points so the fault-injection
+    harness can abort before the temp write and before the rename."""
+    # Imported lazily: repro.wal's own modules import this one, so a
+    # module-level import of the wal package here would be circular.
+    from repro.wal.crashpoints import crash_point
+
+    path = Path(path)
+    temp = path.with_name(path.name + ".tmp")
+    crash_point(f"{label}.temp")
+    with temp.open("wb") as handle:
+        yield handle
+        handle.flush()
+        os.fsync(handle.fileno())
+    crash_point(f"{label}.replace")
+    os.replace(temp, path)
 
 
 def _encode_value(value):
@@ -108,9 +139,10 @@ def _read_block(handle) -> bytes:
 
 
 def save_table(table: Table, path) -> None:
-    """Serialize a table (schema, dictionaries, compressed bitmaps)."""
+    """Serialize a table (schema, dictionaries, compressed bitmaps);
+    atomic via temp file + ``os.replace``."""
     path = Path(path)
-    with path.open("wb") as handle:
+    with _atomic_write(path, "save.table") as handle:
         handle.write(_MAGIC)
         handle.write(struct.pack("<HQ", _VERSION, table.nrows))
         _write_block(
@@ -173,12 +205,16 @@ def load_table(path) -> Table:
     return Table(schema, columns, nrows)
 
 
-def save_delta(store, path) -> None:
-    """Serialize a :class:`repro.delta.DeltaStore` (uncompressed).
+def save_delta(store, path, wal_lsn=None, main_file=None) -> None:
+    """Serialize a :class:`repro.delta.DeltaStore` (uncompressed);
+    atomic via temp file + ``os.replace``.
 
     The payload carries the full MVCC state — per-row insert epochs,
     epoch-tagged deletion maps, the epoch counter — plus the hash-index
-    metadata (see ``docs/delta-format.md``)."""
+    metadata (see ``docs/delta-format.md``).  The write-ahead-log
+    checkpoint path passes ``wal_lsn`` (the log position this sidecar
+    makes durable) and ``main_file`` (the versioned main file it
+    masks); plain saves omit both."""
     path = Path(path)
     payload = {
         "table": store.schema.name,
@@ -199,7 +235,11 @@ def save_delta(store, path) -> None:
             "columns": list(store.indexed_columns),
         },
     }
-    with path.open("wb") as handle:
+    if wal_lsn is not None:
+        payload["wal_lsn"] = int(wal_lsn)
+    if main_file is not None:
+        payload["main_file"] = str(main_file)
+    with _atomic_write(path, "save.delta") as handle:
         handle.write(_DELTA_MAGIC)
         handle.write(struct.pack("<H", _DELTA_VERSION))
         _write_block(handle, json.dumps(payload).encode())
@@ -225,6 +265,31 @@ def _delta_columns_from_payload(path, payload, schema):
     return columns, (lengths.pop() if lengths else 0)
 
 
+def _read_delta_payload(path) -> tuple[int, dict]:
+    """A sidecar's (version, raw payload) — the schema-free peek the
+    catalog-open path uses to resolve ``main_file``/``wal_lsn`` before
+    any main table has been loaded."""
+    path = Path(path)
+    with path.open("rb") as handle:
+        if handle.read(4) != _DELTA_MAGIC:
+            raise SerializationError(f"{path}: not a .delta file")
+        version_bytes = handle.read(2)
+        if len(version_bytes) != 2:
+            raise SerializationError(f"{path}: truncated .delta file")
+        (version,) = struct.unpack("<H", version_bytes)
+        if version not in (1, 2, _DELTA_VERSION):
+            raise SerializationError(
+                f"{path}: unsupported delta format version {version}"
+            )
+        try:
+            payload = json.loads(_read_block(handle).decode())
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise SerializationError(
+                f"{path}: undecodable .delta payload: {exc}"
+            ) from exc
+    return version, payload
+
+
 def load_delta(path, schema: TableSchema):
     """Inverse of :func:`save_delta`; validated against ``schema``.
 
@@ -234,15 +299,7 @@ def load_delta(path, schema: TableSchema):
     from repro.delta.store import DEFAULT_INDEX_THRESHOLD, DeltaStore
 
     path = Path(path)
-    with path.open("rb") as handle:
-        if handle.read(4) != _DELTA_MAGIC:
-            raise SerializationError(f"{path}: not a .delta file")
-        (version,) = struct.unpack("<H", handle.read(2))
-        if version not in (1, _DELTA_VERSION):
-            raise SerializationError(
-                f"{path}: unsupported delta format version {version}"
-            )
-        payload = json.loads(_read_block(handle).decode())
+    version, payload = _read_delta_payload(path)
     columns, n_appended = _delta_columns_from_payload(path, payload, schema)
     if version == 1:
         insert_epochs = [1] * n_appended
@@ -307,28 +364,55 @@ def save_mutable_table(mutable, path) -> None:
         sidecar.unlink()
 
 
+def _resolve_main_path(path) -> tuple[Path, Path]:
+    """The (main file, sidecar) pair for the table addressed by the
+    canonical ``.cods`` path.  A v3 sidecar may point at a *versioned*
+    main file (the WAL checkpoint protocol writes a fresh main under a
+    new name, then atomically republishes the sidecar to point at it —
+    so a crash between the two writes leaves the old, still-consistent
+    pair)."""
+    path = Path(path)
+    sidecar = delta_sidecar_path(path)
+    if sidecar.exists():
+        version, payload = _read_delta_payload(sidecar)
+        main_file = payload.get("main_file")
+        if version >= 3 and main_file is not None:
+            return path.with_name(main_file), sidecar
+    return path, sidecar
+
+
 def load_mutable_table(path, policy=None):
     """Inverse of :func:`save_mutable_table`: restores the write buffer
-    from the sidecar when present."""
+    from the sidecar when present (following the sidecar's
+    ``main_file`` pointer when it names a versioned main)."""
     from repro.delta.mutable import MutableTable
 
-    path = Path(path)
-    table = load_table(path)
+    main_path, sidecar = _resolve_main_path(path)
+    table = load_table(main_path)
     mutable = MutableTable(table, policy)
-    sidecar = delta_sidecar_path(path)
     if sidecar.exists():
         mutable.restore_delta(_load_delta_for_table(sidecar, table))
     return mutable
 
 
+def save_manifest(catalog, directory) -> None:
+    """Atomically (re)write ``catalog.json`` for the current table set."""
+    manifest = {"tables": catalog.table_names(), "version": catalog.version}
+    with _atomic_write(Path(directory) / "catalog.json", "save.manifest") as f:
+        f.write(json.dumps(manifest).encode())
+
+
 def save_catalog(catalog, directory) -> None:
-    """Save every table of a catalog into ``directory`` as .cods files."""
+    """Save every table of a catalog into ``directory`` as .cods files.
+
+    Tables first, manifest last: the manifest names only files that are
+    already complete on disk, so a crash mid-save leaves the previous
+    catalog loadable."""
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
-    manifest = {"tables": catalog.table_names(), "version": catalog.version}
-    (directory / "catalog.json").write_text(json.dumps(manifest))
     for name in catalog.table_names():
         save_table(catalog.table(name), directory / f"{name}.cods")
+    save_manifest(catalog, directory)
 
 
 def load_catalog(directory):
@@ -363,16 +447,28 @@ def save_engine(engine, directory) -> None:
 def load_engine(directory, policy=None):
     """Inverse of :func:`save_engine`: a fresh
     :class:`~repro.core.engine.EvolutionEngine` with the write buffers
-    re-attached."""
+    re-attached.  Each table's main file is resolved through its
+    sidecar's ``main_file`` pointer when present (WAL checkpoints), the
+    canonical ``{name}.cods`` otherwise."""
     from repro.core.engine import EvolutionEngine
+    from repro.storage.catalog import Catalog
 
     directory = Path(directory)
-    engine = EvolutionEngine(load_catalog(directory))
-    for name in engine.catalog.table_names():
-        sidecar = delta_sidecar_path(directory / f"{name}.cods")
+    manifest_path = directory / "catalog.json"
+    if not manifest_path.exists():
+        raise SerializationError(f"{directory}: no catalog.json")
+    manifest = json.loads(manifest_path.read_text())
+    catalog = Catalog()
+    sidecars: dict[str, Path] = {}
+    for name in manifest["tables"]:
+        main_path, sidecar = _resolve_main_path(directory / f"{name}.cods")
+        catalog.put(load_table(main_path), f"LOAD {name}")
         if sidecar.exists():
-            table = engine.catalog.table(name)
-            engine.mutable(name, policy).restore_delta(
-                _load_delta_for_table(sidecar, table)
-            )
+            sidecars[name] = sidecar
+    engine = EvolutionEngine(catalog)
+    for name, sidecar in sidecars.items():
+        table = engine.catalog.table(name)
+        engine.mutable(name, policy).restore_delta(
+            _load_delta_for_table(sidecar, table)
+        )
     return engine

@@ -1,0 +1,47 @@
+"""repro.wal: crash-safe durability for the delta write path.
+
+An append-only checksummed redo log (:class:`WriteAheadLog`) receives
+every delta DML as epoch-tagged records inside transactions, commit is
+the fsync boundary (``"commit"`` policy) or a bounded group-commit
+window (``"group"``), ``.delta`` sidecar saves become incremental
+checkpoints that record the log position and truncate the log
+(:func:`checkpoint`), and opening a catalog replays committed
+transactions past the last checkpoint (:func:`recover`).  Every
+crash-atomic step announces a labeled :func:`crash_point` for the
+fault-injection harness.  Format and protocol: ``docs/wal-format.md``.
+"""
+
+from repro.wal.checkpoint import checkpoint
+from repro.wal.crashpoints import (
+    CrashPoint,
+    crash_hook,
+    crash_point,
+    install_crash_hook,
+    known_labels,
+)
+from repro.wal.log import (
+    DEFAULT_GROUP_SIZE,
+    TableWal,
+    WAL_FILENAME,
+    WriteAheadLog,
+    log_has_records,
+    wal_path,
+)
+from repro.wal.recovery import recover, validate_checkpoints
+
+__all__ = [
+    "CrashPoint",
+    "DEFAULT_GROUP_SIZE",
+    "TableWal",
+    "WAL_FILENAME",
+    "WriteAheadLog",
+    "checkpoint",
+    "crash_hook",
+    "crash_point",
+    "install_crash_hook",
+    "known_labels",
+    "log_has_records",
+    "recover",
+    "validate_checkpoints",
+    "wal_path",
+]

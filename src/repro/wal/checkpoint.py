@@ -1,0 +1,102 @@
+"""The checkpoint protocol: publish sidecars, then truncate the log.
+
+A checkpoint makes the in-memory catalog durable and lets the redo log
+shrink.  The ordering is what makes it crash-safe — every step leaves
+the directory loadable:
+
+1. flush the log (everything acked so far is on disk);
+2. per table, write a fresh *versioned* main file
+   (``{name}.g{k}.cods``) and then atomically republish the
+   ``{name}.cods.delta`` sidecar pointing at it (``main_file``) and at
+   the flushed log position (``wal_lsn``).  The sidecar replace is the
+   table's commit point: until it lands, loaders keep following the old
+   sidecar to the old main — a crash between the two writes can never
+   pair a new main with an old mask;
+3. rewrite ``catalog.json`` (the table-*set* commit point);
+4. truncate the log to a fresh file based at the flushed position;
+5. delete superseded main files and files of dropped tables (orphans
+   from a crash here are swept by the next checkpoint).
+
+Every table gets a sidecar — even with an empty buffer — because the
+sidecar carries the epoch counter and checkpoint position recovery
+needs to skip already-persisted records (see ``docs/wal-format.md``).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.storage.filefmt import (
+    _read_delta_payload,
+    delta_sidecar_path,
+    save_delta,
+    save_manifest,
+    save_table,
+)
+from repro.wal.crashpoints import crash_point
+from repro.wal.log import WAL_FILENAME
+
+_VERSIONED = re.compile(r"^(?P<table>.+)\.g(?P<gen>\d+)\.cods$")
+
+
+def versioned_main_name(table: str, generation: int) -> str:
+    return f"{table}.g{generation}.cods"
+
+
+def _next_generation(sidecar: Path, table: str) -> int:
+    """One past the generation the current sidecar points at (0 for a
+    fresh or unversioned table) — parsed from the file name so the
+    counter stays monotonic across sessions."""
+    if sidecar.exists():
+        _, payload = _read_delta_payload(sidecar)
+        main_file = payload.get("main_file")
+        if main_file:
+            match = _VERSIONED.match(main_file)
+            if match is not None and match.group("table") == table:
+                return int(match.group("gen")) + 1
+    return 0
+
+
+def checkpoint(engine, directory, wal, policy=None) -> int:
+    """Run the full protocol for every table of ``engine``'s catalog;
+    returns the checkpointed log position."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    crash_point("checkpoint.begin")
+    wal.flush()
+    wal_lsn = wal.durable_lsn
+    referenced = {"catalog.json", WAL_FILENAME}
+    for name in engine.catalog.table_names():
+        mutable = engine.mutable(name, policy)
+        sidecar = delta_sidecar_path(directory / f"{name}.cods")
+        main_file = versioned_main_name(
+            name, _next_generation(sidecar, name)
+        )
+        crash_point("checkpoint.table")
+        save_table(mutable.main, directory / main_file)
+        save_delta(
+            mutable.delta, sidecar, wal_lsn=wal_lsn, main_file=main_file
+        )
+        referenced.add(main_file)
+        referenced.add(sidecar.name)
+    save_manifest(engine.catalog, directory)
+    crash_point("checkpoint.truncate")
+    wal.truncate_all()
+    crash_point("checkpoint.cleanup")
+    _sweep_orphans(directory, referenced)
+    wal.metrics.counter("wal.checkpoints").inc()
+    wal.metrics.gauge("wal.checkpoint_lsn").set(wal_lsn)
+    return wal_lsn
+
+
+def _sweep_orphans(directory: Path, referenced: set[str]) -> None:
+    """Delete superseded mains, dropped tables' files and leftover
+    temp files.  Only files the manifest/sidecars no longer reach are
+    touched, so a crash anywhere in the sweep is harmless."""
+    for path in directory.iterdir():
+        name = path.name
+        if name in referenced:
+            continue
+        if name.endswith((".cods", ".cods.delta", ".tmp")):
+            path.unlink()

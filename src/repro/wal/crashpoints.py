@@ -1,0 +1,84 @@
+"""Labeled crash points for deterministic fault injection.
+
+Every step of the durability path that must be crash-atomic — framing a
+record, flushing the log buffer, publishing a checkpoint file,
+truncating the log — announces itself by calling
+:func:`crash_point` with a stable label *before* taking the step.  In
+production the call is a no-op (one global ``is None`` check).  Under
+test, :func:`install_crash_hook` plants a callable that may raise
+:class:`CrashPoint` to simulate the process dying right there; the test
+then re-opens the catalog from disk and asserts on what recovery
+rebuilds (see ``tests/harness/crashpoint.py``).
+
+Labels are dotted paths (``wal.append.frame``, ``checkpoint.sidecar.
+replace``) and the full set is discoverable via :func:`known_labels`
+after importing the modules that declare them — the property suite uses
+this to sweep *every* labeled point rather than a hand-kept list.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+
+class CrashPoint(BaseException):
+    """Raised by a test hook to simulate a crash at a labeled point.
+
+    Deliberately *not* a :class:`~repro.errors.CodsError` (nor even an
+    ``Exception``): production code must never catch it, the same way
+    it cannot catch a power cut.  Only the crash harness does.
+    """
+
+    def __init__(self, label: str):
+        super().__init__(label)
+        self.label = label
+
+
+_hook = None
+
+#: Every label that has announced itself since import (survives hook
+#: installs/removals; reset only via :func:`reset_known_labels`).
+_known: set[str] = set()
+
+
+def crash_point(label: str) -> None:
+    """Announce a crash-atomic step; a test hook may raise here."""
+    _known.add(label)
+    if _hook is not None:
+        _hook(label)
+
+
+def hook_installed() -> bool:
+    """True when a test hook is planted.  The flush path consults this
+    to split its write in two only when a harness could actually land
+    between the halves — production keeps the single write."""
+    return _hook is not None
+
+
+def install_crash_hook(hook) -> None:
+    """Install ``hook(label)`` to run at every crash point (tests
+    only); pass ``None`` to remove."""
+    global _hook
+    _hook = hook
+
+
+@contextmanager
+def crash_hook(hook):
+    """Scope a crash hook to a ``with`` block (restores the previous
+    hook on exit, even when the simulated crash propagates)."""
+    global _hook
+    previous = _hook
+    _hook = hook
+    try:
+        yield
+    finally:
+        _hook = previous
+
+
+def known_labels() -> tuple[str, ...]:
+    """Every crash-point label announced so far, sorted."""
+    return tuple(sorted(_known))
+
+
+def reset_known_labels() -> None:
+    _known.clear()

@@ -1,0 +1,394 @@
+"""The append-only redo log: group commit, torn-tail repair, truncation.
+
+A :class:`WriteAheadLog` owns one ``wal.log`` file inside a catalog
+directory.  Records are framed by :mod:`repro.wal.records` and staged
+in an in-memory buffer; :meth:`flush` writes the buffer and ``fsync``\\ s
+the file — that call is the durability boundary, and *when* it runs is
+the flush policy:
+
+``"commit"``
+    every transaction commit flushes — an acked commit is durable;
+``"group"``
+    flushes every ``group_size`` commits (and on checkpoint/close), so
+    an acked commit may ride in the buffer for a bounded window — the
+    classic group-commit trade documented in ``docs/wal-format.md``.
+
+Transactions nest by reference counting: the outermost
+:meth:`begin`/:meth:`commit` pair owns the transaction id, inner pairs
+(a statement inside a ``db.transaction()`` replay) reuse it, and only
+the outermost commit emits the ``commit`` record.  :meth:`abort` ends
+the transaction *without* a commit record — its staged records become
+dead weight that recovery ignores.
+
+Opening an existing log repairs a torn tail (truncates trailing crash
+debris) and raises :class:`~repro.errors.WalCorruptionError` on damage
+before the tail.  :meth:`truncate_all` starts a fresh file whose header
+carries the old end LSN as its base — the checkpoint protocol's last
+step (see :mod:`repro.wal.checkpoint`).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.errors import WalError
+from repro.wal import records as rec
+from repro.wal.crashpoints import crash_point, hook_installed
+
+#: File name of the redo log inside a catalog directory.
+WAL_FILENAME = "wal.log"
+
+#: Default commits per group-commit flush.
+DEFAULT_GROUP_SIZE = 8
+
+_POLICIES = ("commit", "group")
+
+
+def wal_path(directory) -> Path:
+    return Path(directory) / WAL_FILENAME
+
+
+def log_has_records(path) -> bool:
+    """True when the log file at ``path`` holds at least one intact
+    record (raises :class:`~repro.errors.WalCorruptionError` on a
+    mangled header or mid-log damage, like any scan)."""
+    data = Path(path).read_bytes()
+    base = rec.decode_header(data, str(path))
+    frames, _, _ = rec.scan_frames(data[rec.HEADER_SIZE:], base, str(path))
+    return bool(frames)
+
+
+class WriteAheadLog:
+    """One catalog's redo log (see module docstring)."""
+
+    def __init__(
+        self,
+        path,
+        flush_policy: str = "commit",
+        group_size: int = DEFAULT_GROUP_SIZE,
+        metrics=None,
+    ):
+        if flush_policy not in _POLICIES:
+            raise WalError(
+                f"unknown flush policy {flush_policy!r}; use 'commit' or "
+                f"'group'"
+            )
+        if group_size < 1:
+            raise WalError(f"group_size must be >= 1, got {group_size}")
+        if metrics is None:
+            from repro.obs import NullRegistry
+
+            metrics = NullRegistry()
+        self.path = Path(path)
+        self.flush_policy = flush_policy
+        self.group_size = group_size
+        self.metrics = metrics
+        self._appends = metrics.counter("wal.appends")
+        self._bytes = metrics.counter("wal.bytes")
+        self._fsyncs = metrics.counter("wal.fsyncs")
+        self._log_bytes = metrics.gauge("wal.log_bytes")
+        self._buffer = bytearray()
+        self._depth = 0
+        self._txn: int | None = None
+        self._txn_records = 0
+        self._unflushed_commits = 0
+        self._closed = False
+        self._open_file()
+
+    # -- file lifecycle -------------------------------------------------
+
+    def _open_file(self) -> None:
+        if not self.path.exists():
+            self.base_lsn = 0
+            self._next_txn = 1
+            with self.path.open("wb") as handle:
+                handle.write(rec.encode_header(0))
+                handle.flush()
+                os.fsync(handle.fileno())
+            self._durable_end = rec.HEADER_SIZE
+        else:
+            data = self.path.read_bytes()
+            self.base_lsn = rec.decode_header(data, str(self.path))
+            frames, end_lsn, torn = rec.scan_frames(
+                data[rec.HEADER_SIZE:], self.base_lsn, str(self.path)
+            )
+            self._next_txn = 1 + max(
+                (payload.get("txn", 0) for _, payload in frames), default=0
+            )
+            self._durable_end = end_lsn
+            if torn:
+                # Trailing crash debris: cut it off so appends restart
+                # at the last intact frame boundary.
+                crash_point("wal.open.repair")
+                with self.path.open("r+b") as handle:
+                    handle.truncate(end_lsn - self.base_lsn)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+        self._tail_lsn = self._durable_end
+        self._handle = self.path.open("r+b")
+        self._handle.seek(0, os.SEEK_END)
+        self._log_bytes.set(self._durable_end - self.base_lsn)
+
+    def close(self) -> None:
+        """Flush any staged bytes (making buffered group commits
+        durable) and release the file handle.  Idempotent."""
+        if self._closed:
+            return
+        if self._depth:
+            raise WalError(
+                f"cannot close the log inside an open transaction "
+                f"(depth {self._depth})"
+            )
+        self.flush()
+        self._handle.close()
+        self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise WalError("write-ahead log is closed")
+
+    # -- positions ------------------------------------------------------
+
+    @property
+    def durable_lsn(self) -> int:
+        """One past the last byte flushed to disk."""
+        return self._durable_end
+
+    @property
+    def end_lsn(self) -> int:
+        """One past the last staged byte (buffer included)."""
+        return self._tail_lsn
+
+    @property
+    def pending_bytes(self) -> int:
+        return len(self._buffer)
+
+    # -- transactions ---------------------------------------------------
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._depth > 0
+
+    def begin(self) -> int:
+        """Enter a transaction (nested calls reuse the open one);
+        returns its id."""
+        self._check_open()
+        if self._depth == 0:
+            self._txn = self._next_txn
+            self._next_txn += 1
+            self._txn_records = 0
+        self._depth += 1
+        return self._txn
+
+    def commit(self) -> None:
+        """Leave the transaction; the outermost leave emits the
+        ``commit`` record and applies the flush policy."""
+        self._check_open()
+        if self._depth == 0:
+            raise WalError("commit without a matching begin")
+        self._depth -= 1
+        if self._depth:
+            return
+        txn, self._txn = self._txn, None
+        if self._txn_records:
+            crash_point("wal.commit.record")
+            self._stage(rec.commit_record(txn))
+            self._unflushed_commits += 1
+            if self.flush_policy == "commit" or (
+                self._unflushed_commits >= self.group_size
+            ):
+                self.flush()
+        self._txn_records = 0
+
+    def abort(self) -> None:
+        """Leave the transaction without committing: staged records of
+        this transaction stay in the log but, lacking a ``commit``
+        record, recovery never replays them."""
+        self._check_open()
+        if self._depth == 0:
+            raise WalError("abort without a matching begin")
+        self._depth -= 1
+        if self._depth == 0:
+            self._txn = None
+            self._txn_records = 0
+
+    # -- appends --------------------------------------------------------
+
+    def append(self, payload: dict) -> int:
+        """Stage one redo record; returns its LSN.  ``payload`` must be
+        a fresh dict (the constructors in :mod:`repro.wal.records`
+        build one per call) — it is stamped in place.
+
+        Outside a transaction the record auto-commits as a *single*
+        frame: a ``"c": 1`` flag marks it as its own committed
+        transaction, so the common statement-level commit pays one
+        frame instead of a record + ``commit`` pair (see
+        ``docs/wal-format.md``)."""
+        self._check_open()
+        if self._depth == 0:
+            payload["txn"] = self._next_txn
+            self._next_txn += 1
+            payload["c"] = 1
+            return self._append_autocommit_frame(rec.encode_frame(payload))
+        payload["txn"] = self._txn
+        return self._append_txn_frame(rec.encode_frame(payload))
+
+    def append_insert(self, table: str, rows, epoch: int) -> int:
+        """Stage an ``insert`` record through the pre-framed fast path
+        (same bytes, no intermediate dict — see
+        :func:`repro.wal.records.encode_insert_frame`); values the fast
+        framer cannot take fall back to :meth:`append`."""
+        self._check_open()
+        autocommit = self._depth == 0
+        frame = rec.encode_insert_frame(
+            table, rows, epoch,
+            self._next_txn if autocommit else self._txn,
+            autocommit,
+        )
+        if frame is None:
+            return self.append(rec.insert_record(table, rows, epoch, 0))
+        if autocommit:
+            self._next_txn += 1
+            return self._append_autocommit_frame(frame)
+        return self._append_txn_frame(frame)
+
+    def _append_autocommit_frame(self, frame: bytes) -> int:
+        """Buffer one self-committed frame and apply the flush policy."""
+        crash_point("wal.append.frame")
+        lsn = self._tail_lsn
+        self._buffer.extend(frame)
+        self._tail_lsn += len(frame)
+        self._appends.inc()
+        self._unflushed_commits += 1
+        if self.flush_policy == "commit" or (
+            self._unflushed_commits >= self.group_size
+        ):
+            self.flush()
+        return lsn
+
+    def _append_txn_frame(self, frame: bytes) -> int:
+        """Buffer one frame belonging to the open transaction."""
+        crash_point("wal.append.frame")
+        lsn = self._tail_lsn
+        self._buffer.extend(frame)
+        self._tail_lsn += len(frame)
+        self._txn_records += 1
+        self._appends.inc()
+        return lsn
+
+    def _stage(self, payload: dict) -> int:
+        frame = rec.encode_frame(payload)
+        lsn = self._tail_lsn
+        self._buffer.extend(frame)
+        self._tail_lsn += len(frame)
+        return lsn
+
+    def flush(self) -> None:
+        """Write the staged bytes and ``fsync`` — the durability
+        boundary.  The write is deliberately split in two so the crash
+        harness can land between the halves and leave a genuinely torn
+        tail on disk."""
+        self._check_open()
+        if not self._buffer:
+            return
+        data = bytes(self._buffer)
+        crash_point("wal.flush.write")
+        # The split write exists solely so the harness can land between
+        # the halves; without a hook nothing can, so keep the single
+        # write (torn-tail repair covers real mid-write crashes either
+        # way).
+        half = len(data) // 2 if hook_installed() else 0
+        if half:
+            self._handle.write(data[:half])
+            self._handle.flush()
+            crash_point("wal.flush.torn")
+            self._handle.write(data[half:])
+        else:
+            self._handle.write(data)
+        self._handle.flush()
+        crash_point("wal.flush.fsync")
+        os.fsync(self._handle.fileno())
+        self._durable_end += len(data)
+        self._buffer.clear()
+        self._unflushed_commits = 0
+        self._bytes.inc(len(data))
+        self._fsyncs.inc()
+        self._log_bytes.set(self._durable_end - self.base_lsn)
+
+    # -- reading / truncation ------------------------------------------
+
+    def scan(self) -> list[tuple[int, dict]]:
+        """Every intact record currently on disk as ``(lsn, payload)``
+        (recovery's input; the staged buffer is *not* included — it is
+        exactly what a crash would lose)."""
+        self._check_open()
+        data = self.path.read_bytes()
+        base = rec.decode_header(data, str(self.path))
+        frames, _, _ = rec.scan_frames(
+            data[rec.HEADER_SIZE:], base, str(self.path)
+        )
+        return frames
+
+    def truncate_all(self) -> int:
+        """Drop every record: start a fresh log file whose base LSN is
+        the current durable end, via temp file + ``os.replace`` so a
+        crash leaves either the old or the new log, never neither.
+        Returns the new base LSN.  The checkpoint protocol calls this
+        last, after every sidecar has been published."""
+        self._check_open()
+        if self._buffer:
+            raise WalError("flush before truncating the log")
+        new_base = self._durable_end
+        temp = self.path.with_name(self.path.name + ".tmp")
+        crash_point("wal.truncate.temp")
+        with temp.open("wb") as handle:
+            handle.write(rec.encode_header(new_base))
+            handle.flush()
+            os.fsync(handle.fileno())
+        crash_point("wal.truncate.replace")
+        os.replace(temp, self.path)
+        self._handle.close()
+        self.base_lsn = new_base
+        self._durable_end = new_base + rec.HEADER_SIZE
+        self._tail_lsn = self._durable_end
+        self._handle = self.path.open("r+b")
+        self._handle.seek(0, os.SEEK_END)
+        self._log_bytes.set(self._durable_end - self.base_lsn)
+        return new_base
+
+
+class TableWal:
+    """One table's view of the shared log: stamps every record with the
+    table name and follows renames (the engine rewires the name on
+    ``RENAME TABLE``)."""
+
+    __slots__ = ("wal", "table")
+
+    def __init__(self, wal: WriteAheadLog, table: str):
+        self.wal = wal
+        self.table = table
+
+    def rename(self, new_name: str) -> None:
+        self.table = new_name
+
+    def begin(self) -> int:
+        return self.wal.begin()
+
+    def commit(self) -> None:
+        self.wal.commit()
+
+    def abort(self) -> None:
+        self.wal.abort()
+
+    def log_insert(self, rows, epoch: int) -> None:
+        self.wal.append_insert(self.table, rows, epoch)
+
+    def log_delete_main(self, pos: int, epoch: int) -> None:
+        self.wal.append(rec.delete_main_record(self.table, pos, epoch, 0))
+
+    def log_delete_delta(self, idx: int, epoch: int) -> None:
+        self.wal.append(rec.delete_delta_record(self.table, idx, epoch, 0))
+
+    def log_compact(self, cutoff: int) -> None:
+        self.wal.append(rec.compact_record(self.table, cutoff, 0))

@@ -1,0 +1,1 @@
+"""Fault-injection harnesses shared by unit/integration/property tests."""

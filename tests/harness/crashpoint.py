@@ -1,0 +1,103 @@
+"""Deterministic crash-point driver for the WAL fault-injection tests.
+
+The production code announces every crash-atomic step through
+:func:`repro.wal.crash_point` labels (``wal.flush.torn``,
+``checkpoint.truncate``, ...).  This harness turns those labels into a
+reproducible crash schedule:
+
+* :func:`run_to_crash` runs a scenario with a :class:`CrashPlan` that
+  aborts at the *n*-th occurrence of one label — "crash exactly here";
+* :func:`crash_opportunities` dry-runs a scenario with a counting hook
+  and enumerates every ``(label, occurrence)`` pair it passes, so a
+  test can sweep "crash at every point this workload reaches";
+* :class:`Acked` records which operations fully returned before the
+  crash — the oracle's committed prefix.
+
+The crash model: :class:`~repro.wal.CrashPoint` derives from
+``BaseException`` so no production ``except Exception`` can swallow it;
+the in-memory buffers and file handles of the abandoned database object
+model exactly what a power cut loses; "reboot" is reopening the
+directory with a fresh :class:`~repro.db.Database`.
+"""
+
+from __future__ import annotations
+
+from repro.wal import CrashPoint, crash_hook
+
+
+class CrashPlan:
+    """Crash at the ``hit``-th time ``label`` is announced (1-based).
+
+    Every other label passes through untouched, so a plan pins one
+    precise point in the schedule.  ``fired`` records whether the
+    scenario actually reached it.
+    """
+
+    def __init__(self, label: str, hit: int = 1):
+        self.label = label
+        self.hit = hit
+        self.seen = 0
+        self.fired = False
+
+    def __call__(self, label: str) -> None:
+        if label != self.label:
+            return
+        self.seen += 1
+        if self.seen == self.hit and not self.fired:
+            self.fired = True
+            raise CrashPoint(label)
+
+
+class HitCounter:
+    """Counting hook: records how often each label fires, never crashes."""
+
+    def __init__(self):
+        self.counts: dict[str, int] = {}
+
+    def __call__(self, label: str) -> None:
+        self.counts[label] = self.counts.get(label, 0) + 1
+
+
+class Acked:
+    """The oracle's ledger: call :meth:`ack` *after* an operation fully
+    returns, and ``acked`` names exactly the operations the database
+    acknowledged before the crash — the prefix durability must honor."""
+
+    def __init__(self):
+        self.acked: list = []
+
+    def ack(self, item) -> None:
+        self.acked.append(item)
+
+
+def run_to_crash(scenario, label: str, hit: int = 1):
+    """Run ``scenario()`` with a crash planned at the ``hit``-th
+    occurrence of ``label``.
+
+    Returns ``(crashed, result)``: ``crashed`` is True when the plan
+    fired (``result`` is then None); when the scenario finishes without
+    reaching the point, ``crashed`` is False and ``result`` is the
+    scenario's return value.
+    """
+    plan = CrashPlan(label, hit)
+    with crash_hook(plan):
+        try:
+            result = scenario()
+        except CrashPoint:
+            return True, None
+    return False, result
+
+
+def crash_opportunities(scenario) -> list[tuple[str, int]]:
+    """Dry-run ``scenario()`` (no crash) and enumerate every
+    ``(label, occurrence)`` crash opportunity it passes, in a stable
+    order.  Re-running the same deterministic scenario with
+    :func:`run_to_crash` at each pair sweeps every possible crash."""
+    counter = HitCounter()
+    with crash_hook(counter):
+        scenario()
+    return [
+        (label, hit)
+        for label in sorted(counter.counts)
+        for hit in range(1, counter.counts[label] + 1)
+    ]

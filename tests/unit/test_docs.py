@@ -111,7 +111,7 @@ class TestFormatDocs:
         for module in (
             "repro.bitmap", "repro.storage", "repro.delta", "repro.core",
             "repro.smo", "repro.sql", "repro.exec", "repro.db",
-            "repro.demo", "repro.workload", "repro.bench",
+            "repro.demo", "repro.workload", "repro.bench", "repro.wal",
         ):
             spec_dir = REPO / "src" / module.replace(".", "/")
             assert spec_dir.is_dir(), f"{module} vanished from src/"
@@ -194,6 +194,58 @@ class TestObservabilityDocs:
         assert (REPO / "benchmarks" / "bench_obs_overhead.py").exists()
         ci = (REPO / ".github" / "workflows" / "ci.yml").read_text()
         assert "bench_obs_overhead.py" in ci
+
+
+class TestDurabilityDocs:
+    def test_wal_format_doc_covers_the_frame_layout(self):
+        text = (REPO / "docs" / "wal-format.md").read_text()
+        for term in ("CODW", "CRC-32", "base LSN", "fsync"):
+            assert term in text, f"wal-format.md does not explain {term!r}"
+        assert "torn" in text.lower(), "torn-tail handling undocumented"
+
+    def test_wal_format_doc_names_every_record_type(self):
+        # The table of record payloads must keep up with what recovery
+        # actually dispatches on (see repro.wal.recovery).
+        text = (REPO / "docs" / "wal-format.md").read_text()
+        for kind in ("insert", "delmain", "deldelta", "compact", "commit"):
+            assert f"`{kind}`" in text, f"record type {kind} undocumented"
+        assert '"c": 1' in text, "single-frame autocommit undocumented"
+
+    def test_architecture_documents_the_durability_layer(self):
+        text = (REPO / "docs" / "ARCHITECTURE.md").read_text()
+        assert "## Durability: `repro.wal`" in text
+        assert "wal-format.md" in text
+        assert "crash_point" in text
+
+    def test_wal_metric_catalog_covers_a_durable_catalog(self, tmp_path):
+        # Every metric a durable catalog exports after logging,
+        # checkpointing and recovering must appear in the catalog.
+        from repro.db import Database
+
+        text = (REPO / "docs" / "observability.md").read_text()
+        db = Database(tmp_path / "cat", durability="group")
+        db.execute("CREATE TABLE d (k INT)")
+        db.execute("INSERT INTO d VALUES (1)")
+        db.checkpoint()
+        try:
+            undocumented = [
+                name for name in db.metrics() if f"`{name}`" not in text
+            ]
+        finally:
+            db.close(save=False)
+        assert not undocumented, (
+            f"observability.md catalog is missing {undocumented}"
+        )
+
+    def test_wal_commit_bench_is_wired(self):
+        assert (REPO / "benchmarks" / "bench_wal_commit.py").exists()
+        ci = (REPO / ".github" / "workflows" / "ci.yml").read_text()
+        assert "bench_wal_commit.py" in ci
+
+    def test_delta_format_documents_the_checkpoint_fields(self):
+        text = (REPO / "docs" / "delta-format.md").read_text()
+        assert "`wal_lsn`" in text and "`main_file`" in text
+        assert "wal-format.md" in text
 
 
 class TestExecutionPipelineDocs:
