@@ -74,13 +74,19 @@ def main() -> None:
     print("S =", db.execute("SELECT * FROM S"))
 
     # 3. A read-write transaction: reads pin the whole catalog, writes
-    #    buffer and apply at commit (roll back on an exception).
+    #    apply to the scope's overlay (read-your-writes) and replay
+    #    against live state at commit (roll back on an exception).
     with db.transaction() as tx:
         frozen = tx.execute("SELECT * FROM S")
         tx.execute("INSERT INTO S VALUES ('Nguyen', 'Poetry')")
         tx.execute("UPDATE S SET Skill = 'Sonnets' "
                    "WHERE Employee = 'Nguyen'")
-        assert tx.execute("SELECT * FROM S") == frozen  # deferred writes
+        # The scope sees its own writes ...
+        assert tx.execute("SELECT * FROM S") == frozen + [
+            ("Nguyen", "Sonnets")
+        ]
+        # ... while other sessions read live state until commit.
+        assert db.execute("SELECT * FROM S") == frozen
     print("\nAfter the transaction committed, SELECT * FROM S:")
     for row in db.execute("SELECT * FROM S"):
         print("   ", row)

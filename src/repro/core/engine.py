@@ -17,6 +17,7 @@ Conventions:
 
 from __future__ import annotations
 
+import threading
 import weakref
 
 from repro.core.decompose import decompose
@@ -71,6 +72,11 @@ class EvolutionEngine:
         self._rename_listeners: list = []
         self._drop_listeners: list = []
         self._mutables: dict[str, MutableTable] = {}
+        # Guards handle *creation* only (two threads first-touching the
+        # same table must share one MutableTable, else they would hold
+        # different writer locks); established handles are read
+        # lock-free — dict get is atomic.
+        self._handles_lock = threading.Lock()
         self._wal = None
 
     # -- catalog passthroughs -------------------------------------------
@@ -167,16 +173,22 @@ class EvolutionEngine:
             if policy is not None:
                 existing.policy = policy
             return existing
-        mutable = MutableTable(self.catalog.table(name), policy)
-        mutable.on_compact = lambda table, reason: self.catalog.put(
-            table, f"COMPACT {table.name}: {reason}"
-        )
-        if self._wal is not None:
-            from repro.wal.log import TableWal
+        with self._handles_lock:
+            existing = self._mutables.get(name)  # lost the create race?
+            if existing is not None:
+                if policy is not None:
+                    existing.policy = policy
+                return existing
+            mutable = MutableTable(self.catalog.table(name), policy)
+            mutable.on_compact = lambda table, reason: self.catalog.put(
+                table, f"COMPACT {table.name}: {reason}"
+            )
+            if self._wal is not None:
+                from repro.wal.log import TableWal
 
-            mutable.attach_wal(TableWal(self._wal, name))
-        self._mutables[name] = mutable
-        return mutable
+                mutable.attach_wal(TableWal(self._wal, name))
+            self._mutables[name] = mutable
+            return mutable
 
     def delta_handle(self, name: str) -> MutableTable | None:
         """The table's registered mutable handle, if any — a read-only

@@ -25,9 +25,11 @@ Reads that must be mutually consistent across tables go through
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from pathlib import Path
 
+from repro.db.compactor import BackgroundCompactor
 from repro.db.registry import backend_spec, create_adapter
 from repro.db.session import Cursor, Session
 from repro.db.transaction import Transaction
@@ -101,6 +103,13 @@ class Database:
         self.group_size = group_size
         self._closed = False
         self._wal: WriteAheadLog | None = None
+        self._compactor: BackgroundCompactor | None = None
+        # Head of the system lock order (see docs/ARCHITECTURE.md,
+        # "Concurrency"): transaction commits, checkpoints and DDL-
+        # driven checkpoints serialize here BEFORE taking any table
+        # writer lock, so two multi-table writers can never take table
+        # locks in conflicting orders.
+        self._commit_lock = threading.RLock()
         spec = backend_spec(backend)
         if (
             self.path is not None
@@ -231,7 +240,10 @@ class Database:
                 "checkpoint needs durability: open the database with "
                 "durability='commit' or 'group'"
             )
-        return run_checkpoint(self.engine, self.path, self._wal, self.policy)
+        with self._commit_lock:
+            return run_checkpoint(
+                self.engine, self.path, self._wal, self.policy
+            )
 
     def _schema_changed(self) -> None:
         """Table-set changes (DDL, SMOs, bulk loads) checkpoint
@@ -246,6 +258,7 @@ class Database:
         "write back if a catalog directory is attached"."""
         if self._closed:
             return
+        self.stop_compactor()
         if save is None:
             save = (
                 self.path is not None
@@ -351,6 +364,32 @@ class Database:
         self._check_open()
         engine = self.engine
         return engine.delta_stats() if engine is not None else []
+
+    def start_compactor(
+        self, interval: float | None = None, columns: int | None = None
+    ) -> BackgroundCompactor:
+        """Start the background compaction thread (idempotent while one
+        is running; see :mod:`repro.db.compactor`).  It folds pending
+        delta buffers incrementally under the per-table writer locks,
+        and :meth:`close` stops it.  Returns the compactor."""
+        self._check_open()
+        self._require_compaction()
+        if self._compactor is not None and self._compactor.running:
+            return self._compactor
+        kwargs = {}
+        if interval is not None:
+            kwargs["interval"] = interval
+        if columns is not None:
+            kwargs["columns"] = columns
+        self._compactor = BackgroundCompactor(self, **kwargs).start()
+        return self._compactor
+
+    def stop_compactor(self) -> None:
+        """Stop the background compactor if one is running (idempotent;
+        re-raises anything the thread died on)."""
+        compactor, self._compactor = self._compactor, None
+        if compactor is not None:
+            compactor.stop()
 
     # -- observability --------------------------------------------------
 

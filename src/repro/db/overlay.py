@@ -1,0 +1,171 @@
+"""Read-your-writes overlays for read-write transactions.
+
+A read-write :class:`~repro.db.transaction.Transaction` buffers its DML
+as text and replays it at commit — but a SELECT inside the scope must
+still *see* those buffered writes (read-your-writes), while every other
+session keeps reading live state.  The seam is the adapter: the
+transaction's session reads through a :class:`ReadYourWritesAdapter`,
+which serves untouched tables straight from the scoped (pinned) adapter
+underneath and written tables from a per-table :class:`TableOverlay` —
+the pinned base rows with the scope's own inserts, updates and deletes
+applied on top, flowing into the batch pipeline as
+:class:`~repro.exec.batch.ValuesBatch` windows like any row-backed
+source.
+
+The overlay is *presentation only*: nothing here touches the delta
+stores or the WAL.  Commit replays the buffered statement text against
+live state (the classic deferred-update design), so another session's
+writes landing between execute and commit are merged by replay, not by
+the overlay — ``docs/migration.md`` spells out the visible differences.
+"""
+
+from __future__ import annotations
+
+from repro.errors import StorageError
+from repro.sql.adapter import (
+    EngineAdapter,
+    _filter_rows,
+    _matching_row_ids,
+    _patch_rows,
+)
+from repro.storage.types import coerce
+
+
+class TableOverlay:
+    """One written table's view inside a transaction: the pinned base
+    rows patched by the scope's own DML, in insertion order."""
+
+    __slots__ = ("schema", "_rows")
+
+    def __init__(self, schema, base_rows):
+        self.schema = schema
+        self._rows = list(base_rows)
+
+    def _coerce_row(self, row) -> tuple:
+        row = tuple(row)
+        if len(row) != len(self.schema.columns):
+            raise StorageError(
+                f"row arity {len(row)} != {len(self.schema.columns)} for "
+                f"table {self.schema.name!r}"
+            )
+        return tuple(
+            coerce(value, column.dtype)
+            for value, column in zip(row, self.schema.columns)
+        )
+
+    def insert_rows(self, rows) -> int:
+        incoming = [self._coerce_row(row) for row in rows]
+        self._rows.extend(incoming)
+        return len(incoming)
+
+    def update(self, assignments, predicate) -> int:
+        self._rows, count = _patch_rows(
+            self.schema, self._rows, assignments, predicate
+        )
+        return count
+
+    def delete(self, predicate) -> int:
+        self._rows, count = _filter_rows(self.schema, self._rows, predicate)
+        return count
+
+    def scan(self):
+        return iter(list(self._rows))
+
+    def matching_rows(self, predicate) -> list[tuple]:
+        if predicate is None:
+            return list(self._rows)
+        ids = _matching_row_ids(self.schema, self._rows, predicate)
+        return [self._rows[int(row_id)] for row_id in ids]
+
+
+class ReadYourWritesAdapter(EngineAdapter):
+    """The transaction session's adapter: reads fall through to the
+    scoped (pinned) adapter until a table is written, then come from
+    its :class:`TableOverlay`; DML always lands in the overlay (the
+    transaction buffers the statement text separately for commit
+    replay).
+
+    The first write to a table materializes its overlay from the
+    *inner* adapter's view — the pinned snapshot, thanks to the
+    transaction's pin-on-first-touch — so the overlay starts from
+    exactly the rows the scope was already reading.
+    """
+
+    def __init__(self, inner: EngineAdapter):
+        self._inner = inner
+        self._overlays: dict[str, TableOverlay] = {}
+
+    @property
+    def capabilities(self):
+        return self._inner.capabilities
+
+    @property
+    def metrics(self):
+        return self._inner.metrics
+
+    # -- overlay lifecycle ----------------------------------------------
+
+    def overlay(self, name: str) -> TableOverlay:
+        """The table's overlay, materialized from the pinned view on
+        first touch."""
+        overlay = self._overlays.get(name)
+        if overlay is None:
+            overlay = TableOverlay(
+                self._inner.schema(name), self._inner.scan_rows(name)
+            )
+            self._overlays[name] = overlay
+        return overlay
+
+    @property
+    def written_tables(self) -> list[str]:
+        return sorted(self._overlays)
+
+    def discard(self) -> None:
+        """Drop every overlay (rollback)."""
+        self._overlays.clear()
+
+    # -- reads ----------------------------------------------------------
+
+    def has_table(self, name: str) -> bool:
+        return self._inner.has_table(name)
+
+    def table_names(self) -> list[str]:
+        return self._inner.table_names()
+
+    def schema(self, name: str):
+        overlay = self._overlays.get(name)
+        if overlay is not None:
+            return overlay.schema
+        return self._inner.schema(name)
+
+    def scan_rows(self, name: str):
+        overlay = self._overlays.get(name)
+        if overlay is not None:
+            return overlay.scan()
+        return self._inner.scan_rows(name)
+
+    def scan_batches(self, name: str):
+        overlay = self._overlays.get(name)
+        if overlay is not None:
+            return EngineAdapter.scan_batches(self, name)
+        return self._inner.scan_batches(name)
+
+    def filter_rows(self, name: str, predicate):
+        overlay = self._overlays.get(name)
+        if overlay is not None:
+            return iter(overlay.matching_rows(predicate))
+        return self._inner.filter_rows(name, predicate)
+
+    def create_index(self, table: str, column: str) -> None:
+        self._inner.create_index(table, column)
+
+    # -- writes (presentation only; commit replays the text) ------------
+
+    def insert_rows(self, name: str, rows) -> int:
+        return self.overlay(name).insert_rows(rows)
+
+    def update_rows(self, name: str, assignments, predicate) -> int:
+        return self.overlay(name).update(assignments, predicate)
+
+    def delete_rows(self, name: str, predicate) -> int:
+        return self.overlay(name).delete(predicate)

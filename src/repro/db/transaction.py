@@ -15,14 +15,22 @@ same engine, see :meth:`~repro.sql.adapter.EngineAdapter.scoped`), so
 only reads issued through the transaction see the frozen view — other
 sessions of the same database keep reading live state throughout.
 
-Write semantics follow the classic deferred-update design:
+Write semantics follow the classic deferred-update design, with
+read-your-writes on top:
 
 * ``read_only=True`` scopes reject DML outright;
-* read-write scopes **buffer** DML statements and replay them at commit
-  (when the scope exits cleanly); an exception rolls the buffer away
-  untouched.  Reads inside the scope see the pinned state, *not* the
-  scope's own buffered writes — snapshot-isolation reads with deferred
-  writes, documented in ``docs/ARCHITECTURE.md`` ("The API layer").
+* read-write scopes apply DML to a per-table **overlay** (see
+  :mod:`repro.db.overlay`) *and* buffer the statement text; reads
+  inside the scope see the pinned state plus the scope's own writes
+  (read-your-writes), while every other session keeps reading live
+  state.  Commit replays the buffered text against live state (when
+  the scope exits cleanly); an exception rolls overlay and buffer away
+  untouched.  See ``docs/ARCHITECTURE.md`` ("Concurrency") and
+  ``docs/migration.md``.
+
+Tables created by *other* sessions after :meth:`Transaction.begin` are
+pinned on first touch, so a read through the scope never silently
+serves live (mutating) state.
 
 Schema changes (SMOs, CREATE/DROP/ALTER) are not transactional and are
 rejected inside any scope.
@@ -30,6 +38,7 @@ rejected inside any scope.
 
 from __future__ import annotations
 
+from repro.db.overlay import ReadYourWritesAdapter
 from repro.db.router import SMO, classify_statement
 from repro.db.session import Session, bind_parameters
 from repro.errors import CapabilityError, CodsError, TransactionError
@@ -44,6 +53,7 @@ from repro.sql.ast import (
 )
 from repro.sql.executor import script_error
 from repro.sql.parser import parse_sql
+from repro.wal.crashpoints import crash_point
 
 _DML = (InsertValues, InsertSelect, Update, Delete)
 
@@ -72,10 +82,13 @@ class Transaction:
         self.database = database
         self.read_only = read_only
         # Pins land on a scoped adapter so only this transaction's
-        # reads see them; buffered writes replay through a session on
-        # the database's shared adapter at commit.
+        # reads see them; the session reads through a read-your-writes
+        # wrapper over it (written tables come from per-table
+        # overlays); buffered writes replay through a session on the
+        # database's shared adapter at commit.
         self._adapter = database.adapter.scoped()
-        self._session = Session(database, adapter=self._adapter)
+        self._overlay = ReadYourWritesAdapter(self._adapter)
+        self._session = Session(database, adapter=self._overlay)
         self._commit_session = database.session()
         self._pins: dict = {}
         self._buffered: list[str] = []
@@ -86,13 +99,19 @@ class Transaction:
     def begin(self) -> "Transaction":
         """Pin every table of the catalog at its current (generation,
         epoch); reads through this transaction observe that frozen
-        state until the scope ends (other sessions read live)."""
+        state until the scope ends (other sessions read live).
+
+        The pin loop holds the database's commit lock: a committing
+        transaction (which also holds it) can therefore never land
+        *between* two of our pins, so the epoch vector is atomic with
+        respect to whole-transaction commits — no torn vectors."""
         if self._state != "pending":
             raise TransactionError(f"transaction already {self._state}")
-        self._pins = {
-            name: self._adapter.begin_snapshot(name)
-            for name in self._adapter.table_names()
-        }
+        with self.database._commit_lock:
+            self._pins = {
+                name: self._adapter.begin_snapshot(name)
+                for name in self._adapter.table_names()
+            }
         self._state = "open"
         return self
 
@@ -134,34 +153,49 @@ class Transaction:
         # commit record lands (and is fsynced, per the flush policy)
         # when the loop finishes.  A *statement* failure mid-replay
         # leaves the earlier statements applied (documented above), so
-        # that path commits the WAL transaction too — the applied
-        # prefix must survive a crash.  Any other unwind (notably the
-        # fault-injection harness's simulated power cut) aborts
-        # instead: abort touches no disk, so the partial replay is
-        # forgotten exactly as a real crash would forget it.
+        # that path commits the WAL transaction too — and force-flushes
+        # it, because by the time the caller sees the error it has been
+        # told the prefix is applied, so the prefix must survive a
+        # crash even under the group policy's buffered-commit window.
+        # Any other unwind (notably the fault-injection harness's
+        # simulated power cut) aborts instead: abort touches no disk,
+        # so the partial replay is forgotten exactly as a real crash
+        # would forget it.
+        #
+        # The replay holds the database's commit lock (the head of the
+        # lock order): whole commits serialize against each other and
+        # against checkpoints, and each statement then takes its
+        # table's writer lock underneath.
         wal = self.database._wal
         in_wal_txn = wal is not None and bool(self._buffered)
-        if in_wal_txn:
-            wal.begin()
-        try:
-            for position, text in enumerate(self._buffered, start=1):
-                try:
-                    result = self._commit_session.execute(text)
-                except CodsError as exc:
-                    self._state = "commit-failed"
-                    self._buffered = self._buffered[position - 1:]
-                    if in_wal_txn:
-                        in_wal_txn = False
-                        wal.commit()
-                    raise script_error(exc, position, text) from exc
-                if isinstance(result, int):
-                    total += result
-        except BaseException:
-            if in_wal_txn and wal.in_transaction:
-                wal.abort()
-            raise
-        if in_wal_txn:
-            wal.commit()
+        with self.database._commit_lock:
+            if in_wal_txn:
+                wal.begin()
+            try:
+                for position, text in enumerate(self._buffered, start=1):
+                    try:
+                        result = self._commit_session.execute(text)
+                    except CodsError as exc:
+                        self._state = "commit-failed"
+                        self._buffered = self._buffered[position - 1:]
+                        if in_wal_txn:
+                            in_wal_txn = False
+                            # A crash here loses the prefix's commit
+                            # record — recovery then rolls the whole
+                            # transaction back, which is fine: the
+                            # caller never saw this failure ack.
+                            crash_point("txn.commit.statement-failed")
+                            wal.commit()
+                            wal.flush()
+                        raise script_error(exc, position, text) from exc
+                    if isinstance(result, int):
+                        total += result
+            except BaseException:
+                if in_wal_txn and wal.in_transaction:
+                    wal.abort()
+                raise
+            if in_wal_txn:
+                wal.commit()
         self._buffered = []
         self._state = "committed"
         self.database.adapter.metrics.counter("txn.commits").inc()
@@ -175,6 +209,7 @@ class Transaction:
         self._state = "rolled-back"
         discarded = len(self._buffered)
         self._buffered.clear()
+        self._overlay.discard()
         self.database.adapter.metrics.counter("txn.rollbacks").inc()
         return discarded
 
@@ -197,12 +232,45 @@ class Transaction:
 
     # -- execution ------------------------------------------------------
 
+    def _referenced_tables(self, parsed) -> list[str]:
+        """Table names a parsed statement touches, reads first."""
+        if isinstance(parsed, Explain):
+            parsed = parsed.select
+        if isinstance(parsed, Select):
+            names = [parsed.table]
+            if parsed.join is not None:
+                names.append(parsed.join.table)
+            return names
+        if isinstance(parsed, InsertSelect):
+            return self._referenced_tables(parsed.select) + [parsed.table]
+        if isinstance(parsed, _DML):
+            return [parsed.table]
+        return []
+
+    def _pin_on_touch(self, parsed) -> None:
+        """Pin any referenced table missing from the epoch vector — a
+        table created by another session after :meth:`begin`.  Without
+        this, reads through the scope would silently serve live
+        (mutating) state for that table."""
+        for name in self._referenced_tables(parsed):
+            if not self._adapter.has_table(name):
+                continue  # unknown table: the read path raises properly
+            # Ask the adapter, not self._pins: a concurrent RENAME
+            # re-keys the adapter's scope stack to the new name while
+            # the pin stays filed here under the old one — pinning
+            # again would shadow the followed view with live state.
+            if self._adapter._pinned(name) is None:
+                self._pins[name] = self._adapter.begin_snapshot(name)
+
     def execute(self, statement: str, params=None):
-        """Run a read against the pinned state, or buffer a write.
+        """Run a read against the pinned state (plus this scope's own
+        writes), or apply-and-buffer a write.
 
         SELECTs return their rows immediately (resolved against the
-        epoch vector).  In a read-write scope, DML returns ``None`` and
-        is applied at commit.  SMOs and DDL raise — schema changes are
+        epoch vector, with the scope's buffered DML overlaid —
+        read-your-writes).  In a read-write scope, DML lands in the
+        overlay, returns its affected-row count, and replays against
+        live state at commit.  SMOs and DDL raise — schema changes are
         not transactional.
         """
         self._check_open()
@@ -220,6 +288,7 @@ class Transaction:
         if isinstance(parsed, (Select, Explain)):
             # EXPLAIN [ANALYZE] is a read: it plans (or runs) its SELECT
             # against the pinned state like any other query here.
+            self._pin_on_touch(parsed)
             return self._session.execute(parsed)
         if isinstance(parsed, _DML):
             if self.read_only:
@@ -232,8 +301,13 @@ class Transaction:
             require_table(self._adapter, parsed.table)
             if isinstance(parsed, InsertSelect):
                 require_table(self._adapter, parsed.select.table)
+            self._pin_on_touch(parsed)
+            # Apply to the overlay first: the count comes back now,
+            # bad statements fail here instead of at commit, and later
+            # reads in this scope see the write.
+            result = self._session.execute(parsed)
             self._buffered.append(text)
-            return None
+            return result
         raise TransactionError(
             "DDL is not transactional; run it outside the scope"
         )

@@ -26,6 +26,7 @@ rows it actually touches.
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_right
 from contextlib import contextmanager
 
@@ -166,9 +167,18 @@ class MutableTable:
     ):
         self._main = table
         self.policy = policy if policy is not None else CompactionPolicy()
+        # The per-table writer lock: DML, compaction, snapshot pin and
+        # release, and the checkpoint's per-table save all serialize on
+        # it.  Shared with every DeltaStore this table ever owns (the
+        # store's methods take the same lock), and reentrant so locked
+        # table methods can call locked store methods.  Lock order when
+        # combined with others: Database._commit_lock -> table locks
+        # (sorted by name) -> WriteAheadLog's internal lock.
+        self._lock = threading.RLock()
         self._delta = DeltaStore(
             table.schema, index_threshold=self.policy.index_threshold
         )
+        self._delta._lock = self._lock
         self.on_compact = on_compact
         self.compactions = 0
         self.compaction_steps = 0
@@ -263,19 +273,20 @@ class MutableTable:
             )
 
     def delta_stats(self) -> DeltaStats:
-        return DeltaStats(
-            table=self.name,
-            main_rows=self._main.nrows,
-            delta_rows=self._delta.n_appended,
-            delta_live=self._delta.n_live,
-            deleted_main=len(self._delta.deleted_main),
-            deleted_delta=len(self._delta.deleted_delta),
-            compactions=self.compactions,
-            epoch=self._delta.epoch,
-            open_snapshots=len(self._snapshots),
-            indexed_columns=len(self._delta.indexed_columns),
-            compaction_steps=self.compaction_steps,
-        )
+        with self._lock:
+            return DeltaStats(
+                table=self.name,
+                main_rows=self._main.nrows,
+                delta_rows=self._delta.n_appended,
+                delta_live=self._delta.n_live,
+                deleted_main=len(self._delta.deleted_main),
+                deleted_delta=len(self._delta.deleted_delta),
+                compactions=self.compactions,
+                epoch=self._delta.epoch,
+                open_snapshots=len(self._snapshots),
+                indexed_columns=len(self._delta.indexed_columns),
+                compaction_steps=self.compaction_steps,
+            )
 
     # ------------------------------------------------------------------
     # MVCC reads (snapshots pin a generation + epoch; no copy-on-read)
@@ -289,32 +300,38 @@ class MutableTable:
         proceed on this handle.  Close it (or use it as a context
         manager) so superseded generations can be reclaimed.
         """
-        snapshot = Snapshot(
-            self, self._main, self._delta, self._delta.epoch,
-            self._generation,
-        )
-        self._snapshots.append(snapshot)
-        return snapshot
+        with self._lock:
+            snapshot = Snapshot(
+                self, self._main, self._delta, self._delta.epoch,
+                self._generation,
+            )
+            self._snapshots.append(snapshot)
+            return snapshot
 
     def _serve_pinned_rows(self, generation: int, epoch: int):
         """The cached merged view, when (generation, epoch) is still the
         current visible state — lets a fresh snapshot share it instead
         of rebuilding.  ``None`` when the state has moved on."""
-        if generation == self._generation and epoch == self._delta.epoch:
-            return self._merged_rows()
-        return None
+        with self._lock:
+            if (
+                generation == self._generation
+                and epoch == self._delta.epoch
+            ):
+                return self._merged_rows()
+            return None
 
     def _release_snapshot(self, snapshot: Snapshot) -> None:
-        try:
-            self._snapshots.remove(snapshot)
-        except ValueError:  # already released
-            return
-        pinned = {s.generation for s in self._snapshots}
-        self._retained = {
-            generation: version
-            for generation, version in self._retained.items()
-            if generation in pinned
-        }
+        with self._lock:
+            try:
+                self._snapshots.remove(snapshot)
+            except ValueError:  # already released
+                return
+            pinned = {s.generation for s in self._snapshots}
+            self._retained = {
+                generation: version
+                for generation, version in self._retained.items()
+                if generation in pinned
+            }
 
     def _surviving_rows(self) -> list[tuple]:
         """The main store's surviving rows, cached per (generation,
@@ -323,34 +340,38 @@ class MutableTable:
         cache outlives epoch bumps from inserts, and it doubles as the
         materialization hint of the batch read path's main-side
         :class:`~repro.exec.batch.TableBatch`."""
-        deleted = self._delta.deleted_main
-        if not deleted:
-            return decoded_main_rows(self._main)
-        key = (self._generation, len(deleted))
-        cached = self._main_rows_cache
-        if cached is not None and cached[0] == key:
-            return cached[1]
-        rows = [
-            row
-            for position, row in enumerate(decoded_main_rows(self._main))
-            if position not in deleted
-        ]
-        self._main_rows_cache = (key, rows)
-        return rows
+        with self._lock:
+            deleted = self._delta.deleted_main
+            if not deleted:
+                return decoded_main_rows(self._main)
+            key = (self._generation, len(deleted))
+            cached = self._main_rows_cache
+            if cached is not None and cached[0] == key:
+                return cached[1]
+            rows = [
+                row
+                for position, row in enumerate(
+                    decoded_main_rows(self._main)
+                )
+                if position not in deleted
+            ]
+            self._main_rows_cache = (key, rows)
+            return rows
 
     def _merged_rows(self) -> list[tuple]:
         """The currently visible merged rows, cached per (generation,
         epoch).  The list is immutable by contract — writes never touch
         it, they bump the epoch and a later read rebuilds."""
-        key = (self._generation, self._delta.epoch)
-        cached = self._merged_cache
-        if cached is not None and cached[0] == key:
-            return cached[1]
-        main_rows = self._surviving_rows()
-        live = self._delta.live_rows()
-        rows = main_rows + live if live else main_rows
-        self._merged_cache = (key, rows)
-        return rows
+        with self._lock:
+            key = (self._generation, self._delta.epoch)
+            cached = self._merged_cache
+            if cached is not None and cached[0] == key:
+                return cached[1]
+            main_rows = self._surviving_rows()
+            live = self._delta.live_rows()
+            rows = main_rows + live if live else main_rows
+            self._merged_cache = (key, rows)
+            return rows
 
     def scan(self):
         """Iterate the rows visible right now as a pinned MVCC view:
@@ -370,27 +391,29 @@ class MutableTable:
         vectorized read path; row order matches :meth:`scan`."""
         from repro.exec import DeltaBatch, TableBatch
 
-        validity = self._delta.main_validity(self._main.nrows)
-        hint = None
-        if validity is not None:
-            # The hint serves the surviving-rows cache only while the
-            # table is still in the state this batch captured; after a
-            # later delete or compaction it declines (returns None) and
-            # the batch gathers from its own pinned selection instead.
-            key = (self._generation, len(self._delta.deleted_main))
+        with self._lock:
+            validity = self._delta.main_validity(self._main.nrows)
+            hint = None
+            if validity is not None:
+                # The hint serves the surviving-rows cache only while
+                # the table is still in the state this batch captured;
+                # after a later delete or compaction it declines
+                # (returns None) and the batch gathers from its own
+                # pinned selection instead.
+                key = (self._generation, len(self._delta.deleted_main))
 
-            def hint(key=key):
-                if key == (
-                    self._generation, len(self._delta.deleted_main)
-                ):
-                    return self._surviving_rows()
-                return None
+                def hint(key=key):
+                    if key == (
+                        self._generation, len(self._delta.deleted_main)
+                    ):
+                        return self._surviving_rows()
+                    return None
 
-        batches = [TableBatch(self._main, validity, rows_hint=hint)]
-        delta_batch = DeltaBatch(self._delta)
-        if delta_batch.selected_count:
-            batches.append(delta_batch)
-        return batches
+            batches = [TableBatch(self._main, validity, rows_hint=hint)]
+            delta_batch = DeltaBatch(self._delta)
+            if delta_batch.selected_count:
+                batches.append(delta_batch)
+            return batches
 
     def to_rows(self) -> list[tuple]:
         """All visible rows as an eager merged copy: surviving main rows
@@ -434,16 +457,17 @@ class MutableTable:
         hash indexes once built (row-wise below the threshold)."""
         if predicate is None:
             return self.to_rows()
-        positions = self._matching_main_positions(predicate)
-        rows = (
-            self._main.select_rows(positions, compact=True).to_rows()
-            if len(positions)
-            else []
-        )
-        return rows + [
-            self._delta.row(index)
-            for index in self._matching_delta_indices(predicate)
-        ]
+        with self._lock:
+            positions = self._matching_main_positions(predicate)
+            rows = (
+                self._main.select_rows(positions, compact=True).to_rows()
+                if len(positions)
+                else []
+            )
+            return rows + [
+                self._delta.row(index)
+                for index in self._matching_delta_indices(predicate)
+            ]
 
     # ------------------------------------------------------------------
     # DML
@@ -482,19 +506,21 @@ class MutableTable:
         triggered auto-compaction's ``compact`` record rides its own
         frame, which is safe: the fold is structural and idempotent.
         """
-        self._check_valid()
-        self._delta.append(row)
-        self._maybe_autocompact()
+        with self._lock:
+            self._check_valid()
+            self._delta.append(row)
+            self._maybe_autocompact()
 
     def insert_rows(self, rows) -> int:
         """Append an iterable of row tuples atomically (a malformed row
         rejects the whole batch); returns the count.  Like
         :meth:`insert`, the batch is one redo record, so it needs no
         surrounding WAL transaction."""
-        self._check_valid()
-        count = self._delta.append_rows(rows)
-        self._maybe_autocompact()
-        return count
+        with self._lock:
+            self._check_valid()
+            count = self._delta.append_rows(rows)
+            self._maybe_autocompact()
+            return count
 
     def delete(self, predicate=None) -> int:
         """Delete visible rows matching ``predicate`` (all when None);
@@ -504,17 +530,18 @@ class MutableTable:
         predicate's bitmap, AND-ed with the validity bitmap — without
         materializing any row.
         """
-        self._check_valid()
-        count = 0
-        with self._wal_txn():
-            for position in self._matching_main_positions(predicate):
-                if self._delta.delete_main(int(position)):
-                    count += 1
-            for index in self._matching_delta_indices(predicate):
-                if self._delta.delete_delta(index):
-                    count += 1
-            self._maybe_autocompact()
-        return count
+        with self._lock:
+            self._check_valid()
+            count = 0
+            with self._wal_txn():
+                for position in self._matching_main_positions(predicate):
+                    if self._delta.delete_main(int(position)):
+                        count += 1
+                for index in self._matching_delta_indices(predicate):
+                    if self._delta.delete_delta(index):
+                        count += 1
+                self._maybe_autocompact()
+            return count
 
     def update(self, assignments: dict, predicate=None) -> int:
         """Set ``assignments`` (column -> new value) on rows matching
@@ -522,46 +549,52 @@ class MutableTable:
 
         An update is a delete of the old version plus an append of the
         new one — the standard out-of-place write of a main/delta store,
-        so the compressed main is never patched.
+        so the compressed main is never patched.  The whole statement is
+        one ``update`` redo record (see
+        :meth:`~repro.delta.store.DeltaStore.apply_update`), not a
+        delete+insert record pair per victim.
         """
-        self._check_valid()
-        if not assignments:
-            return 0
-        names = self.schema.column_names
-        for column in assignments:
-            if column not in names:
-                raise SchemaError(
-                    f"no column {column!r} in table {self.name!r}"
-                )
-        coerced = {
-            column: coerce(value, self.schema.column(column).dtype)
-            for column, value in assignments.items()
-        }
+        with self._lock:
+            self._check_valid()
+            if not assignments:
+                return 0
+            names = self.schema.column_names
+            for column in assignments:
+                if column not in names:
+                    raise SchemaError(
+                        f"no column {column!r} in table {self.name!r}"
+                    )
+            coerced = {
+                column: coerce(value, self.schema.column(column).dtype)
+                for column, value in assignments.items()
+            }
 
-        main_positions = self._matching_main_positions(predicate)
-        old_main = (
-            self._main.select_rows(main_positions, compact=True).to_rows()
-            if len(main_positions)
-            else []
-        )
-        delta_indices = self._matching_delta_indices(predicate)
-        old_delta = [self._delta.row(index) for index in delta_indices]
+            main_positions = self._matching_main_positions(predicate)
+            old_main = (
+                self._main.select_rows(
+                    main_positions, compact=True
+                ).to_rows()
+                if len(main_positions)
+                else []
+            )
+            delta_indices = self._matching_delta_indices(predicate)
+            old_delta = [self._delta.row(index) for index in delta_indices]
 
-        count = 0
-        with self._wal_txn():
-            for position in main_positions:
-                self._delta.delete_main(int(position))
-            for index in delta_indices:
-                self._delta.delete_delta(index)
-            for row in old_main + old_delta:
-                updated = tuple(
+            updated = [
+                tuple(
                     coerced.get(name, value)
                     for name, value in zip(names, row)
                 )
-                self._delta.append(updated)
-                count += 1
-            self._maybe_autocompact()
-        return count
+                for row in old_main + old_delta
+            ]
+            with self._wal_txn():
+                count = self._delta.apply_update(
+                    [int(position) for position in main_positions],
+                    list(delta_indices),
+                    updated,
+                )
+                self._maybe_autocompact()
+            return count
 
     def _matching_main_positions(self, predicate) -> np.ndarray:
         """Sorted visible main positions satisfying ``predicate``."""
@@ -596,13 +629,17 @@ class MutableTable:
         new main.  An in-flight incremental run is driven to completion
         first.
         """
-        self._check_valid()
-        if self._compaction_run is None and self._delta.is_empty:
+        with self._lock:
+            self._check_valid()
+            if self._compaction_run is None and self._delta.is_empty:
+                return self._main
+            full_budget = max(1, len(self.schema.columns))
+            while (
+                self._compaction_run is not None
+                or not self._delta.is_empty
+            ):
+                self.compact_step(columns=full_budget, reason=reason)
             return self._main
-        full_budget = max(1, len(self.schema.columns))
-        while self._compaction_run is not None or not self._delta.is_empty:
-            self.compact_step(columns=full_budget, reason=reason)
-        return self._main
 
     def compact_step(
         self, columns: int | None = None, reason: str = "incremental"
@@ -616,27 +653,32 @@ class MutableTable:
         their frozen view throughout.  Returns the run's progress; when
         ``done``, the new main has been published.
         """
-        self._check_valid()
-        if self._compaction_run is None:
-            if self._delta.is_empty:
-                return CompactionProgress(0, 0, True)
-            self._compaction_run = _CompactionRun(self._main, self._delta)
-        run = self._compaction_run
-        self.compaction_steps += 1
-        budget = (
-            columns if columns is not None else max(1, self.policy.step_columns)
-        )
-        for _ in range(budget):
+        with self._lock:
+            self._check_valid()
+            if self._compaction_run is None:
+                if self._delta.is_empty:
+                    return CompactionProgress(0, 0, True)
+                self._compaction_run = _CompactionRun(
+                    self._main, self._delta
+                )
+            run = self._compaction_run
+            self.compaction_steps += 1
+            budget = (
+                columns
+                if columns is not None
+                else max(1, self.policy.step_columns)
+            )
+            for _ in range(budget):
+                if run.done:
+                    break
+                name = run.column_names[run.next_index]
+                run.merged[name] = self._merge_column(name, run)
+                run.next_index += 1
+            total = len(run.column_names)
             if run.done:
-                break
-            name = run.column_names[run.next_index]
-            run.merged[name] = self._merge_column(name, run)
-            run.next_index += 1
-        total = len(run.column_names)
-        if run.done:
-            self._finish_compaction(run, reason)
-            return CompactionProgress(total, total, True)
-        return CompactionProgress(run.next_index, total, False)
+                self._finish_compaction(run, reason)
+                return CompactionProgress(total, total, True)
+            return CompactionProgress(run.next_index, total, False)
 
     def _merge_column(self, name: str, run: _CompactionRun) -> BitmapColumn:
         """Merge one column: surviving main rows (bitmap-filtered, never
@@ -661,12 +703,13 @@ class MutableTable:
         replaying it reproduces the crashed compaction's row positions
         exactly — later redo records that name post-fold positions and
         indices land where they were logged.  Emits nothing."""
-        run = _CompactionRun(self._main, self._delta, cutoff_epoch)
-        while not run.done:
-            name = run.column_names[run.next_index]
-            run.merged[name] = self._merge_column(name, run)
-            run.next_index += 1
-        self._finish_compaction(run, "wal replay", log=False)
+        with self._lock:
+            run = _CompactionRun(self._main, self._delta, cutoff_epoch)
+            while not run.done:
+                name = run.column_names[run.next_index]
+                run.merged[name] = self._merge_column(name, run)
+                run.next_index += 1
+            self._finish_compaction(run, "wal replay", log=False)
 
     def _finish_compaction(
         self, run: _CompactionRun, reason: str, log: bool = True
@@ -715,6 +758,7 @@ class MutableTable:
             index_threshold=old_delta.index_threshold,
         )
         new_delta._wal = old_delta._wal
+        new_delta._lock = self._lock
 
         if any(s.generation == self._generation for s in self._snapshots):
             self._retained[self._generation] = (old_main, old_delta)
@@ -732,20 +776,22 @@ class MutableTable:
         Only valid while the current buffer is empty — a delta belongs
         to exactly one main-store generation.
         """
-        self._check_valid()
-        if self.has_pending_changes:
-            raise SchemaError(
-                f"table {self.name!r} already has pending changes"
-            )
-        if store.schema.column_names != self.schema.column_names:
-            raise SchemaError(
-                f"delta schema does not match table {self.name!r}"
-            )
-        store._wal = self._wal
-        self._delta = store
-        # Epochs (and deletion state) restart with the new buffer.
-        self._merged_cache = None
-        self._main_rows_cache = None
+        with self._lock:
+            self._check_valid()
+            if self.has_pending_changes:
+                raise SchemaError(
+                    f"table {self.name!r} already has pending changes"
+                )
+            if store.schema.column_names != self.schema.column_names:
+                raise SchemaError(
+                    f"delta schema does not match table {self.name!r}"
+                )
+            store._wal = self._wal
+            store._lock = self._lock
+            self._delta = store
+            # Epochs (and deletion state) restart with the new buffer.
+            self._merged_cache = None
+            self._main_rows_cache = None
 
     def rewire_metadata(
         self, new_main: Table, renames: dict[str, str] | None = None
@@ -762,6 +808,12 @@ class MutableTable:
         data, so every retained generation is relabeled in place (their
         rows never change).
         """
+        with self._lock:
+            self._rewire_metadata_locked(new_main, renames)
+
+    def _rewire_metadata_locked(
+        self, new_main: Table, renames: dict[str, str] | None = None
+    ) -> None:
         self._check_valid()
         if new_main.nrows != self._main.nrows:
             raise StorageError(

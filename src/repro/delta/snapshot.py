@@ -113,9 +113,12 @@ class Snapshot:
     def nrows(self) -> int:
         """Visible rows across both sides, as of the pinned epoch."""
         self._check_open()
-        return len(self._surviving()) + len(
-            self._delta.live_indices(self.epoch)
-        )
+        # The delta's lock is the owning table's writer lock, so the
+        # two counts below read one consistent buffer state.
+        with self._delta._lock:
+            return len(self._surviving()) + len(
+                self._delta.live_indices(self.epoch)
+            )
 
     def _surviving(self) -> np.ndarray:
         return self._delta.surviving_main_positions(
@@ -140,12 +143,14 @@ class Snapshot:
             if rows is not None:
                 self._rows = rows
                 return rows
-        rows = self._surviving_rows()
-        live = self._delta.live_rows(self.epoch)
-        # `rows + live` builds a fresh list, so the shared decoded-rows
-        # cache is never aliased into a list we might hand out.
-        self._rows = rows + live if live else rows
-        return self._rows
+        with self._delta._lock:
+            rows = self._surviving_rows()
+            live = self._delta.live_rows(self.epoch)
+            # `rows + live` builds a fresh list, so the shared
+            # decoded-rows cache is never aliased into a list we might
+            # hand out.
+            self._rows = rows + live if live else rows
+            return self._rows
 
     def _surviving_rows(self) -> list[tuple] | None:
         """Surviving main rows at the pinned epoch, materialized once
@@ -157,21 +162,22 @@ class Snapshot:
             return self._main_rows
         if self._closed:
             return None
-        rows = decoded_main_rows(self._main)
-        if self._delta.deleted_main:
-            dead = {
-                position
-                for position, at in self._delta.deleted_main.items()
-                if at <= self.epoch
-            }
-            if dead:
-                rows = [
-                    row
-                    for position, row in enumerate(rows)
-                    if position not in dead
-                ]
-        self._main_rows = rows
-        return rows
+        with self._delta._lock:
+            rows = decoded_main_rows(self._main)
+            if self._delta.deleted_main:
+                dead = {
+                    position
+                    for position, at in self._delta.deleted_main.items()
+                    if at <= self.epoch
+                }
+                if dead:
+                    rows = [
+                        row
+                        for position, row in enumerate(rows)
+                        if position not in dead
+                    ]
+            self._main_rows = rows
+            return rows
 
     def scan(self):
         """Iterate the pinned view lazily-materialized: the row list is

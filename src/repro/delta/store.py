@@ -20,6 +20,8 @@ documented in ``docs/delta-format.md``.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from repro.errors import StorageError
@@ -64,6 +66,7 @@ class DeltaStore:
         "_indexes",
         "_live_cache",
         "_wal",
+        "_lock",
     )
 
     def __init__(
@@ -91,6 +94,13 @@ class DeltaStore:
         self._live_cache: tuple | None = None
         # Redo emission: a repro.wal.TableWal once durability is on.
         self._wal = None
+        # The writer lock.  A standalone store owns its own; a store
+        # inside a MutableTable shares the table's lock (the table
+        # assigns it), so DML, compaction and the dict-iterating reads
+        # below serialize per table — see docs/ARCHITECTURE.md,
+        # "Concurrency".  Reentrant: table methods call store methods
+        # while already holding it.
+        self._lock = threading.RLock()
 
     @classmethod
     def restore(
@@ -152,47 +162,82 @@ class DeltaStore:
     def append(self, row) -> int:
         """Buffer one row tuple (schema column order); returns its
         delta index."""
-        coerced = self._coerce_row(row)
-        self.epoch += 1
-        if self._wal is not None:
-            self._wal.log_insert([coerced], self.epoch)
-        return self._admit(coerced, self.epoch)
+        with self._lock:
+            coerced = self._coerce_row(row)
+            self.epoch += 1
+            if self._wal is not None:
+                self._wal.log_insert([coerced], self.epoch)
+            return self._admit(coerced, self.epoch)
 
     def append_rows(self, rows) -> int:
         """Buffer many rows atomically: every row is coerced before any
         is admitted, so a malformed row leaves no partial batch behind.
         The whole batch shares one epoch.  Returns the count."""
-        coerced = [self._coerce_row(row) for row in rows]
-        if not coerced:
-            return 0
-        self.epoch += 1
-        if self._wal is not None:
-            self._wal.log_insert(coerced, self.epoch)
-        for row in coerced:
-            self._admit(row, self.epoch)
-        return len(coerced)
+        with self._lock:
+            coerced = [self._coerce_row(row) for row in rows]
+            if not coerced:
+                return 0
+            self.epoch += 1
+            if self._wal is not None:
+                self._wal.log_insert(coerced, self.epoch)
+            for row in coerced:
+                self._admit(row, self.epoch)
+            return len(coerced)
 
     def delete_main(self, position: int) -> bool:
         """Mark one main-store row deleted; True if newly deleted."""
-        if position in self.deleted_main:
-            return False
-        self.epoch += 1
-        if self._wal is not None:
-            self._wal.log_delete_main(position, self.epoch)
-        self.deleted_main[position] = self.epoch
-        return True
+        with self._lock:
+            if position in self.deleted_main:
+                return False
+            self.epoch += 1
+            if self._wal is not None:
+                self._wal.log_delete_main(position, self.epoch)
+            self.deleted_main[position] = self.epoch
+            return True
 
     def delete_delta(self, index: int) -> bool:
         """Delete one buffered row by delta index; True if newly deleted."""
-        if index < 0 or index >= self.n_appended:
-            raise StorageError(f"delta index {index} out of range")
-        if index in self.deleted_delta:
-            return False
-        self.epoch += 1
-        if self._wal is not None:
-            self._wal.log_delete_delta(index, self.epoch)
-        self.deleted_delta[index] = self.epoch
-        return True
+        with self._lock:
+            if index < 0 or index >= self.n_appended:
+                raise StorageError(f"delta index {index} out of range")
+            if index in self.deleted_delta:
+                return False
+            self.epoch += 1
+            if self._wal is not None:
+                self._wal.log_delete_delta(index, self.epoch)
+            self.deleted_delta[index] = self.epoch
+            return True
+
+    def apply_update(self, positions, indices, rows) -> int:
+        """One UPDATE statement — delete the old versions (main
+        positions and delta indices), append the patched ``rows`` — as
+        a single call emitting *one* ``update`` redo record instead of
+        a delete+insert record pair per victim (roughly half the log
+        bytes).  Epoch numbering is identical to issuing the individual
+        calls: each sub-operation bumps the counter once, in the order
+        deletes-from-main, deletes-from-delta, appends.  Returns the
+        number of rows appended."""
+        with self._lock:
+            coerced = [self._coerce_row(row) for row in rows]
+            if not positions and not indices and not coerced:
+                return 0
+            for index in indices:
+                if index < 0 or index >= self.n_appended:
+                    raise StorageError(f"delta index {index} out of range")
+            if self._wal is not None:
+                self._wal.log_update(
+                    positions, indices, coerced, self.epoch + 1
+                )
+            for position in positions:
+                self.epoch += 1
+                self.deleted_main[position] = self.epoch
+            for index in indices:
+                self.epoch += 1
+                self.deleted_delta[index] = self.epoch
+            for row in coerced:
+                self.epoch += 1
+                self._admit(row, self.epoch)
+            return len(coerced)
 
     # ------------------------------------------------------------------
     # Redo replay (recovery-only: re-apply a logged write at its
@@ -201,32 +246,59 @@ class DeltaStore:
 
     def replay_insert(self, rows, epoch: int) -> None:
         """Re-admit logged rows at their logged (shared) epoch."""
-        coerced = [self._coerce_row(row) for row in rows]
-        self.epoch = epoch
-        for row in coerced:
-            self._admit(row, epoch)
+        with self._lock:
+            coerced = [self._coerce_row(row) for row in rows]
+            self.epoch = epoch
+            for row in coerced:
+                self._admit(row, epoch)
 
     def replay_delete_main(self, position: int, epoch: int) -> None:
-        self.epoch = epoch
-        self.deleted_main[position] = epoch
+        with self._lock:
+            self.epoch = epoch
+            self.deleted_main[position] = epoch
 
     def replay_delete_delta(self, index: int, epoch: int) -> None:
-        if index < 0 or index >= self.n_appended:
-            raise StorageError(f"delta index {index} out of range")
-        self.epoch = epoch
-        self.deleted_delta[index] = epoch
+        with self._lock:
+            if index < 0 or index >= self.n_appended:
+                raise StorageError(f"delta index {index} out of range")
+            self.epoch = epoch
+            self.deleted_delta[index] = epoch
+
+    def replay_update(self, positions, indices, rows, epoch: int) -> None:
+        """Re-apply a logged ``update`` record at its logged first
+        epoch, reproducing :meth:`apply_update`'s per-operation epoch
+        sequence exactly (so later records — and ``compact`` cutoffs —
+        land on the same positions they were logged against)."""
+        with self._lock:
+            coerced = [self._coerce_row(row) for row in rows]
+            current = epoch
+            for position in positions:
+                self.deleted_main[position] = current
+                self.epoch = current
+                current += 1
+            for index in indices:
+                if index < 0 or index >= self.n_appended:
+                    raise StorageError(f"delta index {index} out of range")
+                self.deleted_delta[index] = current
+                self.epoch = current
+                current += 1
+            for row in coerced:
+                self._admit(row, current)
+                self.epoch = current
+                current += 1
 
     def clear(self) -> None:
         """Reset to empty (after the delta is folded into the main).
         The epoch counter survives — it is monotonic for the table's
         whole lifetime, across compactions."""
-        for values in self.columns.values():
-            values.clear()
-        self.insert_epochs.clear()
-        self.deleted_main.clear()
-        self.deleted_delta.clear()
-        self._indexes.clear()
-        self._live_cache = None
+        with self._lock:
+            for values in self.columns.values():
+                values.clear()
+            self.insert_epochs.clear()
+            self.deleted_main.clear()
+            self.deleted_delta.clear()
+            self._indexes.clear()
+            self._live_cache = None
 
     def adopt_schema(
         self, schema: TableSchema, renames: dict[str, str] | None = None
@@ -238,23 +310,24 @@ class DeltaStore:
         the O(1) half of the delta-preserving rename (see
         ``docs/ARCHITECTURE.md``, "Renames are metadata-only")."""
         renames = renames or {}
-        expected = tuple(
-            renames.get(name, name) for name in self.schema.column_names
-        )
-        if expected != schema.column_names:
-            raise StorageError(
-                f"cannot adopt schema {list(schema.column_names)} over "
-                f"delta columns {list(expected)}"
+        with self._lock:
+            expected = tuple(
+                renames.get(name, name) for name in self.schema.column_names
             )
-        self.columns = {
-            renames.get(name, name): values
-            for name, values in self.columns.items()
-        }
-        self._indexes = {
-            renames.get(name, name): index
-            for name, index in self._indexes.items()
-        }
-        self.schema = schema
+            if expected != schema.column_names:
+                raise StorageError(
+                    f"cannot adopt schema {list(schema.column_names)} over "
+                    f"delta columns {list(expected)}"
+                )
+            self.columns = {
+                renames.get(name, name): values
+                for name, values in self.columns.items()
+            }
+            self._indexes = {
+                renames.get(name, name): index
+                for name, index in self._indexes.items()
+            }
+            self.schema = schema
 
     # ------------------------------------------------------------------
     # Reads (versioned: ``epoch=None`` means "as of now")
@@ -278,20 +351,21 @@ class DeltaStore:
     def live_indices(self, epoch: int | None = None) -> list[int]:
         """Delta indices visible at ``epoch``, in insertion order
         (treat the returned list as read-only — it may be memoized)."""
-        if epoch is None:
-            epoch = self.epoch
-        cached = self._live_cache
-        if cached is not None and cached[0] == epoch:
-            return cached[1]
-        deleted = self.deleted_delta
-        indices = [
-            index
-            for index, inserted in enumerate(self.insert_epochs)
-            if inserted <= epoch
-            and (index not in deleted or deleted[index] > epoch)
-        ]
-        self._live_cache = (epoch, indices, None)
-        return indices
+        with self._lock:
+            if epoch is None:
+                epoch = self.epoch
+            cached = self._live_cache
+            if cached is not None and cached[0] == epoch:
+                return cached[1]
+            deleted = self.deleted_delta
+            indices = [
+                index
+                for index, inserted in enumerate(self.insert_epochs)
+                if inserted <= epoch
+                and (index not in deleted or deleted[index] > epoch)
+            ]
+            self._live_cache = (epoch, indices, None)
+            return indices
 
     def row(self, index: int) -> tuple:
         """One buffered row by delta index (live or not)."""
@@ -304,32 +378,38 @@ class DeltaStore:
     def live_rows(self, epoch: int | None = None) -> list[tuple]:
         """Buffered rows visible at ``epoch``, in insertion order
         (treat the returned list as read-only — it may be memoized)."""
-        if epoch is None:
-            epoch = self.epoch
-        indices = self.live_indices(epoch)
-        cached = self._live_cache
-        if cached is not None and cached[0] == epoch and cached[2] is not None:
-            return cached[2]
-        names = self.schema.column_names
-        rows = [
-            tuple(self.columns[name][index] for name in names)
-            for index in indices
-        ]
-        self._live_cache = (epoch, indices, rows)
-        return rows
+        with self._lock:
+            if epoch is None:
+                epoch = self.epoch
+            indices = self.live_indices(epoch)
+            cached = self._live_cache
+            if (
+                cached is not None
+                and cached[0] == epoch
+                and cached[2] is not None
+            ):
+                return cached[2]
+            names = self.schema.column_names
+            rows = [
+                tuple(self.columns[name][index] for name in names)
+                for index in indices
+            ]
+            self._live_cache = (epoch, indices, rows)
+            return rows
 
     def main_validity(self, main_nrows: int, epoch: int | None = None):
         """The main store's validity at ``epoch`` as a dense selection
         bitmap (:class:`~repro.bitmap.plain.PlainBitmap`), or ``None``
         when no main row is deleted — the main-side selection vector of
         the batch read path (``repro.exec``)."""
-        if epoch is None:
-            epoch = self.epoch
-        dead = [
-            position
-            for position, deleted in self.deleted_main.items()
-            if deleted <= epoch and position < main_nrows
-        ]
+        with self._lock:
+            if epoch is None:
+                epoch = self.epoch
+            dead = [
+                position
+                for position, deleted in self.deleted_main.items()
+                if deleted <= epoch and position < main_nrows
+            ]
         if not dead:
             return None
         from repro.bitmap.plain import PlainBitmap
@@ -344,13 +424,14 @@ class DeltaStore:
         """Sorted main-store positions visible at ``epoch`` (the
         versioned validity bitmap as a position array, ready for bitmap
         filtering)."""
-        if epoch is None:
-            epoch = self.epoch
-        dead = [
-            position
-            for position, deleted in self.deleted_main.items()
-            if deleted <= epoch and position < main_nrows
-        ]
+        with self._lock:
+            if epoch is None:
+                epoch = self.epoch
+            dead = [
+                position
+                for position, deleted in self.deleted_main.items()
+                if deleted <= epoch and position < main_nrows
+            ]
         if not dead:
             return np.arange(main_nrows, dtype=np.int64)
         mask = np.ones(main_nrows, dtype=bool)
@@ -369,17 +450,18 @@ class DeltaStore:
     def build_index(self, column: str) -> dict:
         """Build (or return) the hash index of one column, regardless of
         the size threshold."""
-        if column not in self.columns:
-            raise StorageError(
-                f"no column {column!r} in table {self.schema.name!r}"
-            )
-        index = self._indexes.get(column)
-        if index is None:
-            index = {}
-            for position, value in enumerate(self.columns[column]):
-                index.setdefault(value, []).append(position)
-            self._indexes[column] = index
-        return index
+        with self._lock:
+            if column not in self.columns:
+                raise StorageError(
+                    f"no column {column!r} in table {self.schema.name!r}"
+                )
+            index = self._indexes.get(column)
+            if index is None:
+                index = {}
+                for position, value in enumerate(self.columns[column]):
+                    index.setdefault(value, []).append(position)
+                self._indexes[column] = index
+            return index
 
     def _index_for(self, column: str) -> dict | None:
         """The column's hash index, building it once the buffer passes
@@ -402,18 +484,19 @@ class DeltaStore:
         indexes once the buffer has passed ``index_threshold``, row at a
         time below it.  The predicate must already be validated against
         the schema."""
-        indices = self.live_indices(epoch)
-        if predicate is None:
-            return indices
-        matched = self.index_matches(predicate)
-        if matched is not None:
-            return [index for index in indices if index in matched]
-        columns = self.columns
-        return [
-            index
-            for index in indices
-            if predicate.matches(lambda attr, i=index: columns[attr][i])
-        ]
+        with self._lock:
+            indices = self.live_indices(epoch)
+            if predicate is None:
+                return indices
+            matched = self.index_matches(predicate)
+            if matched is not None:
+                return [index for index in indices if index in matched]
+            columns = self.columns
+            return [
+                index
+                for index in indices
+                if predicate.matches(lambda attr, i=index: columns[attr][i])
+            ]
 
     def index_matches(self, predicate) -> set[int] | None:
         """Delta indices (liveness-agnostic) satisfying ``predicate``,
@@ -431,33 +514,38 @@ class DeltaStore:
         """
         from repro.smo.predicate import And, Comparison, Not, Or
 
-        if isinstance(predicate, Comparison):
-            index = self._index_for(predicate.attr)
-            if index is None:
-                return None
-            if (
-                predicate.op not in ("=", "IN")
-                and self.range_probe_limit is not None
-                and len(index) > self.range_probe_limit
-            ):
-                return None
-            matched: set[int] = set()
-            for value, postings in index.items():
-                if predicate.matches(lambda attr, v=value: v):
-                    matched.update(postings)
-            return matched
-        if isinstance(predicate, (And, Or)):
-            left = self.index_matches(predicate.left)
-            right = self.index_matches(predicate.right)
-            if left is None or right is None:
-                return None
-            return left & right if isinstance(predicate, And) else left | right
-        if isinstance(predicate, Not):
-            inner = self.index_matches(predicate.inner)
-            if inner is None:
-                return None
-            return set(range(self.n_appended)) - inner
-        return None
+        # Reentrant lock: the And/Or/Not arms recurse through the
+        # public method while already holding it.
+        with self._lock:
+            if isinstance(predicate, Comparison):
+                index = self._index_for(predicate.attr)
+                if index is None:
+                    return None
+                if (
+                    predicate.op not in ("=", "IN")
+                    and self.range_probe_limit is not None
+                    and len(index) > self.range_probe_limit
+                ):
+                    return None
+                matched: set[int] = set()
+                for value, postings in index.items():
+                    if predicate.matches(lambda attr, v=value: v):
+                        matched.update(postings)
+                return matched
+            if isinstance(predicate, (And, Or)):
+                left = self.index_matches(predicate.left)
+                right = self.index_matches(predicate.right)
+                if left is None or right is None:
+                    return None
+                if isinstance(predicate, And):
+                    return left & right
+                return left | right
+            if isinstance(predicate, Not):
+                inner = self.index_matches(predicate.inner)
+                if inner is None:
+                    return None
+                return set(range(self.n_appended)) - inner
+            return None
 
     def __repr__(self) -> str:
         return (

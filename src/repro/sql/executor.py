@@ -125,7 +125,10 @@ class SqlExecutor:
             return self.adapter.insert_rows(statement.table, statement.rows)
         if isinstance(statement, InsertSelect):
             require_table(self.adapter, statement.table)
-            rows = self._run_select(statement.select)
+            # Materialize before inserting: a lazy drain would scan the
+            # source *while* the target's writer lock is held, and a
+            # concurrent writer doing the mirror image deadlocks.
+            rows = list(self._run_select(statement.select))
             return self.adapter.insert_rows(statement.table, rows)
         if isinstance(statement, Update):
             require_table(self.adapter, statement.table)

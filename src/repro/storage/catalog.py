@@ -8,6 +8,7 @@ replayed (tests verify replay determinism).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro.errors import SchemaError
@@ -31,6 +32,14 @@ class Catalog:
     tables: dict = field(default_factory=dict)
     history: list = field(default_factory=list)
     version: int = 0
+    #: Serializes mutations (the version counter and history list are
+    #: not atomic to update) — DDL from one session can race the
+    #: background compactor's post-compaction ``put``.  Reads stay
+    #: lock-free: dict get/set are atomic, and multi-table consistency
+    #: is the transaction layer's job, not the catalog's.
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
 
     # -- queries ------------------------------------------------------------
 
@@ -59,29 +68,35 @@ class Catalog:
 
     def put(self, table: Table, operation: str | None = None) -> None:
         """Insert or replace a table under its schema name."""
-        self.tables[table.schema.name] = table
-        self._record(operation or f"PUT {table.schema.name}")
+        with self._lock:
+            self.tables[table.schema.name] = table
+            self._record(operation or f"PUT {table.schema.name}")
 
     def create(self, table: Table, operation: str | None = None) -> None:
         """Insert a table; fails if the name exists."""
-        if table.schema.name in self.tables:
-            raise SchemaError(f"table {table.schema.name!r} already exists")
-        self.put(table, operation or f"CREATE TABLE {table.schema.name}")
+        with self._lock:
+            if table.schema.name in self.tables:
+                raise SchemaError(
+                    f"table {table.schema.name!r} already exists"
+                )
+            self.put(table, operation or f"CREATE TABLE {table.schema.name}")
 
     def drop(self, name: str, operation: str | None = None) -> Table:
         """Remove and return a table."""
-        table = self.table(name)
-        del self.tables[name]
-        self._record(operation or f"DROP TABLE {name}")
-        return table
+        with self._lock:
+            table = self.table(name)
+            del self.tables[name]
+            self._record(operation or f"DROP TABLE {name}")
+            return table
 
     def rename(self, old: str, new: str, operation: str | None = None) -> None:
-        table = self.table(old)
-        if new in self.tables:
-            raise SchemaError(f"table {new!r} already exists")
-        del self.tables[old]
-        self.tables[new] = table.renamed(new)
-        self._record(operation or f"RENAME TABLE {old} TO {new}")
+        with self._lock:
+            table = self.table(old)
+            if new in self.tables:
+                raise SchemaError(f"table {new!r} already exists")
+            del self.tables[old]
+            self.tables[new] = table.renamed(new)
+            self._record(operation or f"RENAME TABLE {old} TO {new}")
 
     # -- introspection ------------------------------------------------------------
 

@@ -25,6 +25,7 @@ needs to skip already-persisted records (see ``docs/wal-format.md``).
 from __future__ import annotations
 
 import re
+from contextlib import ExitStack
 from pathlib import Path
 
 from repro.storage.filefmt import (
@@ -60,31 +61,42 @@ def _next_generation(sidecar: Path, table: str) -> int:
 
 def checkpoint(engine, directory, wal, policy=None) -> int:
     """Run the full protocol for every table of ``engine``'s catalog;
-    returns the checkpointed log position."""
+    returns the checkpointed log position.
+
+    The whole protocol runs with every table's writer lock held
+    (acquired in sorted-name order, matching the system lock order) —
+    a *quiesce*: no concurrent DML can stage a record between the
+    flush (step 1) and the truncation (step 4), so the truncated bytes
+    are exactly the bytes the sidecars captured."""
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
-    crash_point("checkpoint.begin")
-    wal.flush()
-    wal_lsn = wal.durable_lsn
-    referenced = {"catalog.json", WAL_FILENAME}
-    for name in engine.catalog.table_names():
-        mutable = engine.mutable(name, policy)
-        sidecar = delta_sidecar_path(directory / f"{name}.cods")
-        main_file = versioned_main_name(
-            name, _next_generation(sidecar, name)
-        )
-        crash_point("checkpoint.table")
-        save_table(mutable.main, directory / main_file)
-        save_delta(
-            mutable.delta, sidecar, wal_lsn=wal_lsn, main_file=main_file
-        )
-        referenced.add(main_file)
-        referenced.add(sidecar.name)
-    save_manifest(engine.catalog, directory)
-    crash_point("checkpoint.truncate")
-    wal.truncate_all()
-    crash_point("checkpoint.cleanup")
-    _sweep_orphans(directory, referenced)
+    names = sorted(engine.catalog.table_names())
+    mutables = {name: engine.mutable(name, policy) for name in names}
+    with ExitStack() as stack:
+        for name in names:
+            stack.enter_context(mutables[name]._lock)
+        crash_point("checkpoint.begin")
+        wal.flush()
+        wal_lsn = wal.durable_lsn
+        referenced = {"catalog.json", WAL_FILENAME}
+        for name in names:
+            mutable = mutables[name]
+            sidecar = delta_sidecar_path(directory / f"{name}.cods")
+            main_file = versioned_main_name(
+                name, _next_generation(sidecar, name)
+            )
+            crash_point("checkpoint.table")
+            save_table(mutable.main, directory / main_file)
+            save_delta(
+                mutable.delta, sidecar, wal_lsn=wal_lsn, main_file=main_file
+            )
+            referenced.add(main_file)
+            referenced.add(sidecar.name)
+        save_manifest(engine.catalog, directory)
+        crash_point("checkpoint.truncate")
+        wal.truncate_all()
+        crash_point("checkpoint.cleanup")
+        _sweep_orphans(directory, referenced)
     wal.metrics.counter("wal.checkpoints").inc()
     wal.metrics.gauge("wal.checkpoint_lsn").set(wal_lsn)
     return wal_lsn

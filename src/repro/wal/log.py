@@ -25,11 +25,22 @@ debris) and raises :class:`~repro.errors.WalCorruptionError` on damage
 before the tail.  :meth:`truncate_all` starts a fresh file whose header
 carries the old end LSN as its base — the checkpoint protocol's last
 step (see :mod:`repro.wal.checkpoint`).
+
+The log is thread-safe: transaction state (depth, id, record count) is
+*per thread*, so concurrent sessions each hold their own open
+transaction, while the shared tail — buffer, file handle, LSNs, the
+transaction-id counter, the group-commit tally — sits behind one
+internal reentrant lock.  That lock is the *leaf* of the system's lock
+order (``Database._commit_lock`` → table writer locks → here); nothing
+inside it ever calls back out into table or catalog code.  Records from
+concurrently open transactions interleave in the file; recovery already
+sorts that out by filtering on committed transaction ids.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 from pathlib import Path
 
 from repro.errors import WalError
@@ -89,9 +100,13 @@ class WriteAheadLog:
         self._fsyncs = metrics.counter("wal.fsyncs")
         self._log_bytes = metrics.gauge("wal.log_bytes")
         self._buffer = bytearray()
-        self._depth = 0
-        self._txn: int | None = None
-        self._txn_records = 0
+        # Shared tail state (buffer, handle, LSNs, txn-id counter,
+        # group-commit tally) lives behind this reentrant lock — the
+        # leaf of the system lock order.  Transaction state is
+        # per-thread so concurrent sessions nest independently.
+        self._lock = threading.RLock()
+        self._local = threading.local()
+        self._open_txns = 0  # across all threads, guarded by _lock
         self._unflushed_commits = 0
         self._closed = False
         self._open_file()
@@ -135,14 +150,15 @@ class WriteAheadLog:
         durable) and release the file handle.  Idempotent."""
         if self._closed:
             return
-        if self._depth:
-            raise WalError(
-                f"cannot close the log inside an open transaction "
-                f"(depth {self._depth})"
-            )
-        self.flush()
-        self._handle.close()
-        self._closed = True
+        with self._lock:
+            if self._open_txns:
+                raise WalError(
+                    f"cannot close the log inside an open transaction "
+                    f"({self._open_txns} open)"
+                )
+            self.flush()
+            self._handle.close()
+            self._closed = True
 
     def _check_open(self) -> None:
         if self._closed:
@@ -166,52 +182,72 @@ class WriteAheadLog:
 
     # -- transactions ---------------------------------------------------
 
+    def _state(self):
+        """This thread's transaction state (depth, txn id, record
+        count), created on first touch."""
+        local = self._local
+        if not hasattr(local, "depth"):
+            local.depth = 0
+            local.txn = None
+            local.records = 0
+        return local
+
     @property
     def in_transaction(self) -> bool:
-        return self._depth > 0
+        """True when *the calling thread* has an open transaction."""
+        return self._state().depth > 0
 
     def begin(self) -> int:
-        """Enter a transaction (nested calls reuse the open one);
-        returns its id."""
+        """Enter a transaction on the calling thread (nested calls
+        reuse the open one); returns its id."""
         self._check_open()
-        if self._depth == 0:
-            self._txn = self._next_txn
-            self._next_txn += 1
-            self._txn_records = 0
-        self._depth += 1
-        return self._txn
+        state = self._state()
+        if state.depth == 0:
+            with self._lock:
+                state.txn = self._next_txn
+                self._next_txn += 1
+                self._open_txns += 1
+            state.records = 0
+        state.depth += 1
+        return state.txn
 
     def commit(self) -> None:
-        """Leave the transaction; the outermost leave emits the
-        ``commit`` record and applies the flush policy."""
+        """Leave the calling thread's transaction; the outermost leave
+        emits the ``commit`` record and applies the flush policy."""
         self._check_open()
-        if self._depth == 0:
+        state = self._state()
+        if state.depth == 0:
             raise WalError("commit without a matching begin")
-        self._depth -= 1
-        if self._depth:
+        state.depth -= 1
+        if state.depth:
             return
-        txn, self._txn = self._txn, None
-        if self._txn_records:
-            crash_point("wal.commit.record")
-            self._stage(rec.commit_record(txn))
-            self._unflushed_commits += 1
-            if self.flush_policy == "commit" or (
-                self._unflushed_commits >= self.group_size
-            ):
-                self.flush()
-        self._txn_records = 0
+        txn, state.txn = state.txn, None
+        records, state.records = state.records, 0
+        with self._lock:
+            self._open_txns -= 1
+            if records:
+                crash_point("wal.commit.record")
+                self._stage(rec.commit_record(txn))
+                self._unflushed_commits += 1
+                if self.flush_policy == "commit" or (
+                    self._unflushed_commits >= self.group_size
+                ):
+                    self.flush()
 
     def abort(self) -> None:
-        """Leave the transaction without committing: staged records of
-        this transaction stay in the log but, lacking a ``commit``
-        record, recovery never replays them."""
+        """Leave the calling thread's transaction without committing:
+        staged records of this transaction stay in the log but, lacking
+        a ``commit`` record, recovery never replays them."""
         self._check_open()
-        if self._depth == 0:
+        state = self._state()
+        if state.depth == 0:
             raise WalError("abort without a matching begin")
-        self._depth -= 1
-        if self._depth == 0:
-            self._txn = None
-            self._txn_records = 0
+        state.depth -= 1
+        if state.depth == 0:
+            state.txn = None
+            state.records = 0
+            with self._lock:
+                self._open_txns -= 1
 
     # -- appends --------------------------------------------------------
 
@@ -226,13 +262,20 @@ class WriteAheadLog:
         frame instead of a record + ``commit`` pair (see
         ``docs/wal-format.md``)."""
         self._check_open()
-        if self._depth == 0:
-            payload["txn"] = self._next_txn
-            self._next_txn += 1
-            payload["c"] = 1
-            return self._append_autocommit_frame(rec.encode_frame(payload))
-        payload["txn"] = self._txn
-        return self._append_txn_frame(rec.encode_frame(payload))
+        state = self._state()
+        if state.depth == 0:
+            with self._lock:
+                payload["txn"] = self._next_txn
+                self._next_txn += 1
+                payload["c"] = 1
+                return self._append_autocommit_frame(
+                    rec.encode_frame(payload)
+                )
+        payload["txn"] = state.txn
+        with self._lock:
+            lsn = self._append_txn_frame(rec.encode_frame(payload))
+        state.records += 1
+        return lsn
 
     def append_insert(self, table: str, rows, epoch: int) -> int:
         """Stage an ``insert`` record through the pre-framed fast path
@@ -240,21 +283,29 @@ class WriteAheadLog:
         :func:`repro.wal.records.encode_insert_frame`); values the fast
         framer cannot take fall back to :meth:`append`."""
         self._check_open()
-        autocommit = self._depth == 0
-        frame = rec.encode_insert_frame(
-            table, rows, epoch,
-            self._next_txn if autocommit else self._txn,
-            autocommit,
-        )
+        state = self._state()
+        if state.depth == 0:
+            with self._lock:
+                frame = rec.encode_insert_frame(
+                    table, rows, epoch, self._next_txn, True
+                )
+                if frame is None:
+                    return self.append(
+                        rec.insert_record(table, rows, epoch, 0)
+                    )
+                self._next_txn += 1
+                return self._append_autocommit_frame(frame)
+        frame = rec.encode_insert_frame(table, rows, epoch, state.txn, False)
         if frame is None:
             return self.append(rec.insert_record(table, rows, epoch, 0))
-        if autocommit:
-            self._next_txn += 1
-            return self._append_autocommit_frame(frame)
-        return self._append_txn_frame(frame)
+        with self._lock:
+            lsn = self._append_txn_frame(frame)
+        state.records += 1
+        return lsn
 
     def _append_autocommit_frame(self, frame: bytes) -> int:
-        """Buffer one self-committed frame and apply the flush policy."""
+        """Buffer one self-committed frame and apply the flush policy.
+        Caller holds ``_lock``."""
         crash_point("wal.append.frame")
         lsn = self._tail_lsn
         self._buffer.extend(frame)
@@ -268,12 +319,12 @@ class WriteAheadLog:
         return lsn
 
     def _append_txn_frame(self, frame: bytes) -> int:
-        """Buffer one frame belonging to the open transaction."""
+        """Buffer one frame belonging to the calling thread's open
+        transaction (the caller counts it and holds ``_lock``)."""
         crash_point("wal.append.frame")
         lsn = self._tail_lsn
         self._buffer.extend(frame)
         self._tail_lsn += len(frame)
-        self._txn_records += 1
         self._appends.inc()
         return lsn
 
@@ -290,6 +341,10 @@ class WriteAheadLog:
         harness can land between the halves and leave a genuinely torn
         tail on disk."""
         self._check_open()
+        with self._lock:
+            self._flush_locked()
+
+    def _flush_locked(self) -> None:
         if not self._buffer:
             return
         data = bytes(self._buffer)
@@ -323,39 +378,43 @@ class WriteAheadLog:
         (recovery's input; the staged buffer is *not* included — it is
         exactly what a crash would lose)."""
         self._check_open()
-        data = self.path.read_bytes()
-        base = rec.decode_header(data, str(self.path))
-        frames, _, _ = rec.scan_frames(
-            data[rec.HEADER_SIZE:], base, str(self.path)
-        )
-        return frames
+        with self._lock:
+            data = self.path.read_bytes()
+            base = rec.decode_header(data, str(self.path))
+            frames, _, _ = rec.scan_frames(
+                data[rec.HEADER_SIZE:], base, str(self.path)
+            )
+            return frames
 
     def truncate_all(self) -> int:
         """Drop every record: start a fresh log file whose base LSN is
         the current durable end, via temp file + ``os.replace`` so a
         crash leaves either the old or the new log, never neither.
         Returns the new base LSN.  The checkpoint protocol calls this
-        last, after every sidecar has been published."""
+        last, after every sidecar has been published (and quiesced —
+        see :mod:`repro.wal.checkpoint` — so nothing can land in the
+        buffer between the flush and this truncation)."""
         self._check_open()
-        if self._buffer:
-            raise WalError("flush before truncating the log")
-        new_base = self._durable_end
-        temp = self.path.with_name(self.path.name + ".tmp")
-        crash_point("wal.truncate.temp")
-        with temp.open("wb") as handle:
-            handle.write(rec.encode_header(new_base))
-            handle.flush()
-            os.fsync(handle.fileno())
-        crash_point("wal.truncate.replace")
-        os.replace(temp, self.path)
-        self._handle.close()
-        self.base_lsn = new_base
-        self._durable_end = new_base + rec.HEADER_SIZE
-        self._tail_lsn = self._durable_end
-        self._handle = self.path.open("r+b")
-        self._handle.seek(0, os.SEEK_END)
-        self._log_bytes.set(self._durable_end - self.base_lsn)
-        return new_base
+        with self._lock:
+            if self._buffer:
+                raise WalError("flush before truncating the log")
+            new_base = self._durable_end
+            temp = self.path.with_name(self.path.name + ".tmp")
+            crash_point("wal.truncate.temp")
+            with temp.open("wb") as handle:
+                handle.write(rec.encode_header(new_base))
+                handle.flush()
+                os.fsync(handle.fileno())
+            crash_point("wal.truncate.replace")
+            os.replace(temp, self.path)
+            self._handle.close()
+            self.base_lsn = new_base
+            self._durable_end = new_base + rec.HEADER_SIZE
+            self._tail_lsn = self._durable_end
+            self._handle = self.path.open("r+b")
+            self._handle.seek(0, os.SEEK_END)
+            self._log_bytes.set(self._durable_end - self.base_lsn)
+            return new_base
 
 
 class TableWal:
@@ -389,6 +448,11 @@ class TableWal:
 
     def log_delete_delta(self, idx: int, epoch: int) -> None:
         self.wal.append(rec.delete_delta_record(self.table, idx, epoch, 0))
+
+    def log_update(self, positions, indices, rows, epoch: int) -> None:
+        self.wal.append(
+            rec.update_record(self.table, positions, indices, rows, epoch, 0)
+        )
 
     def log_compact(self, cutoff: int) -> None:
         self.wal.append(rec.compact_record(self.table, cutoff, 0))

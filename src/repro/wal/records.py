@@ -17,6 +17,12 @@ Record payloads (``"t"`` discriminates):
 ``insert``    ``table``, ``rows`` (encoded values), ``epoch``, ``txn``
 ``delmain``   ``table``, ``pos`` (main-store position), ``epoch``, ``txn``
 ``deldelta``  ``table``, ``idx`` (delta index), ``epoch``, ``txn``
+``update``    ``table``, ``mpos`` (main positions), ``didx`` (delta
+              indices), ``rows`` (encoded replacement values), ``epoch``
+              (the *first* sub-operation's epoch), ``txn`` — one UPDATE
+              statement as a single record instead of a delete+insert
+              pair per victim; older logs still carry the pair form and
+              recovery replays both
 ``compact``   ``table``, ``cutoff`` (fold epoch), ``txn``
 ``commit``    ``txn`` — marks every earlier record of ``txn`` durable
 
@@ -214,6 +220,25 @@ def delete_delta_record(table: str, idx: int, epoch: int, txn: int) -> dict:
     return {
         "t": "deldelta", "table": table, "idx": idx,
         "epoch": epoch, "txn": txn,
+    }
+
+
+def update_record(
+    table: str, positions, indices, rows, epoch: int, txn: int
+) -> dict:
+    """One UPDATE statement: delete ``positions`` from main and
+    ``indices`` from the delta, then append ``rows`` — epochs run
+    consecutively from ``epoch`` in that order (see
+    ``DeltaStore.replay_update``)."""
+    encode_value, _ = _value_codecs()
+    return {
+        "t": "update",
+        "table": table,
+        "mpos": [int(position) for position in positions],
+        "didx": [int(index) for index in indices],
+        "rows": [[encode_value(v) for v in row] for row in rows],
+        "epoch": epoch,
+        "txn": txn,
     }
 
 

@@ -88,6 +88,17 @@ def recover(engine, directory, wal, policy=None) -> int:
             store.replay_delete_main(payload["pos"], epoch)
         elif kind == "deldelta":
             store.replay_delete_delta(payload["idx"], epoch)
+        elif kind == "update":
+            # One UPDATE statement; its "epoch" is the first
+            # sub-operation's, so the <= check above is right — the
+            # statement is atomic w.r.t. checkpoints (emitted under the
+            # table's writer lock, which the checkpoint also holds).
+            store.replay_update(
+                payload["mpos"],
+                payload["didx"],
+                rec.decode_rows(payload["rows"]),
+                epoch,
+            )
         else:
             raise WalCorruptionError(
                 f"{wal.path}: unknown record type {kind!r} at lsn {lsn}"

@@ -102,14 +102,24 @@ class TestReadWriteScopes:
         db = seeded_db()
         with db.transaction() as tx:
             frozen = tx.execute("SELECT * FROM emp")
+            # DML applies to the scope's overlay immediately (returning
+            # its affected count) while the statement text buffers for
+            # commit replay.
             assert tx.execute(
                 "INSERT INTO emp VALUES (?, ?)", ("Smith", "Welding")
-            ) is None
-            tx.execute("UPDATE emp SET skill = 'Sonnets' "
-                       "WHERE name = 'Smith'")
+            ) == 1
+            assert tx.execute(
+                "UPDATE emp SET skill = 'Sonnets' WHERE name = 'Smith'"
+            ) == 1
             assert tx.pending_writes == 2
-            # Deferred writes: the pinned read never sees them.
-            assert tx.execute("SELECT * FROM emp") == frozen
+            # Read-your-writes: the scope sees its own buffered DML on
+            # top of the pinned view ...
+            assert tx.execute("SELECT * FROM emp") == (
+                frozen + [("Smith", "Sonnets")]
+            )
+            # ... while other sessions keep reading live state, where
+            # nothing has landed yet.
+            assert db.execute("SELECT * FROM emp") == frozen
         assert tx.state == "committed"
         assert ("Smith", "Sonnets") in db.execute("SELECT * FROM emp")
 
@@ -193,8 +203,10 @@ class TestTransactionsUnderWorkload:
 class TestDroppedTableScopes:
     """A pinned scope must be invalidated when its table is dropped —
     by SQL DROP TABLE *or* by an SMO that consumes the table — so a
-    name reused after the drop serves live state, never dropped rows,
-    to the stale scope (the PR-3 ROADMAP hazard)."""
+    name reused after the drop serves the replacement table, never
+    dropped rows, to the stale scope (the PR-3 ROADMAP hazard).  The
+    scope's first read of the reused name pins it on touch, so repeat
+    reads stay consistent from there on."""
 
     def test_smo_drop_invalidates_the_pinned_scope(self):
         db = seeded_db()
@@ -204,12 +216,16 @@ class TestDroppedTableScopes:
         db.execute("DECOMPOSE TABLE audit INTO audit (name), "
                    "note_log (name, note)")
         # ... and reuses the name.  The stale scope must see the new
-        # live table (one column now), not the dropped two-column rows.
+        # table (one column now), not the dropped two-column rows; the
+        # read pins the replacement on touch.
         rows = tx.execute("SELECT * FROM audit")
         assert rows == [("Jones",)]
         db.execute("INSERT INTO audit VALUES ('Reused')")
-        assert ("Reused",) in tx.execute("SELECT * FROM audit")
+        # Pinned on first touch: the later outside insert stays
+        # invisible to this scope.
+        assert tx.execute("SELECT * FROM audit") == [("Jones",)]
         tx.rollback()
+        assert ("Reused",) in db.execute("SELECT * FROM audit")
 
     def test_sql_drop_invalidates_other_scopes_too(self):
         db = seeded_db()
@@ -218,7 +234,7 @@ class TestDroppedTableScopes:
         db.execute("CREATE TABLE audit (n INT)")
         db.execute("INSERT INTO audit VALUES (7)")
         # The scope's pin died with the dropped table: reads of the
-        # reused name go to the live replacement.
+        # reused name go to the replacement table (pinned on touch).
         assert tx.execute("SELECT * FROM audit") == [(7,)]
         tx.rollback()
 
@@ -250,3 +266,68 @@ class TestDroppedTableScopes:
                        "note_log (name, note)")
             rows = list(adapter.scan_rows("audit"))
             assert rows == [("Jones",)]
+
+
+class TestPinOnFirstTouch:
+    """A table created by another session after ``begin()`` is missing
+    from the epoch vector; the scope pins it on first touch so repeat
+    reads stay stable (regression for the pin-on-create hole, where
+    such a table silently served live state forever)."""
+
+    def test_mid_scope_created_table_pins_on_first_touch(self):
+        db = seeded_db()
+        with db.transaction(read_only=True) as tx:
+            assert "late" not in tx.epoch_vector
+            db.execute("CREATE TABLE late (n INT)")
+            db.execute("INSERT INTO late VALUES (1)")
+            first = tx.execute("SELECT * FROM late")
+            assert first == [(1,)]
+            assert "late" in tx.epoch_vector
+            # The touch pinned it: later outside traffic is invisible.
+            db.execute("INSERT INTO late VALUES (2)")
+            db.execute("DELETE FROM late WHERE n = 1")
+            assert tx.execute("SELECT * FROM late") == first
+        assert db.execute("SELECT * FROM late") == [(2,)]
+
+    def test_writes_pin_the_created_table_too(self):
+        db = seeded_db()
+        with db.transaction() as tx:
+            db.execute("CREATE TABLE late (n INT)")
+            assert tx.execute("INSERT INTO late VALUES (7)") == 1
+            db.execute("INSERT INTO late VALUES (8)")  # outside, post-pin
+            assert tx.execute("SELECT * FROM late") == [(7,)]
+        # Commit replays against live state: both rows land.
+        assert sorted(db.execute("SELECT * FROM late")) == [(7,), (8,)]
+
+
+class TestReadYourWrites:
+    def test_scope_sees_its_own_updates_and_deletes_only(self):
+        db = seeded_db()
+        with db.transaction() as tx:
+            assert tx.execute("DELETE FROM emp WHERE name = 'Jones'") == 1
+            assert tx.execute(
+                "UPDATE emp SET skill = 'Brewing' WHERE name = 'Ellis'"
+            ) == 1
+            assert tx.execute("SELECT * FROM emp") == [("Ellis", "Brewing")]
+            # Other sessions keep reading live, untouched state.
+            assert sorted(db.execute("SELECT * FROM emp")) == [
+                ("Ellis", "Alchemy"), ("Jones", "Typing"),
+            ]
+        assert db.execute("SELECT * FROM emp") == [("Ellis", "Brewing")]
+
+    def test_insert_select_reads_the_scopes_own_writes(self):
+        db = seeded_db()
+        with db.transaction() as tx:
+            tx.execute("INSERT INTO emp VALUES ('Smith', 'Welding')")
+            copied = tx.execute("INSERT INTO audit SELECT * FROM emp")
+            assert copied == 3  # the two pinned rows plus the overlay's
+            assert len(tx.execute("SELECT * FROM audit")) == 4
+        assert len(db.execute("SELECT * FROM audit")) == 4
+
+    def test_rollback_discards_the_overlay(self):
+        db = seeded_db()
+        tx = db.transaction().begin()
+        tx.execute("DELETE FROM emp")
+        assert tx.execute("SELECT * FROM emp") == []
+        tx.rollback()
+        assert len(db.execute("SELECT * FROM emp")) == 2

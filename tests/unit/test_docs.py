@@ -207,7 +207,9 @@ class TestDurabilityDocs:
         # The table of record payloads must keep up with what recovery
         # actually dispatches on (see repro.wal.recovery).
         text = (REPO / "docs" / "wal-format.md").read_text()
-        for kind in ("insert", "delmain", "deldelta", "compact", "commit"):
+        for kind in (
+            "insert", "delmain", "deldelta", "update", "compact", "commit",
+        ):
             assert f"`{kind}`" in text, f"record type {kind} undocumented"
         assert '"c": 1' in text, "single-frame autocommit undocumented"
 
@@ -280,3 +282,49 @@ class TestExecutionPipelineDocs:
         assert (REPO / "benchmarks" / "bench_vectorized_scan.py").exists()
         ci = (REPO / ".github" / "workflows" / "ci.yml").read_text()
         assert "bench_vectorized_scan.py" in ci
+
+
+class TestConcurrencyDocs:
+    def test_architecture_documents_the_lock_order(self):
+        text = (REPO / "docs" / "ARCHITECTURE.md").read_text()
+        assert "## Concurrency" in text
+        assert "_commit_lock" in text, "lock-order head undocumented"
+        assert "writer lock" in text
+        assert "read-your-writes" in text
+        assert "start_compactor" in text
+
+    def test_migration_doc_covers_the_new_read_semantics(self):
+        text = (REPO / "docs" / "migration.md").read_text()
+        assert "read-your-writes" in text
+        assert "first touch" in text
+
+    def test_wal_format_doc_names_the_update_record(self):
+        text = (REPO / "docs" / "wal-format.md").read_text()
+        assert "`update`" in text
+        assert "`mpos`" in text and "`didx`" in text
+
+    def test_compactor_metrics_are_documented(self):
+        # The catalog must cover what a database that actually ran the
+        # background compactor exports.
+        from repro.db import Database
+
+        text = (REPO / "docs" / "observability.md").read_text()
+        db = Database()
+        db.execute("CREATE TABLE d (k INT)")
+        db.execute("INSERT INTO d VALUES (1)")
+        db.start_compactor(interval=0.001)
+        db.stop_compactor()
+        undocumented = [
+            name for name in db.metrics() if f"`{name}`" not in text
+        ]
+        assert not undocumented, (
+            f"observability.md catalog is missing {undocumented}"
+        )
+
+    def test_stress_suite_is_wired_into_ci(self):
+        assert (
+            REPO / "tests" / "integration" / "test_concurrency.py"
+        ).exists()
+        ci = (REPO / ".github" / "workflows" / "ci.yml").read_text()
+        assert "pytest-timeout" in ci, "CI lacks the deadlock guard"
+        assert "test_concurrency.py" in ci

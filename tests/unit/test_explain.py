@@ -151,9 +151,10 @@ class TestRetention:
 
 class TestTransactions:
     def test_explain_analyze_runs_against_the_pinned_state(self):
-        # Transactions buffer their writes until commit and read the
-        # epoch vector pinned at entry; EXPLAIN ANALYZE, being a read,
-        # observes exactly that frozen state.
+        # Transactions read the epoch vector pinned at entry plus their
+        # own buffered writes (read-your-writes); EXPLAIN ANALYZE,
+        # being a read, observes exactly that view — the scope's own
+        # insert, but not the concurrent one outside the pin.
         db = Database()
         db.execute("CREATE TABLE r (k INT, s STRING, KEY(k))")
         db.executemany("INSERT INTO r VALUES (?, ?)", ROWS)
@@ -162,7 +163,7 @@ class TestTransactions:
             db.execute("INSERT INTO r VALUES (1, 'y')")  # outside the pin
             rows = tx.execute("EXPLAIN ANALYZE SELECT * FROM r WHERE k = 1")
             by_operator = {row[0].strip(): row for row in rows}
-            assert by_operator["scan"][4] == len(ROWS)
+            assert by_operator["scan"][4] == len(ROWS) + 1
         # After commit both writes land and ANALYZE sees the live state.
         rows = db.execute("EXPLAIN ANALYZE SELECT * FROM r WHERE k = 1")
         by_operator = {row[0].strip(): row for row in rows}

@@ -394,3 +394,122 @@ class TestDatabaseDurability:
             assert db2.execute("SELECT k FROM r") == [
                 (k,) for k in list(range(8)) + [99]
             ]
+
+
+class TestUpdateRecord:
+    """One UPDATE statement logs a single ``update`` record instead of
+    a delete+insert pair per victim; the pair form of older logs stays
+    replayable, and the single record costs roughly half the bytes."""
+
+    def test_one_update_statement_is_one_record(self, tmp_path):
+        db = Database(tmp_path / "cat", durability="commit")
+        db.execute("CREATE TABLE r (k INT, s STRING)")
+        for k in range(4):
+            db.execute("INSERT INTO r VALUES (?, ?)", (k, "v"))
+        db.checkpoint()  # start the log empty; watch the UPDATE alone
+        db.execute("UPDATE r SET s = 'z' WHERE s = 'v'")
+        payloads = [payload for _, payload in db._wal.scan()]
+        # One ``update`` record for the whole statement (plus its
+        # commit) — no per-victim delete+insert pairs.
+        assert [payload["t"] for payload in payloads] == ["update", "commit"]
+        update = payloads[0]
+        assert update["table"] == "r"
+        assert len(update["rows"]) == 4
+        db.close()
+
+    def test_update_across_main_and_delta_survives_a_crash(self, tmp_path):
+        from repro.delta import CompactionPolicy
+
+        db = Database(
+            tmp_path / "cat",
+            durability="commit",
+            policy=CompactionPolicy.never(),
+        )
+        db.execute("CREATE TABLE r (k INT, s STRING)")
+        for k in range(4):
+            db.execute("INSERT INTO r VALUES (?, ?)", (k, "old"))
+        db.compact("r")  # victims now sit in the main store ...
+        db.execute("INSERT INTO r VALUES (8, 'old')")  # ... and the delta
+        db.execute("UPDATE r SET s = 'new' WHERE s = 'old'")
+        (update,) = [
+            payload for _, payload in db._wal.scan()
+            if payload["t"] == "update"
+        ]
+        assert update["mpos"] and update["didx"]  # both stores hit
+        # Crash: abandon the object without close().
+        with Database(tmp_path / "cat", durability="commit") as db2:
+            assert sorted(db2.execute("SELECT * FROM r")) == [
+                (k, "new") for k in [0, 1, 2, 3, 8]
+            ]
+
+    def test_the_old_pair_form_still_replays(self, tmp_path):
+        db = Database(tmp_path / "cat", durability="commit")
+        db.execute("CREATE TABLE r (k INT, s STRING)")
+        db.execute("INSERT INTO r VALUES (1, 'a')")
+        db.execute("INSERT INTO r VALUES (2, 'b')")
+        # Hand-log an update the way older logs carried it: a delete
+        # plus a re-insert per victim, in one transaction.
+        epoch = db.engine.mutable("r").epoch
+        wal = db._wal
+        wal.begin()
+        wal.append(rec.delete_delta_record("r", 0, epoch + 1, 0))
+        wal.append(rec.insert_record("r", [(1, "z")], epoch + 2, 0))
+        wal.commit()
+        # Crash: abandon the object without close().
+        with Database(tmp_path / "cat", durability="commit") as db2:
+            assert db2.execute("SELECT * FROM r") == [(2, "b"), (1, "z")]
+
+    def test_update_record_roughly_halves_the_pair_form_bytes(self):
+        rows = [(k, "value-%02d" % k) for k in range(16)]
+        positions = list(range(16))
+        single = rec.encode_frame(
+            rec.update_record("r", positions, [], rows, 5, 1)
+        )
+        pair = b"".join(
+            rec.encode_frame(rec.delete_main_record("r", pos, 5, 1))
+            + rec.encode_frame(rec.insert_record("r", [row], 6, 1))
+            for pos, row in zip(positions, rows)
+        )
+        assert len(single) <= 0.55 * len(pair)
+
+
+class TestCommitFailureDurability:
+    """A transaction whose replay fails mid-commit acks the failure
+    only after its applied prefix is durable: the caller is told the
+    prefix landed, so the prefix must survive a crash right after the
+    ack — while a crash *before* the commit record rolls the whole
+    transaction back (the caller never saw the ack, so losing the
+    prefix is correct)."""
+
+    def _failing_commit(self, tmp_path):
+        # Group policy with a huge window: only the failure path's
+        # forced flush can make the prefix durable.
+        db = Database(tmp_path / "cat", durability="group", group_size=64)
+        db.execute("CREATE TABLE a (k INT)")
+        db.execute("CREATE TABLE b (k INT)")
+        tx = db.transaction().begin()
+        tx.execute("INSERT INTO a VALUES (1)")
+        tx.execute("INSERT INTO b VALUES (2)")
+        db.execute("DROP TABLE b")  # the second statement now fails
+        return db, tx
+
+    def test_applied_prefix_survives_a_crash_after_the_ack(self, tmp_path):
+        db, tx = self._failing_commit(tmp_path)
+        with pytest.raises(Exception, match="statement 2"):
+            tx.commit()
+        assert tx.state == "commit-failed"
+        # Crash: abandon the object without close().
+        with Database(tmp_path / "cat", durability="commit") as db2:
+            assert db2.execute("SELECT k FROM a") == [(1,)]
+
+    def test_crash_before_the_commit_record_rolls_back(self, tmp_path):
+        db, tx = self._failing_commit(tmp_path)
+        crashed, _ = run_to_crash(
+            tx.commit, "txn.commit.statement-failed"
+        )
+        assert crashed
+        # Crash: abandon the object without close().  The prefix's
+        # records never got their commit record, so recovery drops
+        # the whole transaction.
+        with Database(tmp_path / "cat", durability="commit") as db2:
+            assert db2.execute("SELECT k FROM a") == []
