@@ -1,0 +1,261 @@
+#!/usr/bin/env python3
+"""Network-server benchmark: what the wire costs, and what concurrency
+buys back.
+
+Two scenarios over the same delta-backed storage:
+
+* ``round_trip`` — the mixed read/write stream driven twice with
+  identical pre-built operations: in-process through
+  :meth:`repro.db.Session.execute`, and over loopback TCP through
+  :meth:`repro.client.Connection.execute` against a
+  :class:`~repro.server.CodsServer`.  The wire adds JSON framing plus
+  one (or, for batched SELECTs, a few) socket round trips per
+  operation, so the honest gate is *added latency per operation*:
+  ``added_ms_per_op`` must stay under ``--max-op-overhead-ms`` (the
+  overall slowdown factor is reported but not gated — full scans
+  serialize every row, and that factor says more about result size
+  than about the server).
+
+* ``concurrency`` — 8 clients on their own connections and threads
+  insert disjoint key ranges with point reads mixed in, against one
+  server over one shared catalog.  Reported: aggregate throughput and
+  its ratio to a single client doing the same per-client work
+  (``concurrency_speedup``); the final row count is checked against
+  the oracle so a lost write fails the bench, not just slows it.
+  Clients here run in the *same* Python process as the server, so the
+  GIL bounds the speedup well under 1.0 — the figure tracks
+  contention overhead across revisions, not parallel scaling.
+
+Results go to ``BENCH_server.json``.
+
+    python benchmarks/bench_server.py [--rows N] [--ops N] [--out F]
+"""
+
+from __future__ import annotations
+
+import argparse
+import threading
+import time
+
+from repro.bench.exporters import server_json
+from repro.client import connect
+from repro.db import Database
+from repro.delta import CompactionPolicy
+from repro.server import CodsServer
+from repro.workload.readwrite import MixedReadWriteWorkload
+
+DEFAULT_ROWS = 5_000
+DEFAULT_OPS = 400
+MAX_OP_OVERHEAD_MS = 10.0
+CONCURRENT_CLIENTS = 8
+OPS_PER_CLIENT = 150
+
+
+def _policy() -> CompactionPolicy:
+    return CompactionPolicy(max_delta_rows=1024)
+
+
+def _fresh_db(workload: MixedReadWriteWorkload | None = None) -> Database:
+    db = Database(policy=_policy())
+    if workload is not None:
+        db.load_table(workload.build())
+    return db
+
+
+def _run_session(workload, ops) -> float:
+    session = _fresh_db(workload).session()
+    started = time.perf_counter()
+    workload.apply_to_session(session, operations=ops)
+    return time.perf_counter() - started
+
+
+def _run_client(workload, ops) -> float:
+    server = CodsServer(_fresh_db(workload), "127.0.0.1", 0)
+    server.start()
+    try:
+        with connect(*server.address) as conn:
+            started = time.perf_counter()
+            workload.apply_to_client(conn, operations=ops)
+            return time.perf_counter() - started
+    finally:
+        server.stop()
+
+
+def bench_round_trip(
+    workload: MixedReadWriteWorkload,
+    repeats: int = 3,
+    max_op_overhead_ms: float = MAX_OP_OVERHEAD_MS,
+) -> dict:
+    """Best-of-``repeats`` wall time per path, interleaved (session,
+    client, session, …) so drift hits both paths alike."""
+    ops = workload.operations()
+    best = {"session": None, "client": None}
+    for _ in range(repeats):
+        for label, runner in (("session", _run_session),
+                              ("client", _run_client)):
+            seconds = runner(workload, ops)
+            if best[label] is None or seconds < best[label]:
+                best[label] = seconds
+    n_ops = len(ops)
+    added_ms = (best["client"] - best["session"]) / n_ops * 1e3
+    results = {
+        "operations": n_ops,
+        "repeats": repeats,
+        "session_seconds": best["session"],
+        "client_seconds": best["client"],
+        "session_ops_per_second": n_ops / max(best["session"], 1e-9),
+        "client_ops_per_second": n_ops / max(best["client"], 1e-9),
+        "added_ms_per_op": added_ms,
+        "slowdown_factor": best["client"] / max(best["session"], 1e-9),
+        "max_op_overhead_ms": max_op_overhead_ms,
+    }
+    if added_ms > max_op_overhead_ms:
+        raise AssertionError(
+            f"wire adds {added_ms:.2f} ms per operation, over the "
+            f"{max_op_overhead_ms:.1f} ms bound"
+        )
+    return results
+
+
+def _client_script(client: int, n_ops: int):
+    """Disjoint-key inserts with a point read every 8th op."""
+    base = client * 100_000
+    for index in range(n_ops):
+        if index % 8 == 7:
+            yield ("SELECT * FROM C WHERE k = ?", (base + index - 1,)), True
+        else:
+            yield (
+                "INSERT INTO C VALUES (?, ?)",
+                (base + index, f"c{client}op{index}"),
+            ), False
+
+
+def _drive(conn, client: int, n_ops: int, failures: list) -> None:
+    try:
+        for (sql, params), _is_read in _client_script(client, n_ops):
+            conn.execute(sql, params)
+    except Exception as exc:  # noqa: BLE001 - recorded, re-raised by caller
+        failures.append(f"client {client}: {exc!r}")
+
+
+def bench_concurrency(
+    n_clients: int = CONCURRENT_CLIENTS,
+    ops_per_client: int = OPS_PER_CLIENT,
+) -> dict:
+    """Aggregate throughput of ``n_clients`` concurrent connections vs
+    one client doing the same per-client work, on fresh servers."""
+
+    def run(clients: int) -> float:
+        db = _fresh_db()
+        db.execute("CREATE TABLE C (k INT, v STRING)")
+        server = CodsServer(db, "127.0.0.1", 0)
+        server.start()
+        try:
+            conns = [connect(*server.address) for _ in range(clients)]
+            failures: list = []
+            threads = [
+                threading.Thread(
+                    target=_drive, args=(conn, i, ops_per_client, failures)
+                )
+                for i, conn in enumerate(conns)
+            ]
+            started = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(120)
+            seconds = time.perf_counter() - started
+            if failures:
+                raise AssertionError("; ".join(failures))
+            expected = clients * sum(
+                1 for _, is_read in _client_script(0, ops_per_client)
+                if not is_read
+            )
+            count = len(conns[0].execute("SELECT * FROM C"))
+            if count != expected:
+                raise AssertionError(
+                    f"{clients} client(s): {count} rows, expected {expected}"
+                )
+            for conn in conns:
+                conn.close()
+            return seconds
+        finally:
+            server.stop()
+
+    single = run(1)
+    concurrent = run(n_clients)
+    total_ops = n_clients * ops_per_client
+    return {
+        "clients": n_clients,
+        "ops_per_client": ops_per_client,
+        "single_client_seconds": single,
+        "single_client_ops_per_second": ops_per_client / max(single, 1e-9),
+        "concurrent_seconds": concurrent,
+        "aggregate_ops_per_second": total_ops / max(concurrent, 1e-9),
+        "concurrency_speedup": (
+            (total_ops / max(concurrent, 1e-9))
+            / max(ops_per_client / max(single, 1e-9), 1e-9)
+        ),
+    }
+
+
+def run(
+    nrows: int,
+    n_operations: int,
+    max_op_overhead_ms: float = MAX_OP_OVERHEAD_MS,
+) -> dict:
+    workload = MixedReadWriteWorkload(
+        nrows, n_operations, n_employees=max(1, min(100, nrows // 10))
+    )
+    return {
+        "benchmark": "server",
+        "rows": nrows,
+        "operations": n_operations,
+        "round_trip": bench_round_trip(
+            workload, max_op_overhead_ms=max_op_overhead_ms
+        ),
+        "concurrency": bench_concurrency(),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark the network server against in-process calls"
+    )
+    parser.add_argument("--rows", type=int, default=DEFAULT_ROWS,
+                        help="initial main-store rows")
+    parser.add_argument("--ops", type=int, default=DEFAULT_OPS,
+                        help="operations in the mixed stream")
+    parser.add_argument("--out", type=str, default="BENCH_server.json",
+                        help="output JSON path")
+    parser.add_argument(
+        "--max-op-overhead-ms", type=float, default=MAX_OP_OVERHEAD_MS,
+        help="fail when the wire adds more than this many milliseconds "
+             "per operation (CI smoke passes a looser bound)",
+    )
+    args = parser.parse_args(argv)
+
+    payload = run(args.rows, args.ops, args.max_op_overhead_ms)
+    server_json(payload, args.out)
+
+    trip = payload["round_trip"]
+    conc = payload["concurrency"]
+    print(f"server @ {args.rows} rows, {args.ops} ops")
+    print(
+        f"  in-process: {trip['session_ops_per_second']:,.0f} ops/s; "
+        f"over the wire: {trip['client_ops_per_second']:,.0f} ops/s "
+        f"({trip['added_ms_per_op']:+.3f} ms/op, "
+        f"limit {trip['max_op_overhead_ms']:.1f} ms; "
+        f"{trip['slowdown_factor']:.1f}x overall)"
+    )
+    print(
+        f"  {conc['clients']} clients x {conc['ops_per_client']} ops: "
+        f"{conc['aggregate_ops_per_second']:,.0f} ops/s aggregate "
+        f"({conc['concurrency_speedup']:.2f}x one client)"
+    )
+    print(f"  wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -119,6 +119,17 @@ def load_wal_commit_json(path) -> dict:
     return load_bench_json(path)
 
 
+def server_json(payload: dict, path) -> None:
+    """Write the network-server benchmark record
+    (``benchmarks/bench_server.py``) as indented JSON."""
+    bench_json(payload, path)
+
+
+def load_server_json(path) -> dict:
+    """Read back a network-server benchmark record."""
+    return load_bench_json(path)
+
+
 def load_series_csv(path) -> list[dict]:
     """Read back a series CSV (values re-typed)."""
     path = Path(path)

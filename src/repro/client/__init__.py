@@ -1,0 +1,18 @@
+"""repro.client — the DB-API-flavored client for :mod:`repro.server`.
+
+::
+
+    from repro.client import connect
+
+    with connect(host, port) as conn:
+        conn.execute("INSERT INTO r VALUES (?, ?)", (1, "a"))
+        rows = conn.execute("SELECT * FROM r")
+
+See :mod:`repro.client.connection` for the full surface
+(``Connection``, ``Cursor``, ``RemoteTransaction``) and
+``docs/server.md`` for the wire protocol underneath.
+"""
+
+from repro.client.connection import Connection, Cursor, RemoteTransaction, connect
+
+__all__ = ["Connection", "Cursor", "RemoteTransaction", "connect"]

@@ -1,0 +1,427 @@
+"""The DB-API-flavored network client.
+
+:func:`connect` opens a socket to a :class:`~repro.server.CodsServer`
+and returns a :class:`Connection` with the same code shape the
+in-process façade has — ``execute``/``executemany``/``cursor``/
+``transaction`` — so examples, the workload generator and tests drive
+a remote catalog with the code they drive a :class:`~repro.db.Session`
+with::
+
+    from repro.client import connect
+
+    with connect(host, port) as conn:
+        conn.execute("CREATE TABLE r (k INT, s STRING)")
+        conn.executemany("INSERT INTO r VALUES (?, ?)",
+                         [(1, "a"), (2, "b")])
+        with conn.transaction() as tx:
+            tx.execute("INSERT INTO r VALUES (?, ?)", (3, "c"))
+            rows = tx.execute("SELECT * FROM r")   # sees the 3rd row
+        for row in conn.cursor().execute("SELECT * FROM r"):
+            ...
+
+Result sets stream from the server in bounded batches
+(``fetch_rows`` rows per frame): a :class:`Cursor` refills its buffer
+with ``fetch`` frames as ``fetchone``/``fetchmany``/``fetchall``
+drain it, so the client never holds more than one batch beyond what
+the caller keeps.  Parameters are qmark-style, bound server-side.
+Errors raised by the server arrive as the *same*
+:class:`~repro.errors.CodsError` subclasses (see
+:mod:`repro.server.protocol`); transport failures raise
+:class:`~repro.errors.NetworkError`.
+
+The conversation is synchronous, so a :class:`Connection` is not
+thread-safe — give each thread its own (the stress tests and the
+benchmark do exactly that).
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+from repro.errors import CapabilityError, NetworkError, TransactionError
+from repro.server.protocol import (
+    DEFAULT_FETCH_ROWS,
+    DEFAULT_MAX_FRAME,
+    PREAMBLE,
+    PREAMBLE_SIZE,
+    check_preamble,
+    decode_rows,
+    encode_row,
+    encode_rows,
+    raise_remote,
+    read_frame,
+    recv_exactly,
+    write_frame,
+)
+
+
+def connect(
+    host: str = "127.0.0.1",
+    port: int = 7437,
+    *,
+    auth_token: str | None = None,
+    timeout: float | None = None,
+    fetch_rows: int = DEFAULT_FETCH_ROWS,
+    max_frame: int = DEFAULT_MAX_FRAME,
+) -> "Connection":
+    """Open a connection (preamble exchange + ``hello``) and return it."""
+    return Connection(
+        host, port,
+        auth_token=auth_token, timeout=timeout,
+        fetch_rows=fetch_rows, max_frame=max_frame,
+    )
+
+
+class Connection:
+    """One socket to a CODS server; create via :func:`connect`."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        auth_token: str | None = None,
+        timeout: float | None = None,
+        fetch_rows: int = DEFAULT_FETCH_ROWS,
+        max_frame: int = DEFAULT_MAX_FRAME,
+    ):
+        self.fetch_rows = max(1, int(fetch_rows))
+        self.max_frame = max_frame
+        self._closed = False
+        self._lock = threading.Lock()
+        try:
+            self._sock = socket.create_connection((host, port), timeout)
+        except OSError as exc:
+            raise NetworkError(
+                f"cannot connect to {host}:{port}: {exc}"
+            ) from exc
+        try:
+            # Small request/response frames: disable Nagle so writes go
+            # out immediately instead of waiting on the peer's ACK.
+            self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._sock.sendall(PREAMBLE)
+            self._reader = self._sock.makefile("rb")
+            check_preamble(
+                recv_exactly(self._reader, PREAMBLE_SIZE, "server"), "server"
+            )
+            self._auth_token = auth_token
+            self.server_info = self._request(
+                {"cmd": "hello", "token": auth_token}
+            )
+        except BaseException:
+            self._abandon()
+            raise
+
+    def tables(self) -> list[str]:
+        """A fresh sorted table list (re-runs the ``hello`` exchange,
+        which also refreshes :attr:`server_info`)."""
+        self.server_info = self._request(
+            {"cmd": "hello", "token": self._auth_token}
+        )
+        return self.server_info["tables"]
+
+    # -- the synchronous round trip -------------------------------------
+
+    def _request(self, payload: dict) -> dict:
+        with self._lock:
+            if self._closed:
+                raise NetworkError("connection is closed")
+            try:
+                write_frame(self._sock, payload, self.max_frame, "server")
+                response, _ = read_frame(
+                    self._reader, self.max_frame, "server"
+                )
+            except NetworkError:
+                # The stream is broken (server gone, session reaped):
+                # no further request can succeed on this socket.
+                self._abandon()
+                raise
+        if not response.get("ok"):
+            raise_remote(response)
+        return response
+
+    # -- execution ------------------------------------------------------
+
+    def execute(self, sql: str, params=None):
+        """One statement; returns what :meth:`repro.db.Session.execute`
+        would — a fully fetched row list for SELECT/EXPLAIN, a count
+        for DML, ``None`` for DDL, and a counters dict for SMOs."""
+        cursor = self.cursor()
+        cursor.execute(sql, params)
+        if cursor.description is not None:
+            return cursor.fetchall()
+        if cursor.rowcount >= 0:
+            return cursor.rowcount
+        return cursor.status
+
+    def executemany(self, sql: str, param_rows) -> int:
+        """One parameterized statement per tuple, in a single round
+        trip; returns the summed affected-row count."""
+        response = self._request({
+            "cmd": "executemany",
+            "sql": sql,
+            "param_rows": encode_rows(param_rows),
+        })
+        return response["count"]
+
+    def cursor(self) -> "Cursor":
+        return Cursor(self)
+
+    # -- transactions ---------------------------------------------------
+
+    def begin(self, read_only: bool = False) -> "RemoteTransaction":
+        """Open a server-side transaction scope on this connection
+        (pinned reads + read-your-writes across round trips)."""
+        self._request({"cmd": "begin", "read_only": read_only})
+        return RemoteTransaction(self)
+
+    def commit(self) -> int:
+        return self._request({"cmd": "commit"})["count"]
+
+    def rollback(self) -> int:
+        return self._request({"cmd": "rollback"})["discarded"]
+
+    def transaction(self, read_only: bool = False) -> "RemoteTransaction":
+        """Context-manager flavor: commit on clean exit, roll back on
+        exception — the remote shape of ``db.transaction()``."""
+        return self.begin(read_only=read_only)
+
+    # -- observability --------------------------------------------------
+
+    def metrics(self, fmt: str | None = None):
+        """The server database's metrics (see ``Database.metrics``)."""
+        return self._request({"cmd": "metrics", "fmt": fmt})["metrics"]
+
+    def slow_queries(self) -> list[dict]:
+        """The server's slow-query log (``Database.slow_query_log``)."""
+        return self._request({"cmd": "metrics"})["slow_queries"]
+
+    # -- lifecycle ------------------------------------------------------
+
+    def _abandon(self) -> None:
+        self._closed = True
+        # Close the makefile reader too: it holds an io-ref on the
+        # socket, and without this the fd (and the server's view of
+        # the connection) would outlive the Connection object.
+        try:
+            self._reader.close()
+        except (OSError, AttributeError):
+            pass  # reader may not exist if connect itself failed
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def close(self) -> None:
+        """Say goodbye and close the socket (idempotent; transport
+        errors during goodbye are swallowed — the server cleans up
+        either way)."""
+        if self._closed:
+            return
+        try:
+            self._request({"cmd": "goodbye"})
+        except NetworkError:
+            pass
+        self._abandon()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"Connection({self._sock.getsockname()!r}, {state})"
+
+
+class RemoteTransaction:
+    """The context-manager handle :meth:`Connection.transaction`
+    returns.  ``execute`` goes through the connection (the server
+    routes it into the open scope); exit commits or rolls back."""
+
+    def __init__(self, connection: Connection):
+        self._connection = connection
+        self._done = False
+
+    def execute(self, sql: str, params=None):
+        return self._connection.execute(sql, params)
+
+    def commit(self) -> int:
+        self._done = True
+        return self._connection.commit()
+
+    def rollback(self) -> int:
+        self._done = True
+        return self._connection.rollback()
+
+    def __enter__(self) -> "RemoteTransaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._done:
+            return
+        if exc_type is None:
+            self.commit()
+        else:
+            try:
+                self.rollback()
+            except (NetworkError, TransactionError):
+                pass  # the original exception matters more
+
+
+class Cursor:
+    """DB-API-shaped access with transparent batch-wise fetch.
+
+    ``description`` is a sequence of 7-tuples after a SELECT/EXPLAIN
+    and ``None`` otherwise; ``rowcount`` is the affected count after
+    DML and ``-1`` otherwise; ``status`` carries an SMO's counters
+    dict.  Iterating (or ``fetch*``) pulls further batches from the
+    server on demand."""
+
+    arraysize = 1
+
+    def __init__(self, connection: Connection):
+        self.connection = connection
+        self.description = None
+        self.rowcount = -1
+        self.status: dict | None = None
+        self._buffer: list = []
+        self._position = 0
+        self._cursor_id: int | None = None
+        self._done = True
+        self._has_result = False
+        self._closed = False
+
+    # -- execution ------------------------------------------------------
+
+    def _reset(self) -> None:
+        self._finish_remote()
+        self.description = None
+        self.rowcount = -1
+        self.status = None
+        self._buffer = []
+        self._position = 0
+        self._cursor_id = None
+        self._done = True
+        self._has_result = False
+
+    def execute(self, sql: str, params=None) -> "Cursor":
+        self._check_open()
+        self._reset()
+        response = self.connection._request({
+            "cmd": "execute",
+            "sql": sql,
+            "params": encode_row(params) if params is not None else None,
+            "fetch": self.connection.fetch_rows,
+        })
+        kind = response.get("kind")
+        if kind == "rows":
+            self.description = tuple(
+                (name, None, None, None, None, None, None)
+                for name in response["columns"]
+            )
+            self._buffer = decode_rows(response["rows"])
+            self._done = response["done"]
+            self._cursor_id = response.get("cursor")
+            self._has_result = True
+        elif kind == "count":
+            self.rowcount = response["count"]
+        elif kind == "status":
+            self.status = response["summary"]
+        return self
+
+    def executemany(self, sql: str, param_rows) -> "Cursor":
+        self._check_open()
+        self._reset()
+        self.rowcount = self.connection.executemany(sql, param_rows)
+        return self
+
+    # -- fetching -------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise CapabilityError("cursor is closed")
+
+    def _refill(self) -> bool:
+        """Pull the next batch from the server; returns False when the
+        result set is exhausted."""
+        if self._done:
+            return False
+        response = self.connection._request({
+            "cmd": "fetch",
+            "cursor": self._cursor_id,
+            "n": self.connection.fetch_rows,
+        })
+        self._buffer = decode_rows(response["rows"])
+        self._position = 0
+        self._done = response["done"]
+        if self._done:
+            self._cursor_id = None
+        return bool(self._buffer)
+
+    def fetchone(self):
+        self._check_open()
+        if not self._has_result:
+            raise CapabilityError("no result set; execute a SELECT first")
+        if self._position >= len(self._buffer) and not self._refill():
+            return None
+        row = self._buffer[self._position]
+        self._position += 1
+        return row
+
+    def fetchmany(self, size: int | None = None) -> list:
+        count = self.arraysize if size is None else size
+        out = []
+        while len(out) < count:
+            row = self.fetchone()
+            if row is None:
+                break
+            out.append(row)
+        return out
+
+    def fetchall(self) -> list:
+        out = []
+        while True:
+            row = self.fetchone()
+            if row is None:
+                return out
+            out.append(row)
+
+    def __iter__(self):
+        while True:
+            row = self.fetchone()
+            if row is None:
+                return
+            yield row
+
+    # -- lifecycle ------------------------------------------------------
+
+    def _finish_remote(self) -> None:
+        """Release a half-streamed server-side cursor."""
+        if self._cursor_id is not None and not self.connection.closed:
+            try:
+                self.connection._request(
+                    {"cmd": "close_cursor", "cursor": self._cursor_id}
+                )
+            except NetworkError:
+                pass
+            self._cursor_id = None
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._finish_remote()
+        self._closed = True
+        self._buffer = []
+
+    def __enter__(self) -> "Cursor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -104,6 +104,14 @@ class Database:
         self._closed = False
         self._wal: WriteAheadLog | None = None
         self._compactor: BackgroundCompactor | None = None
+        # close() and start/stop_compactor() are callable from any
+        # thread (the network server's shutdown path races its handler
+        # threads): the close lock makes double-close a no-op whatever
+        # the interleaving, and the compactor lock makes the
+        # swap-and-stop handoff atomic so two concurrent stops never
+        # both stop (and double-raise from) the same thread.
+        self._close_lock = threading.Lock()
+        self._compactor_lock = threading.Lock()
         # Head of the system lock order (see docs/ARCHITECTURE.md,
         # "Concurrency"): transaction commits, checkpoints and DDL-
         # driven checkpoints serialize here BEFORE taking any table
@@ -254,22 +262,25 @@ class Database:
             self.checkpoint()
 
     def close(self, save: bool | None = None) -> None:
-        """Close the database (idempotent).  ``save`` defaults to
-        "write back if a catalog directory is attached"."""
-        if self._closed:
-            return
-        self.stop_compactor()
-        if save is None:
-            save = (
-                self.path is not None
-                and backend_spec(self.backend).saver is not None
-            )
-        if save:
-            self.save()
-        if self._wal is not None:
-            # Flushes any acked-but-buffered group commits.
-            self._wal.close()
-        self._closed = True
+        """Close the database (idempotent, and safe to call from
+        several threads at once — the server's shutdown path does).
+        ``save`` defaults to "write back if a catalog directory is
+        attached"."""
+        with self._close_lock:
+            if self._closed:
+                return
+            self.stop_compactor()
+            if save is None:
+                save = (
+                    self.path is not None
+                    and backend_spec(self.backend).saver is not None
+                )
+            if save:
+                self.save()
+            if self._wal is not None:
+                # Flushes any acked-but-buffered group commits.
+                self._wal.close()
+            self._closed = True
 
     def __enter__(self) -> "Database":
         return self
@@ -374,20 +385,23 @@ class Database:
         and :meth:`close` stops it.  Returns the compactor."""
         self._check_open()
         self._require_compaction()
-        if self._compactor is not None and self._compactor.running:
+        with self._compactor_lock:
+            if self._compactor is not None and self._compactor.running:
+                return self._compactor
+            kwargs = {}
+            if interval is not None:
+                kwargs["interval"] = interval
+            if columns is not None:
+                kwargs["columns"] = columns
+            self._compactor = BackgroundCompactor(self, **kwargs).start()
             return self._compactor
-        kwargs = {}
-        if interval is not None:
-            kwargs["interval"] = interval
-        if columns is not None:
-            kwargs["columns"] = columns
-        self._compactor = BackgroundCompactor(self, **kwargs).start()
-        return self._compactor
 
     def stop_compactor(self) -> None:
-        """Stop the background compactor if one is running (idempotent;
-        re-raises anything the thread died on)."""
-        compactor, self._compactor = self._compactor, None
+        """Stop the background compactor if one is running (idempotent
+        and thread-safe; re-raises anything the thread died on, to
+        exactly one caller)."""
+        with self._compactor_lock:
+            compactor, self._compactor = self._compactor, None
         if compactor is not None:
             compactor.stop()
 

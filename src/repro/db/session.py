@@ -106,6 +106,20 @@ class Session:
         self.database = database
         self.adapter = adapter if adapter is not None else database.adapter
         self.executor = SqlExecutor(self.adapter)
+        self._closed = False
+
+    # -- lifecycle ------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Mark this session closed (idempotent): further ``execute``
+        calls raise.  Sessions hold no resources of their own — this
+        exists so long-lived owners (the network server's per-connection
+        sessions, notably the idle reaper) can fence off late use."""
+        self._closed = True
 
     # -- observability ---------------------------------------------------
 
@@ -135,6 +149,8 @@ class Session:
         statements at or over it are appended to
         ``database.slow_query_log``.
         """
+        if self._closed:
+            raise CapabilityError("session is closed")
         self.database._check_open()
         threshold = self.database.slow_query_seconds
         if threshold is None:
@@ -231,9 +247,10 @@ class Session:
 
     # -- description helper ---------------------------------------------
 
-    def _select_columns(self, select: Select) -> tuple[str, ...]:
+    def select_columns(self, select: Select) -> tuple[str, ...]:
         """The output column names of a SELECT, mirroring the
-        executor's projection rules."""
+        executor's projection rules (the network server uses this to
+        ship a result set's column list alongside the first batch)."""
         if select.columns is not None:
             return tuple(select.columns)
         left = self.adapter.schema(select.table).column_names
@@ -311,7 +328,7 @@ class Cursor:
             self._rows = list(result)
             self.description = tuple(
                 (name, None, None, None, None, None, None)
-                for name in self.session._select_columns(select)
+                for name in self.session.select_columns(select)
             )
             if self.session.trace_queries:
                 self.trace = self.session.last_trace

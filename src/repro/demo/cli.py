@@ -258,7 +258,8 @@ class DemoSession:
 
     def cmd_stats(self, fmt: str = "") -> None:
         """Dump the metrics registry (plain, JSON lines or Prometheus
-        text — the same exporters ``db.metrics(fmt)`` serves)."""
+        text — the same exporters ``db.metrics(fmt)`` serves), then the
+        slow-query log when one is armed."""
         fmt = fmt.strip().lower()
         if fmt in ("json", "prometheus"):
             self._print(self.db.metrics(fmt))
@@ -274,6 +275,7 @@ class DemoSession:
                     self._print(f"{name}: count=0")
             else:
                 self._print(f"{name}: {value}")
+        print_slow_queries(self.db.slow_query_log, self._print)
 
     def cmd_sql(self, statement: str) -> None:
         """One statement through the façade: SELECT prints rows, DML
@@ -381,6 +383,113 @@ class DemoSession:
             self.handle(line)
 
 
+def print_slow_queries(entries, out_line) -> None:
+    """Render a slow-query log (local deque or remote list) via
+    ``out_line`` — shared by the local and remote ``stats`` commands."""
+    entries = list(entries)
+    if not entries:
+        return
+    out_line(f"slow queries ({len(entries)}):")
+    for entry in entries:
+        out_line(
+            f"  {entry['seconds'] * 1e3:8.2f} ms  {entry['statement']}"
+        )
+
+
+_REMOTE_HELP = """\
+Commands (remote REPL over repro.client):
+  sql <statement>     run one SQL or SMO statement on the server
+  tables              list the server's tables
+  begin [ro]          open a transaction ('ro' = read-only)
+  commit / rollback   end the open transaction
+  stats [fmt]         remote metrics (fmt: json | prometheus) + slow queries
+  help                this text
+  quit                exit\
+"""
+
+
+class RemoteDemoSession:
+    """The REPL in client mode: the same command surface, served by a
+    remote :class:`~repro.server.CodsServer` through
+    :mod:`repro.client` — ``stats`` shows the *server's* registry
+    (compactor counters included) and its slow-query log, so an
+    operator needs no shell access to the data directory."""
+
+    def __init__(self, connection, out=sys.stdout):
+        self.connection = connection
+        self.out = out
+
+    def _print(self, text: str = "") -> None:
+        print(text, file=self.out)
+
+    def cmd_sql(self, statement: str) -> None:
+        result = self.connection.execute(statement)
+        if result is None:
+            self._print("ok")
+        elif isinstance(result, int):
+            self._print(f"{result} row(s) affected")
+        elif isinstance(result, list):
+            for row in result[:20]:
+                self._print(f"    {row}")
+            if len(result) > 20:
+                self._print(f"… ({len(result)} rows total)")
+            self._print(f"({len(result)} row(s))")
+        else:  # SMO counters dict
+            counters = {k: v for k, v in result.items() if v}
+            self._print(f"done. counters: {counters or '{}'}")
+
+    def cmd_stats(self, fmt: str = "") -> None:
+        fmt = fmt.strip().lower()
+        if fmt in ("json", "prometheus"):
+            self._print(self.connection.metrics(fmt))
+            return
+        for name, value in sorted(self.connection.metrics().items()):
+            if isinstance(value, dict):  # histogram
+                if value["count"]:
+                    self._print(
+                        f"{name}: count={value['count']} "
+                        f"mean={value['mean']:.6f}s max={value['max']:.6f}s"
+                    )
+                else:
+                    self._print(f"{name}: count=0")
+            else:
+                self._print(f"{name}: {value}")
+        print_slow_queries(self.connection.slow_queries(), self._print)
+
+    def handle(self, line: str) -> bool:
+        line = line.strip()
+        if not line:
+            return True
+        verb, _, rest = line.partition(" ")
+        verb = verb.lower()
+        try:
+            if verb in ("quit", "exit"):
+                return False
+            if verb == "help":
+                self._print(_REMOTE_HELP)
+            elif verb == "sql":
+                self.cmd_sql(rest)
+            elif verb == "tables":
+                for name in self.connection.tables():
+                    self._print(f"  {name}")
+            elif verb == "begin":
+                self.connection.begin(read_only=rest.strip() == "ro")
+                self._print("transaction open")
+            elif verb == "commit":
+                self._print(f"{self.connection.commit()} row(s) committed")
+            elif verb == "rollback":
+                self._print(
+                    f"{self.connection.rollback()} statement(s) discarded"
+                )
+            elif verb == "stats":
+                self.cmd_stats(rest)
+            else:
+                self._print(f"unknown command {verb!r}; try 'help'")
+        except CodsError as exc:
+            self._print(f"error: {exc}")
+        return True
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="cods-demo",
@@ -394,7 +503,69 @@ def main(argv=None) -> int:
         "--script", type=str, default=None,
         help="execute an SMO script file (one operator per line) and exit",
     )
+    parser.add_argument(
+        "--serve", action="store_true",
+        help="run the network server instead of the REPL "
+             "(see python -m repro.server; --data/--host/--port apply)",
+    )
+    parser.add_argument("--data", default=None,
+                        help="catalog directory for --serve")
+    parser.add_argument("--host", default=None, help="host for --serve")
+    parser.add_argument("--port", type=int, default=None,
+                        help="port for --serve, or with --connect")
+    parser.add_argument(
+        "--connect", metavar="HOST[:PORT]", default=None,
+        help="REPL against a remote cods server instead of a local "
+             "in-memory database",
+    )
+    parser.add_argument("--auth-token", default=None,
+                        help="token for --serve / --connect")
     args = parser.parse_args(argv)
+
+    if args.serve:
+        from repro.server.__main__ import main as serve_main
+
+        serve_argv = []
+        if args.data is not None:
+            serve_argv += ["--data", args.data]
+        if args.host is not None:
+            serve_argv += ["--host", args.host]
+        if args.port is not None:
+            serve_argv += ["--port", str(args.port)]
+        if args.auth_token is not None:
+            serve_argv += ["--auth-token", args.auth_token]
+        return serve_main(serve_argv)
+
+    if args.connect is not None:
+        from repro.client import connect
+        from repro.server import DEFAULT_PORT
+
+        host, _, port_text = args.connect.partition(":")
+        port = int(port_text) if port_text else (
+            args.port if args.port is not None else DEFAULT_PORT
+        )
+        try:
+            connection = connect(
+                host or "127.0.0.1", port, auth_token=args.auth_token
+            )
+        except CodsError as exc:
+            print(f"error: {exc}")
+            return 1
+        remote = RemoteDemoSession(connection)
+        print(f"CODS demo — connected to {host or '127.0.0.1'}:{port} "
+              f"(backend={connection.server_info['backend']}); "
+              f"type 'help' for commands.")
+        try:
+            while True:
+                try:
+                    line = input("cods> ")
+                except (EOFError, KeyboardInterrupt):
+                    print()
+                    return 0
+                if not remote.handle(line):
+                    return 0
+        finally:
+            connection.close()
 
     session = DemoSession()
     if args.example:

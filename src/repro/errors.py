@@ -78,6 +78,23 @@ class TransactionError(CodsError):
     scope that already committed or rolled back."""
 
 
+class NetworkError(CodsError):
+    """A transport-level problem in the client/server layer
+    (:mod:`repro.server` / :mod:`repro.client`): the peer hung up, the
+    connection was reaped, or a send/recv failed."""
+
+
+class ProtocolError(NetworkError):
+    """The byte stream is not a valid CODS wire conversation: bad
+    magic, unsupported version, a checksum mismatch, an oversized
+    frame, or a command the server does not understand."""
+
+
+class AuthenticationError(NetworkError):
+    """The server requires an auth token and the ``hello`` frame's
+    token was missing or wrong."""
+
+
 class EvolutionError(CodsError):
     """The evolution engine failed while applying an operator."""
 

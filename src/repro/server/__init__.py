@@ -1,0 +1,66 @@
+"""repro.server — the multi-client network front end.
+
+PR 8 made the catalog thread-safe; this package puts it on a socket.
+A :class:`CodsServer` multiplexes many concurrent clients over one
+:class:`~repro.db.Database` — one server-side session per connection,
+transactions spanning round trips (with read-your-writes), streamed
+result batches, graceful shutdown, an idle-session reaper and
+``server.*`` metrics.  The wire format is the length-prefixed
+checksummed JSON frame protocol of :mod:`repro.server.protocol`
+(``docs/server.md`` has the full spec); :mod:`repro.client` is the
+matching DB-API-flavored client.
+
+Run one from the command line::
+
+    python -m repro.server --data DIR --host 127.0.0.1 --port 7437
+
+or embed one::
+
+    from repro.db import Database
+    from repro.server import CodsServer
+
+    server = CodsServer(Database("catalog_dir"), port=0).start()
+    host, port = server.address
+    ...
+    server.stop()          # drain, stop compactor, checkpoint, close
+"""
+
+from repro.server.protocol import (
+    DEFAULT_FETCH_ROWS,
+    DEFAULT_MAX_FRAME,
+    PREAMBLE,
+    VERSION,
+    decode_rows,
+    encode_frame,
+    encode_rows,
+    error_class,
+    error_payload,
+    raise_remote,
+    read_frame,
+    write_frame,
+)
+from repro.server.server import (
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    MAX_FETCH_ROWS,
+    CodsServer,
+)
+
+__all__ = [
+    "CodsServer",
+    "DEFAULT_FETCH_ROWS",
+    "DEFAULT_HOST",
+    "DEFAULT_MAX_FRAME",
+    "DEFAULT_PORT",
+    "MAX_FETCH_ROWS",
+    "PREAMBLE",
+    "VERSION",
+    "decode_rows",
+    "encode_frame",
+    "encode_rows",
+    "error_class",
+    "error_payload",
+    "raise_remote",
+    "read_frame",
+    "write_frame",
+]

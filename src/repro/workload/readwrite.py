@@ -236,7 +236,9 @@ class MixedReadWriteWorkload:
         counters["rows_scanned"] = scanned
         return counters
 
-    def apply_to_session(self, session, table: str = "R") -> dict:
+    def apply_to_session(
+        self, session, table: str = "R", operations=None
+    ) -> dict:
         """Drive the stream as SQL text through a :class:`repro.db.
         Session` (``session.execute`` per operation) — the façade path
         of the mixed read/write workload.
@@ -249,7 +251,9 @@ class MixedReadWriteWorkload:
         scanned = 0
         registry = session.adapter.metrics
         before = registry.snapshot()
-        for op in self.operations():
+        if operations is None:
+            operations = self.operations()
+        for op in operations:
             counters[op.kind] += 1
             result = session.execute(op.sql(table))
             if op.kind == SCAN:
@@ -267,4 +271,33 @@ class MixedReadWriteWorkload:
             )
             if name in after
         }
+        return counters
+
+    def apply_to_client(
+        self, connection, table: str = "R", operations=None
+    ) -> dict:
+        """Drive the stream over the wire through a
+        :class:`repro.client.Connection` — the network shape of
+        :meth:`apply_to_session`, used by ``benchmarks/bench_server.py``
+        to measure round-trip overhead and by the multi-client stress
+        tests.
+
+        ``connection.execute`` mirrors the session's return shapes
+        (row list for SCAN, affected count for DML), so the counters
+        come out identical to an in-process run over the same stream.
+        """
+        counters = {INSERT: 0, UPDATE: 0, DELETE: 0, SCAN: 0}
+        affected = 0
+        scanned = 0
+        if operations is None:
+            operations = self.operations()
+        for op in operations:
+            counters[op.kind] += 1
+            result = connection.execute(op.sql(table))
+            if op.kind == SCAN:
+                scanned += len(result)
+            elif isinstance(result, int):
+                affected += result
+        counters["rows_affected"] = affected
+        counters["rows_scanned"] = scanned
         return counters

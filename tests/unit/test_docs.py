@@ -112,6 +112,7 @@ class TestFormatDocs:
             "repro.bitmap", "repro.storage", "repro.delta", "repro.core",
             "repro.smo", "repro.sql", "repro.exec", "repro.db",
             "repro.demo", "repro.workload", "repro.bench", "repro.wal",
+            "repro.server", "repro.client",
         ):
             spec_dir = REPO / "src" / module.replace(".", "/")
             assert spec_dir.is_dir(), f"{module} vanished from src/"
@@ -248,6 +249,74 @@ class TestDurabilityDocs:
         text = (REPO / "docs" / "delta-format.md").read_text()
         assert "`wal_lsn`" in text and "`main_file`" in text
         assert "wal-format.md" in text
+
+
+class TestServerDocs:
+    def test_server_doc_covers_the_wire_protocol(self):
+        text = (REPO / "docs" / "server.md").read_text()
+        for term in ("CODN", "CRC-32", "u32 payload length", "preamble"):
+            assert term in text, f"server.md does not explain {term!r}"
+
+    def test_server_doc_names_every_command(self):
+        # The command table must keep up with what the server actually
+        # dispatches on (see CodsServer._commands).
+        text = (REPO / "docs" / "server.md").read_text()
+        for cmd in (
+            "hello", "execute", "executemany", "fetch", "close_cursor",
+            "begin", "commit", "rollback", "metrics", "goodbye",
+        ):
+            assert f"`{cmd}`" in text, f"command {cmd} undocumented"
+
+    def test_server_doc_explains_errors_and_lifecycle(self):
+        text = (REPO / "docs" / "server.md").read_text()
+        for term in (
+            "SqlSyntaxError", "NetworkError", "AuthenticationError",
+            "read-your-writes", "reaper", "Graceful shutdown",
+        ):
+            assert term in text, f"server.md does not explain {term!r}"
+
+    def test_architecture_documents_the_network_layer(self):
+        text = (REPO / "docs" / "ARCHITECTURE.md").read_text()
+        assert "## The network front end: `repro.server`" in text
+        assert "repro.client" in text
+        assert "server.md" in text
+
+    def test_readme_quickstarts_the_server(self):
+        readme = (REPO / "README.md").read_text()
+        assert "python -m repro.server" in readme
+        assert "from repro.client import connect" in readme
+
+    def test_server_metric_catalog_covers_a_served_database(self):
+        # Every metric a database behind a live server exports must
+        # appear in the observability catalog.
+        from repro.client import connect
+        from repro.db import Database
+        from repro.server import CodsServer
+
+        text = (REPO / "docs" / "observability.md").read_text()
+        db = Database(backend="mutable")
+        server = CodsServer(db, "127.0.0.1", 0)
+        server.start()
+        try:
+            with connect(*server.address) as conn:
+                conn.execute("CREATE TABLE d (k INT)")
+                conn.execute("INSERT INTO d VALUES (1)")
+                undocumented = [
+                    name for name in conn.metrics()
+                    if f"`{name}`" not in text
+                ]
+        finally:
+            server.stop()
+        assert not undocumented, (
+            f"observability.md catalog is missing {undocumented}"
+        )
+
+    def test_server_bench_and_stress_are_wired(self):
+        assert (REPO / "benchmarks" / "bench_server.py").exists()
+        assert (REPO / "tests" / "integration" / "test_server.py").exists()
+        ci = (REPO / ".github" / "workflows" / "ci.yml").read_text()
+        assert "bench_server.py" in ci
+        assert "test_server.py" in ci
 
 
 class TestExecutionPipelineDocs:
