@@ -130,6 +130,17 @@ def load_server_json(path) -> dict:
     return load_bench_json(path)
 
 
+def aggregate_json(payload: dict, path) -> None:
+    """Write the compressed-domain aggregation benchmark record
+    (``benchmarks/bench_aggregate.py``) as indented JSON."""
+    bench_json(payload, path)
+
+
+def load_aggregate_json(path) -> dict:
+    """Read back an aggregation benchmark record."""
+    return load_bench_json(path)
+
+
 def load_series_csv(path) -> list[dict]:
     """Read back a series CSV (values re-typed)."""
     path = Path(path)

@@ -156,6 +156,14 @@ class ReadYourWritesAdapter(EngineAdapter):
             return iter(overlay.matching_rows(predicate))
         return self._inner.filter_rows(name, predicate)
 
+    def table_stats(self, name: str):
+        # A written table reads from its overlay rows, which the inner
+        # backend's statistics no longer describe — decline, so the
+        # planner takes the row-wise (always-correct) strategies.
+        if name in self._overlays:
+            return None
+        return self._inner.table_stats(name)
+
     def create_index(self, table: str, column: str) -> None:
         self._inner.create_index(table, column)
 

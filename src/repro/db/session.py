@@ -31,6 +31,7 @@ from repro.errors import (
 from repro.obs.trace import TRACE_COLUMNS
 from repro.smo.parser import render_literal as _render_literal
 from repro.sql.ast import (
+    Aggregate,
     CreateIndex,
     CreateTable,
     DropTable,
@@ -252,7 +253,12 @@ class Session:
         executor's projection rules (the network server uses this to
         ship a result set's column list alongside the first batch)."""
         if select.columns is not None:
-            return tuple(select.columns)
+            # Aggregates surface under their rendered label, e.g.
+            # ``count(*)`` or ``sum(Salary)``.
+            return tuple(
+                item.label if isinstance(item, Aggregate) else item
+                for item in select.columns
+            )
         left = self.adapter.schema(select.table).column_names
         if select.join is None:
             return tuple(left)

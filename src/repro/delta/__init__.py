@@ -35,7 +35,7 @@ from repro.delta.policy import (
 from repro.delta.snapshot import Snapshot
 from repro.delta.store import (
     DEFAULT_INDEX_THRESHOLD,
-    DEFAULT_RANGE_PROBE_LIMIT,
+    RANGE_PROBE_MAX_DISTINCT_SHARE,
     DeltaStore,
 )
 
@@ -43,7 +43,7 @@ __all__ = [
     "CompactionPolicy",
     "CompactionProgress",
     "DEFAULT_INDEX_THRESHOLD",
-    "DEFAULT_RANGE_PROBE_LIMIT",
+    "RANGE_PROBE_MAX_DISTINCT_SHARE",
     "DeltaStats",
     "DeltaStore",
     "MutableTable",

@@ -212,6 +212,26 @@ class Snapshot:
             batches.append(delta_batch)
         return batches
 
+    def statistics(self):
+        """Planner statistics for the pinned view: live row counts at
+        the pinned epoch plus the shared per-generation column stats
+        (see :mod:`repro.storage.statistics`)."""
+        self._check_open()
+        from repro.storage.statistics import (
+            TableStats,
+            cached_table_column_stats,
+        )
+
+        with self._delta._lock:
+            main_live = len(self._surviving())
+            delta_live = len(self._delta.live_indices(self.epoch))
+        return TableStats(
+            self._main.schema.name,
+            main_live,
+            delta_live,
+            cached_table_column_stats(self._main),
+        )
+
     def to_rows(self) -> list[tuple]:
         """The pinned view as an eager row list (a defensive copy — the
         internal list may be shared with the generation cache)."""

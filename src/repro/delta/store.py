@@ -31,13 +31,13 @@ from repro.storage.types import coerce
 #: Appended rows after which per-column hash indexes are built on demand.
 DEFAULT_INDEX_THRESHOLD = 256
 
-#: Distinct values above which a range predicate (<, >, <=, >=, !=)
-#: stops probing the hash index value by value and falls back to
-#: row-wise evaluation.  A hash index answers equality in O(1) but a
-#: range only by testing every distinct value; once the distinct count
-#: approaches the row count that probe loop costs as much as the scan
-#: it was meant to avoid.
-DEFAULT_RANGE_PROBE_LIMIT = 1024
+#: Highest distinct-to-appended-rows share at which a range predicate
+#: (<, >, <=, >=, !=) still probes the hash index value by value.  A
+#: hash index answers equality in O(1) but a range only by testing
+#: every distinct value; the probe beats the row-wise scan only while
+#: the distinct count stays well below the row count, so the decision
+#: follows the buffer's own statistics rather than a fixed cap.
+RANGE_PROBE_MAX_DISTINCT_SHARE = 0.5
 
 
 class DeltaStore:
@@ -62,7 +62,6 @@ class DeltaStore:
         "deleted_delta",
         "epoch",
         "index_threshold",
-        "range_probe_limit",
         "_indexes",
         "_live_cache",
         "_wal",
@@ -84,7 +83,6 @@ class DeltaStore:
         self.deleted_delta: dict[int, int] = {}
         self.epoch = start_epoch
         self.index_threshold = index_threshold
-        self.range_probe_limit = DEFAULT_RANGE_PROBE_LIMIT
         self._indexes: dict[str, dict] = {}
         # Single-entry memo of (epoch, live indices, live rows|None).
         # What is visible *at* an epoch never changes once later writes
@@ -507,10 +505,11 @@ class DeltaStore:
         Equality and IN are hash lookups; other comparisons probe each
         distinct value once (``O(distinct)`` instead of ``O(rows)``) —
         but only while the column's distinct count stays at or below
-        ``range_probe_limit``; past it the probe loop would cost as much
-        as the scan, so the method declines and the caller goes
-        row-wise.  Conjunctions intersect, disjunctions union, and
-        negations complement against the appended universe.
+        :data:`RANGE_PROBE_MAX_DISTINCT_SHARE` of the appended rows;
+        past it the probe loop would cost as much as the scan, so the
+        method declines and the caller goes row-wise.  Conjunctions
+        intersect, disjunctions union, and negations complement against
+        the appended universe.
         """
         from repro.smo.predicate import And, Comparison, Not, Or
 
@@ -521,10 +520,9 @@ class DeltaStore:
                 index = self._index_for(predicate.attr)
                 if index is None:
                     return None
-                if (
-                    predicate.op not in ("=", "IN")
-                    and self.range_probe_limit is not None
-                    and len(index) > self.range_probe_limit
+                if predicate.op not in ("=", "IN") and (
+                    len(index)
+                    > self.n_appended * RANGE_PROBE_MAX_DISTINCT_SHARE
                 ):
                     return None
                 matched: set[int] = set()

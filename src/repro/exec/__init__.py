@@ -18,9 +18,23 @@ with the cheapest representation its source offers:
   and query-level baselines); predicates run as compiled per-column
   evaluators (:func:`compile_predicate`).
 
+Aggregation (GROUP BY, COUNT/SUM/MIN/MAX/AVG), DISTINCT and ORDER BY
+run in the same spirit — dictionary vids and bitmap popcounts on the
+main store, hash/sort fallbacks elsewhere, chosen by per-table
+statistics (:mod:`repro.exec.aggregate`).
+
 See ``docs/ARCHITECTURE.md``, "The execution pipeline".
 """
 
+from repro.exec.aggregate import (
+    GroupAccumulator,
+    accumulate_batch,
+    aggregate_rows,
+    choose_aggregate_strategy,
+    distinct_values,
+    ordered_rows,
+    validate_aggregate_select,
+)
 from repro.exec.batch import (
     ColumnBatch,
     DeltaBatch,
@@ -44,15 +58,22 @@ __all__ = [
     "ColumnBatch",
     "DEFAULT_BATCH_ROWS",
     "DeltaBatch",
+    "GroupAccumulator",
     "TableBatch",
     "ValuesBatch",
+    "accumulate_batch",
+    "aggregate_rows",
     "batches_from_rows",
+    "choose_aggregate_strategy",
     "compile_predicate",
     "dedup_rows",
+    "distinct_values",
     "execute_select",
     "filter_batches",
     "hash_join_rows",
     "iter_rows",
     "limit_rows",
     "mask_from_positions",
+    "ordered_rows",
+    "validate_aggregate_select",
 ]

@@ -1,0 +1,675 @@
+"""Compressed-domain aggregation and the vid-level DISTINCT/ORDER BY.
+
+The dictionary-plus-bitmaps layout makes three classic read-path
+operations cheap *without decoding rows*:
+
+* **GROUP BY / aggregates** — a :class:`~repro.exec.batch.TableBatch`
+  groups by dictionary *vids*: ``COUNT`` is a bitmap population count
+  (``repro.bitmap.batch.batch_count``) intersected with the selection,
+  SUM/MIN/MAX/AVG fold per-vid counts against the dictionary's O(
+  distinct) value list, and multi-column / mixed aggregates run over
+  vectorized vid arrays.  Delta and values batches fall back to a
+  row-wise hash aggregator; both sides produce *partials* keyed by
+  decoded group values that merge epoch-consistently, so a query sees
+  exactly the main+delta state its scan pinned.
+* **DISTINCT** — on a single dictionary-backed column, distinct values
+  are the live vids; enumeration orders them by first selected
+  position, reproducing the streaming-dedup row order exactly.
+* **ORDER BY** — each value bitmap's positions are an already-sorted
+  run, so the main store emits dictionary-order presorted runs that
+  merge (``heapq.merge``) with the sorted delta rows instead of
+  materializing and sorting the whole table.
+
+Strategy choice is statistics-driven: :func:`choose_aggregate_strategy`
+consults :class:`~repro.storage.statistics.TableStats` (distinct
+counts, delta share) and falls back to the hash aggregator when the
+estimated group count approaches the row count — the reason string it
+returns is what EXPLAIN renders.
+"""
+
+from __future__ import annotations
+
+import heapq
+import weakref
+from collections import Counter
+
+import numpy as np
+
+from repro.bitmap.batch import batch_first_set, batch_positions, batch_vids_at
+from repro.errors import SqlExecutionError
+from repro.exec.batch import TableBatch, gather, project_rows
+from repro.sql.ast import AGGREGATE_FUNCTIONS, Aggregate
+
+__all__ = [
+    "GroupAccumulator",
+    "accumulate_batch",
+    "aggregate_rows",
+    "choose_aggregate_strategy",
+    "distinct_values",
+    "ordered_rows",
+    "validate_aggregate_select",
+]
+
+#: Sentinel for "no value seen yet" in MIN/MAX partials (``None`` is a
+#: legal SQL value that aggregates must *skip*, so it cannot stand in).
+_MISSING = object()
+
+#: Estimated-groups floor below which compressed-domain aggregation is
+#: always preferred (grouping cost is bounded by the dictionary size).
+_COMPRESSED_MIN_GROUPS = 64
+
+
+def validate_aggregate_select(select, schema) -> tuple:
+    """Validate an aggregating SELECT against ``schema``; returns the
+    ``(group_names, aggregates)`` pair execution uses.
+
+    Rules match the usual SQL semantics for the supported subset: no
+    aggregates over JOIN, ``SELECT *`` cannot be grouped, every bare
+    select-list column must appear in GROUP BY, and every referenced
+    column must exist.
+    """
+    if select.join is not None:
+        raise SqlExecutionError("aggregates over JOIN are not supported")
+    if select.distinct:
+        raise SqlExecutionError(
+            "DISTINCT cannot be combined with GROUP BY or aggregates"
+        )
+    if select.columns is None:
+        raise SqlExecutionError(
+            "SELECT * cannot be combined with GROUP BY or aggregates"
+        )
+    for name in select.group_by:
+        if not schema.has_column(name):
+            raise SqlExecutionError(
+                f"no column {name!r} in table {select.table!r}"
+            )
+    aggregates = []
+    for item in select.columns:
+        if isinstance(item, Aggregate):
+            if item.func not in AGGREGATE_FUNCTIONS:
+                raise SqlExecutionError(
+                    f"unknown aggregate function {item.func!r}"
+                )
+            if item.column is None and item.func != "count":
+                raise SqlExecutionError(
+                    f"{item.func.upper()}(*) is not supported"
+                )
+            if item.column is not None and not schema.has_column(item.column):
+                raise SqlExecutionError(
+                    f"no column {item.column!r} in table {select.table!r}"
+                )
+            aggregates.append(item)
+        elif item not in select.group_by:
+            raise SqlExecutionError(
+                f"column {item!r} must appear in GROUP BY to be selected "
+                "alongside aggregates"
+            )
+    return tuple(select.group_by), tuple(aggregates)
+
+
+def aggregate_output_names(select) -> tuple[str, ...]:
+    """Result column names in select-list order (aggregates labeled
+    ``func(column)``)."""
+    return tuple(
+        item.label if isinstance(item, Aggregate) else item
+        for item in select.columns
+    )
+
+
+def choose_aggregate_strategy(select, stats, pushdown=True) -> tuple[str, str]:
+    """Pick ``compressed`` vs ``hash`` aggregation and say why.
+
+    The compressed path's grouping cost is bounded by the number of
+    distinct group-key combinations (dictionary sizes), so it wins
+    whenever that estimate stays well below the main-store row count;
+    a high-cardinality GROUP BY degenerates to per-group bookkeeping
+    and the row-wise hash aggregator is no worse.  Without statistics
+    (a row-oriented backend) or compressed batches (an adapter whose
+    scans decode to values, ``pushdown=False``) only the hash path
+    exists.
+    """
+    if not pushdown:
+        return "hash", "scan decodes to values (no compressed batches)"
+    if stats is None:
+        return "hash", "no table statistics (row-wise backend)"
+    estimated = 1
+    for name in select.group_by:
+        column = stats.column(name)
+        if column is None:
+            return "hash", f"no statistics for group column {name!r}"
+        estimated *= max(1, column.distinct)
+    ceiling = max(_COMPRESSED_MIN_GROUPS, stats.main_rows // 8)
+    if estimated > ceiling:
+        return (
+            "hash",
+            f"estimated groups {estimated} > ceiling {ceiling} "
+            f"(main_rows/8)",
+        )
+    return (
+        "compressed",
+        f"estimated groups {estimated} <= ceiling {ceiling}, "
+        f"delta share {stats.delta_share:.1%}",
+    )
+
+
+# ----------------------------------------------------------------------
+# Partial state
+# ----------------------------------------------------------------------
+
+
+class GroupAccumulator:
+    """Running aggregate partials keyed by decoded group-value tuples.
+
+    Per aggregate the partial state is: ``count`` → running count;
+    ``sum``/``avg`` → ``[total, nonnull]``; ``min``/``max`` → the best
+    value seen or :data:`_MISSING`.  Compressed and hash batches both
+    merge into the same structure, which is what makes main-store
+    partials and delta partials composable at any epoch.
+    """
+
+    __slots__ = ("aggs", "groups", "batches_compressed", "batches_hash")
+
+    def __init__(self, aggs):
+        self.aggs = tuple(aggs)
+        self.groups: dict[tuple, list] = {}
+        self.batches_compressed = 0
+        self.batches_hash = 0
+
+    def _new_state(self) -> list:
+        state: list = []
+        for agg in self.aggs:
+            if agg.func == "count":
+                state.append(0)
+            elif agg.func in ("sum", "avg"):
+                state.append([0, 0])
+            else:
+                state.append(_MISSING)
+        return state
+
+    def state(self, key: tuple) -> list:
+        found = self.groups.get(key)
+        if found is None:
+            found = self._new_state()
+            self.groups[key] = found
+        return found
+
+    def merge_minmax(self, state: list, index: int, func: str, value):
+        current = state[index]
+        if current is _MISSING:
+            state[index] = value
+        elif func == "min":
+            if value < current:
+                state[index] = value
+        elif value > current:
+            state[index] = value
+
+    def finalized_rows(self, select, group_names) -> list[tuple]:
+        """Decode partials into result rows in select-list order.
+
+        An ungrouped aggregate over zero rows still yields one row
+        (COUNT = 0, the others NULL).  Output is sorted by group key
+        (NULLs last) so results are deterministic across strategies
+        and backends.
+        """
+        groups = self.groups
+        if not groups and not group_names:
+            groups = {(): self._new_state()}
+        layout = []
+        for item in select.columns:
+            if isinstance(item, Aggregate):
+                layout.append(("agg", self.aggs.index(item)))
+            else:
+                layout.append(("key", group_names.index(item)))
+        rows = []
+        for key, state in groups.items():
+            out = []
+            for kind, index in layout:
+                if kind == "key":
+                    out.append(key[index])
+                else:
+                    out.append(_finalize_one(self.aggs[index], state[index]))
+            rows.append((key, tuple(out)))
+        try:
+            rows.sort(key=lambda pair: tuple(
+                (value is None, value) for value in pair[0]
+            ))
+        except TypeError:
+            pass  # incomparable mixed keys: keep accumulation order
+        return [out for _key, out in rows]
+
+
+def _finalize_one(agg, state):
+    func = agg.func
+    if func == "count":
+        return state
+    if func == "sum":
+        return state[0] if state[1] else None
+    if func == "avg":
+        return state[0] / state[1] if state[1] else None
+    return None if state is _MISSING else state
+
+
+def _require_numeric(agg, value):
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise SqlExecutionError(
+            f"{agg.func.upper()}({agg.column}) requires a numeric column, "
+            f"got {type(value).__name__}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Compressed-domain path (TableBatch)
+# ----------------------------------------------------------------------
+
+
+def _selected_value_counts(column, selection) -> np.ndarray:
+    """Per-vid selected-row counts — population counts intersected with
+    the selection bitmap; no row decode.
+
+    When one side of the selection is small (a validity mask deleting a
+    few rows, or a highly selective predicate) the counts come from the
+    cached full popcounts plus point lookups (:func:`batch_vids_at`) on
+    the small side alone, skipping the full position decode."""
+    nvids = column.distinct_count
+    if selection is None:
+        return column.value_counts()
+    dense = selection.to_dense()
+    selected = int(selection.count())
+    smaller = min(selected, column.nrows - selected)
+    if nvids * (64 + smaller) <= 8 * max(1, column.nrows):
+        if selected <= column.nrows - selected:
+            vids = batch_vids_at(column.bitmaps, np.flatnonzero(dense))
+            return np.bincount(vids[vids >= 0], minlength=nvids)
+        vids = batch_vids_at(column.bitmaps, np.flatnonzero(~dense))
+        counts = np.array(
+            [bm.count() for bm in column.bitmaps], dtype=np.int64
+        )
+        return counts - np.bincount(vids[vids >= 0], minlength=nvids)
+    flat, bounds = batch_positions(column.bitmaps)
+    if not len(flat):
+        return np.zeros(nvids, dtype=np.int64)
+    keep = dense[flat]
+    vid_per_position = np.repeat(
+        np.arange(nvids, dtype=np.int64), np.diff(bounds)
+    )
+    return np.bincount(vid_per_position[keep], minlength=nvids)
+
+
+#: Row-order vid arrays per (main-store table, column name).  Tables
+#: are immutable — mutation swaps in a fresh ``Table`` object — so the
+#: weak keying doubles as invalidation, exactly like the decoded-row
+#: cache in :mod:`repro.delta.snapshot`.
+_VID_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def _decode_vids(table, name: str) -> np.ndarray:
+    per_table = _VID_CACHE.get(table)
+    if per_table is None:
+        per_table = {}
+        _VID_CACHE[table] = per_table
+    vids = per_table.get(name)
+    if vids is None:
+        vids = table.column(name).decode_vids()
+        vids.flags.writeable = False
+        per_table[name] = vids
+    return vids
+
+
+def _nonzero_counts(codes, space: int):
+    """``(unique values, counts)`` of an int code array.  When the code
+    space is small relative to the data a ``bincount`` histogram beats
+    ``np.unique``'s sort by a wide margin."""
+    if space <= 4 * len(codes) + 1024:
+        histogram = np.bincount(codes, minlength=space)
+        present = np.flatnonzero(histogram)
+        return present, histogram[present]
+    return np.unique(codes, return_counts=True)
+
+
+def _accumulate_table_global(batch: TableBatch, acc: GroupAccumulator):
+    """Ungrouped aggregates over one main-store batch: O(distinct) per
+    aggregate column, O(1)/popcount for COUNT(*)."""
+    state = acc.state(())
+    table = batch.table
+    counts_cache: dict = {}
+    for index, agg in enumerate(acc.aggs):
+        if agg.func == "count" and agg.column is None:
+            state[index] += batch.selected_count
+            continue
+        cached = counts_cache.get(agg.column)
+        if cached is None:
+            column = table.column(agg.column)
+            cached = (
+                column.dictionary.values(),
+                _selected_value_counts(column, batch.selection),
+            )
+            counts_cache[agg.column] = cached
+        values, counts = cached
+        if agg.func == "count":
+            total = int(counts.sum())
+            for vid, value in enumerate(values):
+                if value is None:
+                    total -= int(counts[vid])
+            state[index] += total
+        elif agg.func in ("sum", "avg"):
+            total, nonnull = 0, 0
+            for vid in np.flatnonzero(counts):
+                value = values[vid]
+                if value is None:
+                    continue
+                _require_numeric(agg, value)
+                n = int(counts[vid])
+                total += value * n
+                nonnull += n
+            state[index][0] += total
+            state[index][1] += nonnull
+        else:
+            for vid in np.flatnonzero(counts):
+                value = values[vid]
+                if value is not None:
+                    acc.merge_minmax(state, index, agg.func, value)
+
+
+def _group_codes(table, group_names):
+    """Mixed-radix per-row codes combining the group columns' vids."""
+    columns = [table.column(name) for name in group_names]
+    sizes = [max(1, column.distinct_count) for column in columns]
+    codes = _decode_vids(table, group_names[0])
+    for name, size in zip(group_names[1:], sizes[1:]):
+        codes = codes * size + _decode_vids(table, name)
+    return codes, sizes
+
+
+def _keys_for_codes(codes, columns, sizes) -> list[tuple]:
+    """Decode mixed-radix group codes back to value tuples — the only
+    place group keys are decoded, once per distinct combination."""
+    values_per = [column.dictionary.values() for column in columns]
+    keys = []
+    for code in codes.tolist():
+        parts = []
+        for size, values in zip(reversed(sizes[1:]), reversed(values_per[1:])):
+            code, vid = divmod(code, size)
+            parts.append(values[vid])
+        parts.append(values_per[0][code])
+        keys.append(tuple(reversed(parts)))
+    return keys
+
+
+def _accumulate_table_grouped(
+    batch: TableBatch, group_names, acc: GroupAccumulator
+):
+    table = batch.table
+    nrows = batch.physical_rows
+    if nrows == 0:
+        return
+    group_columns = [table.column(name) for name in group_names]
+    count_star_only = all(
+        agg.func == "count" and agg.column is None for agg in acc.aggs
+    )
+    if len(group_columns) == 1 and count_star_only:
+        # The popcount fast path: per-group COUNT(*) is exactly the
+        # group column's per-vid selected counts.  Nothing is decoded
+        # but the ≤distinct group keys themselves.
+        column = group_columns[0]
+        counts = _selected_value_counts(column, batch.selection)
+        values = column.dictionary.values()
+        width = len(acc.aggs)
+        for vid in np.flatnonzero(counts):
+            state = acc.state((values[vid],))
+            n = int(counts[vid])
+            for index in range(width):
+                state[index] += n
+        return
+
+    codes, sizes = _group_codes(table, group_names)
+    positions = batch.selected_positions()
+    if not len(positions):
+        return
+    selected_codes = codes[positions]
+    code_space = 1
+    for size in sizes:
+        code_space *= size
+    unique_codes, star_counts = _nonzero_counts(selected_codes, code_space)
+    states = {}
+    for code, key in zip(
+        unique_codes.tolist(),
+        _keys_for_codes(unique_codes, group_columns, sizes),
+    ):
+        states[code] = acc.state(key)
+
+    vids_cache: dict = {}
+    for index, agg in enumerate(acc.aggs):
+        if agg.func == "count" and agg.column is None:
+            for code, n in zip(unique_codes.tolist(), star_counts.tolist()):
+                states[code][index] += n
+            continue
+        cached = vids_cache.get(agg.column)
+        if cached is None:
+            column = table.column(agg.column)
+            cached = (
+                column.dictionary.values(),
+                _decode_vids(table, agg.column)[positions],
+            )
+            vids_cache[agg.column] = cached
+        values, agg_vids = cached
+        # Joint (group, value) distribution: every per-group partial
+        # below is a function of these pair counts alone.
+        joint = selected_codes * len(values) + agg_vids
+        unique_joint, joint_counts = _nonzero_counts(
+            joint, code_space * max(1, len(values))
+        )
+        group_part = (unique_joint // len(values)).tolist()
+        vid_part = (unique_joint % len(values)).tolist()
+        func = agg.func
+        for code, vid, n in zip(group_part, vid_part, joint_counts.tolist()):
+            value = values[vid]
+            if value is None:
+                continue
+            state = states[code]
+            if func == "count":
+                state[index] += int(n)
+            elif func in ("sum", "avg"):
+                _require_numeric(agg, value)
+                state[index][0] += value * int(n)
+                state[index][1] += int(n)
+            else:
+                acc.merge_minmax(state, index, func, value)
+
+
+def _accumulate_rows(batch, group_names, acc: GroupAccumulator):
+    """The hash fallback: row-wise accumulation over any batch kind."""
+    names = batch.column_names
+    count_star_only = all(
+        agg.func == "count" and agg.column is None for agg in acc.aggs
+    )
+    if count_star_only and len(group_names) == 1:
+        # Single-column COUNT(*): project just the group column and
+        # fold a Counter — no full-row tuples.  An unfiltered values
+        # batch hands its vector to Counter directly (C speed).
+        from repro.exec.batch import ValuesBatch
+
+        if isinstance(batch, ValuesBatch) and batch.selection is None:
+            counts = Counter(batch.columns[group_names[0]])
+        else:
+            index = names.index(group_names[0])
+            counts = Counter(row[0] for row in batch.rows([index]))
+        width = len(acc.aggs)
+        for value, n in counts.items():
+            state = acc.state((value,))
+            for position in range(width):
+                state[position] += n
+        return
+    group_idx = [names.index(name) for name in group_names]
+    agg_idx = [
+        None if agg.column is None else names.index(agg.column)
+        for agg in acc.aggs
+    ]
+    aggs = acc.aggs
+    for row in batch.rows():
+        key = tuple(row[i] for i in group_idx)
+        state = acc.state(key)
+        for index, agg in enumerate(aggs):
+            source = agg_idx[index]
+            if source is None:
+                state[index] += 1
+                continue
+            value = row[source]
+            if value is None:
+                continue
+            func = agg.func
+            if func == "count":
+                state[index] += 1
+            elif func in ("sum", "avg"):
+                _require_numeric(agg, value)
+                partial = state[index]
+                partial[0] += value
+                partial[1] += 1
+            else:
+                acc.merge_minmax(state, index, func, value)
+
+
+def accumulate_batch(
+    batch, group_names, acc: GroupAccumulator, strategy: str = "compressed"
+):
+    """Fold one batch into the accumulator, in the cheapest domain the
+    batch (and the chosen ``strategy``) supports."""
+    if strategy == "compressed" and isinstance(batch, TableBatch):
+        if group_names:
+            _accumulate_table_grouped(batch, group_names, acc)
+        else:
+            _accumulate_table_global(batch, acc)
+        acc.batches_compressed += 1
+    else:
+        _accumulate_rows(batch, group_names, acc)
+        acc.batches_hash += 1
+
+
+def aggregate_rows(
+    batches, select, schema, strategy: str = "compressed", stats=None
+) -> list[tuple]:
+    """Drain ``batches`` through the aggregation pipeline and return the
+    finalized result rows (select-list order, sorted by group key)."""
+    group_names, aggs = validate_aggregate_select(select, schema)
+    acc = GroupAccumulator(aggs)
+    for batch in batches:
+        accumulate_batch(batch, group_names, acc, strategy)
+    if stats is not None:
+        stats.agg_batches_compressed += acc.batches_compressed
+        stats.agg_batches_hash += acc.batches_hash
+        stats.agg_groups += len(acc.groups)
+    return acc.finalized_rows(select, group_names)
+
+
+# ----------------------------------------------------------------------
+# DISTINCT as live-vid enumeration
+# ----------------------------------------------------------------------
+
+
+def _table_batch_distinct(batch: TableBatch, name: str):
+    """Distinct values of one main-store column ordered by first
+    *selected* position — the order streaming dedup would produce."""
+    column = batch.table.column(name)
+    nvids = column.distinct_count
+    if nvids == 0:
+        return
+    if batch.selection is None:
+        first = batch_first_set(column.bitmaps)
+    else:
+        flat, bounds = batch_positions(column.bitmaps)
+        keep = batch.selection.to_dense()[flat]
+        vid_per_position = np.repeat(
+            np.arange(nvids, dtype=np.int64), np.diff(bounds)
+        )
+        selected_vids = vid_per_position[keep]
+        selected_positions = flat[keep]
+        first = np.full(nvids, -1, dtype=np.int64)
+        # Positions within a vid run ascend, so writing them reversed
+        # leaves each vid's smallest selected position in place.
+        first[selected_vids[::-1]] = selected_positions[::-1]
+    live = np.flatnonzero(first >= 0)
+    values = column.dictionary.values()
+    for vid in live[np.argsort(first[live], kind="stable")]:
+        yield values[vid]
+
+
+def distinct_values(batches, name: str):
+    """DISTINCT on a single column: live-vid enumeration on main-store
+    batches, value hashing on delta/values batches.  Yields 1-tuples in
+    global first-occurrence order (main first, then delta), matching
+    :func:`repro.exec.operators.dedup_rows` over the projected rows."""
+    seen = set()
+    for batch in batches:
+        if isinstance(batch, TableBatch):
+            iterator = _table_batch_distinct(batch, name)
+        else:
+            index = batch.column_names.index(name)
+            iterator = (row[0] for row in batch.rows([index]))
+        for value in iterator:
+            if value not in seen:
+                seen.add(value)
+                yield (value,)
+
+
+# ----------------------------------------------------------------------
+# ORDER BY as dictionary-order presorted runs
+# ----------------------------------------------------------------------
+
+
+def _table_batch_ordered(
+    batch: TableBatch, name: str, ascending: bool, out_positions
+):
+    """Selected main-store rows in ``name`` order, emitted as one
+    presorted run per dictionary value (positions within a value bitmap
+    already ascend, preserving the stable-sort tie order).  Rows decode
+    lazily, one value run at a time — a LIMIT stops the scan early."""
+    from repro.delta.snapshot import decoded_main_rows
+
+    column = batch.table.column(name)
+    values = column.dictionary.values()
+    vids = sorted(
+        range(len(values)),
+        key=lambda vid: (values[vid] is None, values[vid]),
+        reverse=not ascending,
+    )
+    dense = (
+        batch.selection.to_dense() if batch.selection is not None else None
+    )
+    decoded = None
+    for vid in vids:
+        positions = column.bitmaps[vid].positions()
+        if dense is not None:
+            positions = positions[dense[positions]]
+        if not len(positions):
+            continue
+        if decoded is None:
+            decoded = decoded_main_rows(batch.table)
+        yield from project_rows(gather(decoded, positions), out_positions)
+
+
+def ordered_rows(batches, name: str, ascending: bool, out_positions,
+                 out_index: int):
+    """ORDER BY without a global sort: dictionary-order presorted runs
+    from main-store batches merged with (small) sorted delta/values
+    batches.  Tie order matches the row path's stable sort — within a
+    run rows keep scan order, and earlier batches win ties."""
+    def sort_key(row):
+        value = row[out_index]
+        return (value is None, value)
+
+    streams = []
+    for batch in batches:
+        if isinstance(batch, TableBatch):
+            streams.append(
+                _table_batch_ordered(batch, name, ascending, out_positions)
+            )
+        else:
+            streams.append(iter(sorted(
+                batch.rows(out_positions),
+                key=sort_key,
+                reverse=not ascending,
+            )))
+    if not streams:
+        return iter(())
+    if len(streams) == 1:
+        return streams[0]
+    return heapq.merge(*streams, key=sort_key, reverse=not ascending)

@@ -34,6 +34,15 @@ from __future__ import annotations
 import time
 
 from repro.errors import SqlExecutionError
+from repro.exec.aggregate import (
+    GroupAccumulator,
+    accumulate_batch,
+    aggregate_output_names,
+    choose_aggregate_strategy,
+    distinct_values,
+    ordered_rows,
+    validate_aggregate_select,
+)
 from repro.exec.operators import (
     batches_from_rows,
     dedup_rows,
@@ -42,6 +51,34 @@ from repro.exec.operators import (
     iter_rows,
     limit_rows,
 )
+
+
+def _use_vid_distinct(adapter, select) -> bool:
+    """DISTINCT reroutes to live-vid enumeration when it is a single
+    projected column on a pushdown backend (no join) — the conditions
+    are static so plain EXPLAIN renders the same choice."""
+    return (
+        select.distinct
+        and select.join is None
+        and adapter.capabilities.pushdown
+        and select.columns is not None
+        and len(select.columns) == 1
+        and isinstance(select.columns[0], str)
+    )
+
+
+def _use_presorted_order(adapter, select, column_names) -> bool:
+    """ORDER BY reroutes to dictionary-order presorted runs on a
+    pushdown backend when no join/DISTINCT/aggregation intervenes and
+    the sort column is projected (also static)."""
+    return (
+        select.order_by is not None
+        and select.join is None
+        and not select.distinct
+        and not select.is_aggregate
+        and adapter.capabilities.pushdown
+        and select.order_by[0] in column_names
+    )
 
 
 def _scan_detail(adapter, table: str) -> str:
@@ -92,6 +129,34 @@ def _plan_spans(adapter, select, trace, sql_detail=True):
     render the same tree."""
     root = trace.span("select", f"table={select.table}")
     spans = {"select": root}
+    if select.is_aggregate and select.join is None:
+        spans["scan"] = root.child(
+            "scan", _scan_detail(adapter, select.table)
+        )
+        if select.where is not None:
+            spans["filter"] = root.child("filter", f"where {select.where}")
+        strategy, reason = choose_aggregate_strategy(
+            select,
+            adapter.table_stats(select.table),
+            pushdown=adapter.capabilities.pushdown,
+        )
+        output = ",".join(aggregate_output_names(select))
+        grouped = (
+            f" group_by={','.join(select.group_by)}"
+            if select.group_by
+            else ""
+        )
+        spans["aggregate"] = root.child(
+            "aggregate", f"{strategy} [{reason}] out={output}{grouped}"
+        )
+        if select.order_by is not None:
+            column, ascending = select.order_by
+            spans["order_by"] = root.child(
+                "order_by", f"{column} {'ASC' if ascending else 'DESC'}"
+            )
+        if select.limit is not None:
+            spans["limit"] = root.child("limit", f"limit={select.limit}")
+        return spans
     if select.join is not None:
         spans["scan"] = root.child(
             "scan", _scan_detail(adapter, select.table)
@@ -121,11 +186,26 @@ def _plan_spans(adapter, select, trace, sql_detail=True):
             "project", f"columns={','.join(columns)}"
         )
     if select.distinct:
-        spans["distinct"] = root.child("distinct", "streaming dedup")
+        spans["distinct"] = root.child(
+            "distinct",
+            "live-vid enumeration"
+            if _use_vid_distinct(adapter, select)
+            else "streaming dedup",
+        )
     if select.order_by is not None:
         column, ascending = select.order_by
+        names = (
+            select.columns
+            if select.columns is not None
+            else adapter.schema(select.table).column_names
+        )
+        how = (
+            "dictionary-order presorted runs"
+            if _use_presorted_order(adapter, select, names)
+            else "materialize-and-sort"
+        )
         spans["order_by"] = root.child(
-            "order_by", f"{column} {'ASC' if ascending else 'DESC'}"
+            "order_by", f"{column} {'ASC' if ascending else 'DESC'} ({how})"
         )
     if select.limit is not None:
         spans["limit"] = root.child("limit", f"limit={select.limit}")
@@ -140,6 +220,8 @@ def plan_select(adapter, select, trace):
 
     require_table(adapter, select.table)
     schema = adapter.schema(select.table)
+    if select.is_aggregate:
+        validate_aggregate_select(select, schema)
     if select.join is not None:
         require_table(adapter, select.join.table)
     elif select.where is not None:
@@ -162,13 +244,56 @@ def execute_select(adapter, select, stats=None, trace=None):
 
     require_table(adapter, select.table)
     left_schema = adapter.schema(select.table)
+    if select.is_aggregate:
+        # Validate (and reject aggregates over JOIN) before any span or
+        # scan work — an invalid query must not cost a decode.
+        group_names, aggs = validate_aggregate_select(select, left_schema)
+        if select.where is not None:
+            select.where.validate(left_schema)
     spans = (
         _plan_spans(adapter, select, trace) if trace is not None else None
     )
     if trace is not None:
         trace.executed = True
+    vid_distinct = presorted = False
 
-    if select.join is not None:
+    if select.is_aggregate:
+        # Statistics-driven strategy: compressed-domain (vids/popcounts)
+        # when the estimated group count stays small, row-wise hash
+        # aggregation otherwise.  Delta/values batches always hash;
+        # both merge into one partial store, keyed by decoded group
+        # values, so main+delta results are epoch-consistent.
+        strategy, _reason = choose_aggregate_strategy(
+            select,
+            adapter.table_stats(select.table),
+            pushdown=adapter.capabilities.pushdown,
+        )
+        batches = adapter.scan_batches(select.table)
+        if spans is not None:
+            batches = _observed_batches(batches, spans["scan"])
+        if select.where is not None:
+            batches = filter_batches(batches, select.where)
+            if spans is not None:
+                batches = _observed_batches(batches, spans["filter"])
+        started = time.perf_counter()
+        accumulator = GroupAccumulator(aggs)
+        for batch in batches:
+            accumulate_batch(batch, group_names, accumulator, strategy)
+        result = accumulator.finalized_rows(select, group_names)
+        if stats is not None:
+            stats.agg_batches_compressed += accumulator.batches_compressed
+            stats.agg_batches_hash += accumulator.batches_hash
+            stats.agg_groups += len(accumulator.groups)
+        rows = iter(result)
+        if spans is not None:
+            span = spans["aggregate"]
+            span.seconds += time.perf_counter() - started
+            span.batches = (
+                accumulator.batches_compressed + accumulator.batches_hash
+            )
+            rows = TimedIter(rows, span)
+        column_names = aggregate_output_names(select)
+    elif select.join is not None:
         require_table(adapter, select.join.table)
         right_schema = adapter.schema(select.join.table)
         out_columns = select.columns or (
@@ -236,12 +361,28 @@ def execute_select(adapter, select, stats=None, trace=None):
             batches = filter_batches(batches, select.where)
             if spans is not None:
                 batches = _observed_batches(batches, spans["filter"])
-        rows = iter_rows(batches, out_positions, stats=stats)
+        vid_distinct = _use_vid_distinct(adapter, select)
+        presorted = _use_presorted_order(adapter, select, column_names)
+        if vid_distinct:
+            # DISTINCT on one dictionary-backed column: enumerate live
+            # vids instead of decoding and hashing every row.
+            rows = distinct_values(batches, column_names[0])
+        elif presorted:
+            # ORDER BY from dictionary-order presorted runs (main
+            # store) merged with the sorted delta — no global sort.
+            column, ascending = select.order_by
+            rows = ordered_rows(
+                batches, column, ascending, out_positions,
+                column_names.index(column),
+            )
+        else:
+            rows = iter_rows(batches, out_positions, stats=stats)
         if spans is not None:
             rows = TimedIter(rows, spans["project"])
 
     if select.distinct:
-        rows = dedup_rows(rows)
+        if not vid_distinct:
+            rows = dedup_rows(rows)
         if spans is not None:
             rows = TimedIter(rows, spans["distinct"])
     if select.order_by is not None:
@@ -250,19 +391,20 @@ def execute_select(adapter, select, stats=None, trace=None):
             raise SqlExecutionError(
                 f"ORDER BY column {column!r} not in the select list"
             )
-        index = column_names.index(column)
-        started = time.perf_counter() if spans is not None else 0.0
-        rows = iter(
-            sorted(
-                rows,
-                key=lambda r: (r[index] is None, r[index]),
-                reverse=not ascending,
+        if not presorted:
+            index = column_names.index(column)
+            started = time.perf_counter() if spans is not None else 0.0
+            rows = iter(
+                sorted(
+                    rows,
+                    key=lambda r: (r[index] is None, r[index]),
+                    reverse=not ascending,
+                )
             )
-        )
+            if spans is not None:
+                spans["order_by"].seconds += time.perf_counter() - started
         if spans is not None:
-            span = spans["order_by"]
-            span.seconds += time.perf_counter() - started
-            rows = TimedIter(rows, span)
+            rows = TimedIter(rows, spans["order_by"])
     if select.limit is not None:
         rows = limit_rows(rows, select.limit)
         if spans is not None:

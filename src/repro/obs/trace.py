@@ -146,13 +146,22 @@ class ExecStats:
     what holds the overhead gate at <= 5%.
     """
 
-    __slots__ = ("queries", "batches", "rows_decoded", "rows_returned")
+    __slots__ = (
+        "queries", "batches", "rows_decoded", "rows_returned",
+        "agg_batches_compressed", "agg_batches_hash", "agg_groups",
+    )
 
     def __init__(self):
         self.queries = 0
         self.batches = 0
         self.rows_decoded = 0
         self.rows_returned = 0
+        # Aggregation accounting (see repro.exec.aggregate): batches
+        # folded in the compressed vid/popcount domain vs the row-wise
+        # hash fallback, and distinct groups produced.
+        self.agg_batches_compressed = 0
+        self.agg_batches_hash = 0
+        self.agg_groups = 0
 
     def flush_to(self, registry) -> None:
         registry.counter("exec.queries").inc(self.queries)
@@ -162,6 +171,16 @@ class ExecStats:
             registry.counter("exec.rows_decoded").inc(self.rows_decoded)
         if self.rows_returned:
             registry.counter("exec.rows_returned").inc(self.rows_returned)
+        if self.agg_batches_compressed:
+            registry.counter("exec.agg_batches_compressed").inc(
+                self.agg_batches_compressed
+            )
+        if self.agg_batches_hash:
+            registry.counter("exec.agg_batches_hash").inc(
+                self.agg_batches_hash
+            )
+        if self.agg_groups:
+            registry.counter("exec.agg_groups").inc(self.agg_groups)
 
 
 class TimedIter:

@@ -8,6 +8,7 @@ from repro.sql.adapter import (
     RowEngineAdapter,
 )
 from repro.sql.ast import (
+    Aggregate,
     CreateIndex,
     CreateTable,
     Delete,
@@ -28,6 +29,7 @@ from repro.sql.parser import (
 
 __all__ = [
     "AdapterCapabilities",
+    "Aggregate",
     "ColumnStoreAdapter",
     "CreateIndex",
     "CreateTable",

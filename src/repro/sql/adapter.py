@@ -157,6 +157,16 @@ class EngineAdapter:
         carry the same pushdown strategies."""
         return None
 
+    def table_stats(self, name: str):
+        """Optional planner statistics for ``name`` — a
+        :class:`repro.storage.statistics.TableStats` (per-column
+        distinct counts and min/max, live main/delta row counts), or
+        ``None`` when the backend maintains none.  Statistics are a
+        *hint* for strategy choice (compressed-domain vs row-wise
+        aggregation, indexed vs row-wise delta probes); execution is
+        correct either way (see ``docs/migration.md``)."""
+        return None
+
     def hash_join(self, left: str, right: str, join_attrs, out_columns):
         """Engine-native equi-join yielding ``out_columns`` tuples.
         Only called when ``capabilities.hash_join`` is set."""
@@ -407,6 +417,13 @@ class ColumnStoreAdapter(EngineAdapter):
         }
         return [ValuesBatch(table.schema.column_names, columns)]
 
+    def table_stats(self, name: str):
+        """Statistics straight off the compressed catalog table (the
+        dictionary is the distinct-value list; no delta side here)."""
+        from repro.storage.statistics import table_statistics
+
+        return table_statistics(self.catalog.table(name))
+
     def create_index(self, table: str, column: str) -> None:
         # Bitmap columns *are* the index; rebuilding is implicit in
         # insert_rows.  Validate the reference and accept.
@@ -586,6 +603,21 @@ class MutableColumnAdapter(EngineAdapter):
         if mutable is not None and mutable.is_valid:
             return mutable.scan_batches()
         return [TableBatch(self.catalog.table(name))]
+
+    def table_stats(self, name: str):
+        """Planner statistics for the view a scan would see: the pinned
+        snapshot scope when one is open, else the live mutable handle
+        (per-generation cached column stats + live delta counts), else
+        the static catalog table."""
+        from repro.storage.statistics import table_statistics
+
+        snapshot = self._pinned(name)
+        if snapshot is not None:
+            return snapshot.statistics()
+        mutable = self.evolution_engine.delta_handle(name)
+        if mutable is not None and mutable.is_valid:
+            return mutable.statistics()
+        return table_statistics(self.catalog.table(name))
 
     def filter_rows(self, name: str, predicate):
         """Predicate pushdown: compressed-domain bitmaps over the main

@@ -3,9 +3,10 @@
 The subset covers exactly what query-level data evolution needs (the
 queries of paper Section 1 plus joins for MERGE): CREATE/DROP/ALTER
 TABLE, CREATE INDEX, INSERT (VALUES and SELECT), and SELECT with
-DISTINCT, JOIN ON equal attributes, WHERE, ORDER BY and LIMIT — plus
-the write path's UPDATE and DELETE (serviced by the delta store on the
-column engine).
+DISTINCT, JOIN ON equal attributes, WHERE, GROUP BY with
+COUNT/SUM/MIN/MAX/AVG aggregates, ORDER BY and LIMIT — plus the write
+path's UPDATE and DELETE (serviced by the delta store on the column
+engine).
 """
 
 from __future__ import annotations
@@ -24,17 +25,54 @@ class JoinClause:
     join_attrs: tuple[str, ...]
 
 
+AGGREGATE_FUNCTIONS = ("count", "sum", "min", "max", "avg")
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """An aggregate call in a select list: ``COUNT(*)``, ``SUM(col)`` …
+
+    ``func`` is the lowercase function name (one of
+    :data:`AGGREGATE_FUNCTIONS`); ``column`` is ``None`` only for
+    ``COUNT(*)``.
+    """
+
+    func: str
+    column: str | None = None
+
+    @property
+    def label(self) -> str:
+        """The output column name, e.g. ``count(*)`` or ``sum(Salary)``."""
+        return f"{self.func}({self.column if self.column is not None else '*'})"
+
+
 @dataclass(frozen=True)
 class Select:
-    """A SELECT query."""
+    """A SELECT query.
 
-    columns: tuple[str, ...] | None  # None means '*'
+    ``columns`` entries are plain column names or :class:`Aggregate`
+    nodes; ``None`` means ``*``.  A query is *aggregating* when the
+    select list contains any aggregate or a ``GROUP BY`` is present.
+    """
+
+    columns: tuple[str | Aggregate, ...] | None  # None means '*'
     table: str
     distinct: bool = False
     join: JoinClause | None = None
     where: Predicate | None = None
     order_by: tuple[str, bool] | None = None  # (column, ascending)
     limit: int | None = None
+    group_by: tuple[str, ...] = ()
+
+    @property
+    def aggregates(self) -> tuple[Aggregate, ...]:
+        if self.columns is None:
+            return ()
+        return tuple(c for c in self.columns if isinstance(c, Aggregate))
+
+    @property
+    def is_aggregate(self) -> bool:
+        return bool(self.group_by) or bool(self.aggregates)
 
 
 @dataclass(frozen=True)

@@ -199,6 +199,18 @@ class SqlExecutor:
             batches.inc(stats.batches)
             decoded.inc(stats.rows_decoded)
             returned.inc(len(rows))
+            if stats.agg_batches_compressed or stats.agg_batches_hash:
+                # Aggregate queries are rare relative to scans, so the
+                # exec.agg_* counters resolve lazily instead of widening
+                # the cached handle tuple every executor carries.
+                registry = self.adapter.metrics
+                registry.counter("exec.agg_batches_compressed").inc(
+                    stats.agg_batches_compressed
+                )
+                registry.counter("exec.agg_batches_hash").inc(
+                    stats.agg_batches_hash
+                )
+                registry.counter("exec.agg_groups").inc(stats.agg_groups)
         if trace is not None:
             if trace.root is not None:
                 trace.root.rows_out = len(rows)

@@ -12,6 +12,8 @@ import re
 from repro.errors import SqlSyntaxError
 from repro.smo.parser import TokenStream, literal_value, parse_predicate
 from repro.sql.ast import (
+    AGGREGATE_FUNCTIONS,
+    Aggregate,
     CreateIndex,
     CreateTable,
     Delete,
@@ -39,6 +41,26 @@ def _attr_list(tokens: TokenStream) -> tuple[str, ...]:
     return tuple(attrs)
 
 
+_AGGREGATE_NAMES = frozenset(name.upper() for name in AGGREGATE_FUNCTIONS)
+
+
+def _parse_select_item(tokens: TokenStream) -> str | Aggregate:
+    """One select-list entry: a column name or an aggregate call."""
+    name = tokens.expect_ident()
+    if name.upper() not in _AGGREGATE_NAMES or not tokens.punct_is("("):
+        return name
+    tokens.next()
+    argument = tokens.expect_ident()
+    tokens.expect_punct(")")
+    func = name.lower()
+    if argument == "__STAR__":
+        # COUNT(*) was rewritten to COUNT(__STAR__) pre-tokenization.
+        if func != "count":
+            raise SqlSyntaxError(f"{func.upper()}(*) is not supported")
+        return Aggregate("count", None)
+    return Aggregate(func, argument)
+
+
 def _parse_select(tokens: TokenStream) -> Select:
     tokens.expect_keyword("SELECT")
     distinct = False
@@ -46,13 +68,13 @@ def _parse_select(tokens: TokenStream) -> Select:
         tokens.next()
         distinct = True
 
-    columns: tuple[str, ...] | None
+    columns: tuple[str | Aggregate, ...] | None
     if tokens.punct_is("("):
         raise SqlSyntaxError("unexpected '(' after SELECT")
-    names = [tokens.expect_ident()]
+    names = [_parse_select_item(tokens)]
     while tokens.punct_is(","):
         tokens.next()
-        names.append(tokens.expect_ident())
+        names.append(_parse_select_item(tokens))
     columns = tuple(names)
 
     tokens.expect_keyword("FROM")
@@ -69,6 +91,16 @@ def _parse_select(tokens: TokenStream) -> Select:
     if tokens.keyword_is("WHERE"):
         tokens.next()
         where = parse_predicate(tokens)
+
+    group_by: tuple[str, ...] = ()
+    if tokens.keyword_is("GROUP"):
+        tokens.next()
+        tokens.expect_keyword("BY")
+        groups = [tokens.expect_ident()]
+        while tokens.punct_is(","):
+            tokens.next()
+            groups.append(tokens.expect_ident())
+        group_by = tuple(groups)
 
     order_by = None
     if tokens.keyword_is("ORDER"):
@@ -91,7 +123,14 @@ def _parse_select(tokens: TokenStream) -> Select:
             raise SqlSyntaxError(f"LIMIT expects an integer, got {value!r}")
         limit = int(value)
 
-    return Select(columns, table, distinct, join, where, order_by, limit)
+    select = Select(
+        columns, table, distinct, join, where, order_by, limit, group_by
+    )
+    if distinct and select.is_aggregate:
+        raise SqlSyntaxError(
+            "DISTINCT cannot be combined with GROUP BY or aggregates"
+        )
+    return select
 
 
 def _parse_values_row(tokens: TokenStream) -> tuple:
@@ -141,7 +180,7 @@ def _unwrap_star(select: Select) -> Select:
     if select.columns == ("__STAR__",):
         return Select(
             None, select.table, select.distinct, select.join,
-            select.where, select.order_by, select.limit,
+            select.where, select.order_by, select.limit, select.group_by,
         )
     return select
 
@@ -165,6 +204,9 @@ def _parse_sql(text: str) -> Statement:
         lambda m: "SELECT " + ("DISTINCT " if m.group(1) else "") + "__STAR__",
         stripped,
     )
+    # Same trick for COUNT(*): the '*' argument becomes a sentinel
+    # identifier the select-list parser recognises.
+    stripped = re.sub(r"(?is)\bcount\s*\(\s*\*\s*\)", "COUNT(__STAR__)", stripped)
     tokens = TokenStream(stripped)
     verb = tokens.expect_keyword(
         "SELECT", "INSERT", "UPDATE", "DELETE", "CREATE", "DROP", "ALTER",

@@ -18,6 +18,7 @@ from repro.storage.filefmt import (
     save_table,
 )
 from repro.storage.schema import ColumnSchema, TableSchema
+from repro.storage.statistics import ColumnStats, TableStats, table_statistics
 from repro.storage.table import Table, table_from_python
 from repro.storage.verify import (
     VerificationReport,
@@ -39,10 +40,12 @@ __all__ = [
     "Catalog",
     "CatalogVersion",
     "ColumnSchema",
+    "ColumnStats",
     "DataType",
     "Dictionary",
     "Table",
     "TableSchema",
+    "TableStats",
     "VerificationReport",
     "verify_catalog",
     "verify_column",
@@ -67,4 +70,5 @@ __all__ = [
     "save_mutable_table",
     "save_table",
     "table_from_python",
+    "table_statistics",
 ]

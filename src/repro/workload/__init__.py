@@ -10,9 +10,14 @@ from repro.workload.generator import (
     GeneralMergeWorkload,
     SalesStarWorkload,
 )
-from repro.workload.readwrite import MixedReadWriteWorkload, WriteOp
+from repro.workload.readwrite import (
+    AGGREGATE_SCAN_QUERIES,
+    MixedReadWriteWorkload,
+    WriteOp,
+)
 
 __all__ = [
+    "AGGREGATE_SCAN_QUERIES",
     "EmployeeWorkload",
     "GeneralMergeWorkload",
     "MixedReadWriteWorkload",

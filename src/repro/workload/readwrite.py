@@ -23,6 +23,18 @@ from repro.workload.generator import EmployeeWorkload
 
 INSERT, UPDATE, DELETE, SCAN = "insert", "update", "delete", "scan"
 
+#: The aggregate read shapes of the operational mix: GROUP BY over the
+#: skewed low-cardinality columns (Skill ~100 values, Address ~50) plus
+#: an ungrouped rollup — the queries the compressed-domain aggregation
+#: path answers from popcounts while DML churns the delta.
+AGGREGATE_SCAN_QUERIES = (
+    "SELECT Skill, COUNT(*) FROM {table} GROUP BY Skill",
+    "SELECT Address, COUNT(*), MIN(Employee), MAX(Employee) "
+    "FROM {table} GROUP BY Address",
+    "SELECT Skill, Address, COUNT(*) FROM {table} GROUP BY Skill, Address",
+    "SELECT COUNT(*), COUNT(Skill) FROM {table}",
+)
+
 
 @dataclass(frozen=True)
 class WriteOp:
@@ -30,13 +42,16 @@ class WriteOp:
 
     ``kind`` selects which payload fields apply: INSERT carries ``row``;
     UPDATE carries ``assignments`` and ``predicate``; DELETE carries
-    ``predicate``; SCAN carries nothing.
+    ``predicate``; SCAN carries an optional ``query`` template (a
+    ``{table}``-parameterized SELECT — an aggregate read from
+    :data:`AGGREGATE_SCAN_QUERIES`; ``None`` means a full scan).
     """
 
     kind: str
     row: tuple | None = None
     assignments: dict | None = None
     predicate: Comparison | None = None
+    query: str | None = None
 
     def sql(self, table: str) -> str:
         """This operation as one SQL statement against ``table`` (the
@@ -53,7 +68,7 @@ class WriteOp:
             return f"UPDATE {table} SET {sets}{where}"
         if self.kind == DELETE:
             return f"DELETE FROM {table}{self._where_sql()}"
-        return f"SELECT * FROM {table}"
+        return (self.query or "SELECT * FROM {table}").format(table=table)
 
     def _where_sql(self) -> str:
         if self.predicate is None:
@@ -70,8 +85,14 @@ class MixedReadWriteWorkload:
     """A base table plus a deterministic DML/scan stream.
 
     Fractions are of ``n_operations``; whatever is left after inserts,
-    updates and deletes becomes full scans.  The same seed always yields
-    the same table and the same stream.
+    updates and deletes becomes reads.  ``scan_mix`` shapes those reads
+    on the SQL surfaces (:meth:`apply_to_session` /
+    :meth:`apply_to_client`): ``"full"`` keeps the original ``SELECT
+    *`` scans, ``"aggregate"`` cycles the GROUP BY queries of
+    :data:`AGGREGATE_SCAN_QUERIES`, and ``"mixed"`` interleaves both.
+    The row-level drivers (:meth:`apply_to`, :meth:`apply_to_adapter`)
+    predate the SQL aggregate surface and always read full scans.  The
+    same seed always yields the same table and the same stream.
     """
 
     nrows: int
@@ -80,6 +101,7 @@ class MixedReadWriteWorkload:
     insert_fraction: float = 0.5
     update_fraction: float = 0.2
     delete_fraction: float = 0.1
+    scan_mix: str = "full"
     seed: int = 2010
 
     def __post_init__(self):
@@ -89,6 +111,11 @@ class MixedReadWriteWorkload:
         if total > 1.0 + 1e-9:
             raise WorkloadError(
                 f"insert/update/delete fractions sum to {total:.3f} > 1"
+            )
+        if self.scan_mix not in ("full", "aggregate", "mixed"):
+            raise WorkloadError(
+                f"unknown scan mix {self.scan_mix!r} "
+                "(expected 'full', 'aggregate' or 'mixed')"
             )
 
     def build(self) -> Table:
@@ -112,6 +139,7 @@ class MixedReadWriteWorkload:
         )
         rng.shuffle(kinds)
         next_new_employee = self.n_employees
+        aggregate_cursor = 0
         ops = []
         for kind in kinds:
             if kind == INSERT:
@@ -139,7 +167,15 @@ class MixedReadWriteWorkload:
                     DELETE, predicate=self._employee_predicate(rng)
                 ))
             else:
-                ops.append(WriteOp(SCAN))
+                query = None
+                if self.scan_mix == "aggregate" or (
+                    self.scan_mix == "mixed" and rng.random() < 0.5
+                ):
+                    query = AGGREGATE_SCAN_QUERIES[
+                        aggregate_cursor % len(AGGREGATE_SCAN_QUERIES)
+                    ]
+                    aggregate_cursor += 1
+                ops.append(WriteOp(SCAN, query=query))
         return ops
 
     def _employee_predicate(self, rng) -> Comparison:

@@ -258,3 +258,69 @@ class TestBackgroundCompactor:
             db.execute("DROP TABLE doomed")
         db.stop_compactor()  # re-raises anything the thread died on
         assert len(db.execute("SELECT k FROM keep")) == 80
+
+
+class TestAggregateReadersUnderWrites:
+    def test_aggregate_scan_mix_is_consistent_while_writers_churn(self):
+        """Reader threads drive the workload generator's aggregate scan
+        mix (GROUP BY on the skewed Skill/Address columns) through
+        sessions while writer threads churn DML on the same table and
+        the background compactor folds deltas.  Every aggregate answer
+        must be internally consistent: within one read-only scope the
+        grouped COUNTs must sum to the pinned COUNT(*)."""
+        from repro.workload import MixedReadWriteWorkload
+
+        workload = MixedReadWriteWorkload(
+            400, 40, n_employees=25, scan_mix="aggregate", seed=7
+        )
+        db = Database(policy=CompactionPolicy(max_delta_rows=32))
+        db.load_table(workload.build())
+        db.start_compactor(interval=0.001, columns=1)
+        errors: list = []
+        gate = threading.Barrier(4)
+        stop_checks = threading.Event()
+
+        def run_workload(seed: int):
+            try:
+                stream = MixedReadWriteWorkload(
+                    400, 40, n_employees=25, scan_mix="aggregate",
+                    seed=seed,
+                )
+                session = db.session()
+                gate.wait(timeout=30)
+                counters = stream.apply_to_session(session, table="R")
+                assert counters["scan"] > 0
+                assert counters["rows_scanned"] > 0
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        def run_invariant_checks():
+            try:
+                gate.wait(timeout=30)
+                while not stop_checks.is_set():
+                    with db.transaction(read_only=True) as tx:
+                        total = tx.execute("SELECT COUNT(*) FROM R")
+                        grouped = tx.execute(
+                            "SELECT Skill, COUNT(*) FROM R GROUP BY Skill"
+                        )
+                        assert sum(n for _skill, n in grouped) == (
+                            total[0][0]
+                        )
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(
+                target=run_workload, args=(seed,), name=f"agg-writer-{seed}"
+            )
+            for seed in (11, 12, 13)
+        ] + [threading.Thread(target=run_invariant_checks, name="agg-check")]
+        for thread in threads[:-1]:
+            thread.start()
+        threads[-1].start()
+        join_all(threads[:-1])
+        stop_checks.set()
+        join_all(threads[-1:])
+        db.close()
+        if errors:
+            raise errors[0]

@@ -340,6 +340,59 @@ class TestMultiClientStress:
         assert db.closed
 
 
+    def test_aggregate_workload_over_the_wire(self):
+        """The aggregate scan mix driven by concurrent network clients
+        (``apply_to_client``) against one served table: every client's
+        stream completes, and the final grouped COUNT over the wire
+        matches a client-side fold of the final full scan."""
+        from repro.workload import MixedReadWriteWorkload
+
+        db = Database(policy=CompactionPolicy(max_delta_rows=64))
+        base = MixedReadWriteWorkload(
+            300, 30, n_employees=20, scan_mix="mixed", seed=5
+        )
+        db.load_table(base.build())
+        server = CodsServer(db, "127.0.0.1", 0)
+        server.start()
+        errors: list = []
+        gate = threading.Barrier(3)
+
+        def run_client(seed: int):
+            try:
+                stream = MixedReadWriteWorkload(
+                    300, 30, n_employees=20, scan_mix="mixed", seed=seed,
+                )
+                with connect(*server.address) as conn:
+                    gate.wait(timeout=30)
+                    counters = stream.apply_to_client(conn, table="R")
+                    assert counters["scan"] > 0
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        clients = [
+            threading.Thread(
+                target=run_client, args=(seed,), name=f"agg-client-{seed}"
+            )
+            for seed in (21, 22, 23)
+        ]
+        for thread in clients:
+            thread.start()
+        join_all(clients)
+        if errors:
+            raise errors[0]
+        with connect(*server.address) as conn:
+            rows = conn.execute("SELECT * FROM R")
+            grouped = conn.execute(
+                "SELECT Skill, COUNT(*) FROM R GROUP BY Skill"
+            )
+            folded: dict = {}
+            for _employee, skill, _address in rows:
+                folded[skill] = folded.get(skill, 0) + 1
+            assert dict(grouped) == folded
+        server.stop()
+        assert db.closed
+
+
 class TestCrashRecovery:
     def test_kill_mid_transaction_recovers_acked_writes_only(self, tmp_path):
         """Kill the server with one client mid-transaction: WAL replay

@@ -627,6 +627,38 @@ class TestMixedWorkload:
         workload.apply_to(replay)
         assert sorted(mutable.to_rows()) == sorted(replay.to_rows())
 
+    def test_aggregate_scan_mix_cycles_the_group_by_queries(self):
+        from repro.workload import AGGREGATE_SCAN_QUERIES
+
+        workload = MixedReadWriteWorkload(
+            100, 40, n_employees=10, scan_mix="aggregate"
+        )
+        scans = [
+            op for op in workload.operations() if op.kind == "scan"
+        ]
+        assert scans, "stream produced no reads"
+        rendered = [op.sql("R") for op in scans]
+        assert rendered[: len(AGGREGATE_SCAN_QUERIES)] == [
+            query.format(table="R") for query in AGGREGATE_SCAN_QUERIES
+        ][: len(rendered)]
+        assert all("GROUP BY" in sql or "COUNT" in sql for sql in rendered)
+
+    def test_mixed_scan_mix_interleaves_full_and_aggregate(self):
+        workload = MixedReadWriteWorkload(
+            100, 60, n_employees=10, scan_mix="mixed"
+        )
+        scans = [
+            op for op in workload.operations() if op.kind == "scan"
+        ]
+        kinds = {op.query is None for op in scans}
+        assert kinds == {True, False}
+
+    def test_scan_mix_validated(self):
+        from repro.errors import WorkloadError
+
+        with pytest.raises(WorkloadError, match="scan mix"):
+            MixedReadWriteWorkload(100, 10, scan_mix="sideways")
+
 
 class TestWritePathExport:
     def test_json_roundtrip(self, tmp_path):
@@ -666,8 +698,9 @@ class TestWritePathExport:
 
 
 class TestRangeProbeGuard:
-    """Range predicates stop probing the hash index past the
-    distinct-count guard and fall back to row-wise evaluation."""
+    """Range predicates probe the hash index only while the column's
+    distinct count is a small share of the appended rows; past the
+    share they fall back to row-wise evaluation."""
 
     def make_store(self, n_rows=32, distinct=None):
         store = DeltaStore(small_table().schema, index_threshold=1)
@@ -678,21 +711,25 @@ class TestRangeProbeGuard:
         return store
 
     def test_equality_unaffected_by_the_guard(self):
-        store = self.make_store()
-        store.range_probe_limit = 2
+        # Every value distinct (100% share): equality stays a hash hit.
+        store = self.make_store(n_rows=32)
         assert store.index_matches(Comparison("K", "=", 3)) == {3}
         assert store.index_matches(
             Comparison("K", "IN", (0, 1))
         ) == {0, 1}
 
-    def test_range_probe_below_the_limit(self):
-        store = self.make_store(n_rows=8)
-        store.range_probe_limit = 100
-        assert store.index_matches(Comparison("K", "<", 2)) == {0, 1}
+    def test_range_probes_on_low_distinct_share(self):
+        # 8 distinct over 64 rows (12.5%): probing 8 values beats
+        # walking 64 rows, so the index answers.
+        store = self.make_store(n_rows=64, distinct=8)
+        assert store.index_matches(Comparison("K", "<", 2)) == {
+            i for i in range(64) if i % 8 < 2
+        }
 
-    def test_range_declines_past_the_limit(self):
+    def test_range_declines_on_high_distinct_share(self):
+        # All 32 values distinct (100% share): probing every value
+        # costs as much as the scan, so the index declines ...
         store = self.make_store(n_rows=32)
-        store.range_probe_limit = 4  # 32 distinct values > 4
         assert store.index_matches(Comparison("K", "<", 2)) is None
         # ... and the public entry point still answers, row-wise.
         assert store.matching_live_indices(
@@ -701,29 +738,33 @@ class TestRangeProbeGuard:
 
     def test_guard_applies_inside_conjunctions(self):
         store = self.make_store(n_rows=32)
-        store.range_probe_limit = 4
         predicate = And(
             Comparison("K", "=", 1), Comparison("K", "<", 10)
         )
         assert store.index_matches(predicate) is None
         assert store.matching_live_indices(predicate) == [1]
 
-    def test_guard_disabled_with_none(self):
-        store = self.make_store(n_rows=32)
-        store.range_probe_limit = None
-        assert store.index_matches(Comparison("K", "<", 2)) == {0, 1}
+    def test_share_threshold_is_the_module_constant(self):
+        from repro.delta import RANGE_PROBE_MAX_DISTINCT_SHARE
 
-    def test_default_limit_matches_module_constant(self):
-        from repro.delta import DEFAULT_RANGE_PROBE_LIMIT
-
-        assert self.make_store().range_probe_limit == (
-            DEFAULT_RANGE_PROBE_LIMIT
+        # Just at the share: probes.  One distinct value past: declines.
+        at_share = self.make_store(
+            n_rows=32, distinct=int(32 * RANGE_PROBE_MAX_DISTINCT_SHARE)
         )
+        assert at_share.index_matches(
+            Comparison("K", "<", 2)
+        ) is not None
+        past_share = self.make_store(
+            n_rows=32,
+            distinct=int(32 * RANGE_PROBE_MAX_DISTINCT_SHARE) + 2,
+        )
+        assert past_share.index_matches(Comparison("K", "<", 2)) is None
 
     def test_row_wise_and_probed_results_agree(self):
         probed = self.make_store(n_rows=64, distinct=16)
         row_wise = self.make_store(n_rows=64, distinct=16)
-        row_wise.range_probe_limit = 1
+        row_wise._indexes.clear()
+        row_wise.index_threshold = None
         for predicate in (
             Comparison("K", ">", 7),
             Comparison("K", "<=", 3),

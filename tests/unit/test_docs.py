@@ -172,6 +172,8 @@ class TestObservabilityDocs:
         db.execute("CREATE TABLE d (k INT, KEY(k))")
         db.execute("INSERT INTO d VALUES (1)")
         db.execute("SELECT * FROM d")
+        # An aggregate query so the exec.agg_* counters appear too.
+        db.execute("SELECT k, COUNT(*) FROM d GROUP BY k")
         with db.transaction() as tx:
             tx.execute("SELECT * FROM d")
         undocumented = [
@@ -397,3 +399,48 @@ class TestConcurrencyDocs:
         ci = (REPO / ".github" / "workflows" / "ci.yml").read_text()
         assert "pytest-timeout" in ci, "CI lacks the deadlock guard"
         assert "test_concurrency.py" in ci
+
+
+class TestAggregationDocs:
+    def test_architecture_documents_compressed_aggregation(self):
+        text = (REPO / "docs" / "ARCHITECTURE.md").read_text()
+        assert "### Compressed-domain aggregation and statistics" in text
+        for term in (
+            "choose_aggregate_strategy", "TableStats", "mixed-radix",
+            "GroupAccumulator", "table_stats", "live-vid",
+            "presorted runs", "bench_aggregate.py",
+        ):
+            assert term in text, (
+                f"ARCHITECTURE.md does not explain {term!r}"
+            )
+
+    def test_architecture_names_the_live_probe_guard(self):
+        # The fixed range_probe_limit knob was replaced by the
+        # statistics-driven distinct-share guard; the doc must describe
+        # the rule that exists.
+        from repro.delta import RANGE_PROBE_MAX_DISTINCT_SHARE
+
+        text = (REPO / "docs" / "ARCHITECTURE.md").read_text()
+        assert "range_probe_limit" not in text
+        assert "RANGE_PROBE_MAX_DISTINCT_SHARE" in text
+        assert str(RANGE_PROBE_MAX_DISTINCT_SHARE) in text
+
+    def test_migration_doc_covers_the_table_stats_hint(self):
+        text = (REPO / "docs" / "migration.md").read_text()
+        assert "table_stats" in text
+        assert "TableStats" in text
+
+    def test_observability_documents_the_strategy_spans(self):
+        text = (REPO / "docs" / "observability.md").read_text()
+        for term in (
+            "`aggregate`", "live-vid enumeration", "streaming dedup",
+            "dictionary-order presorted runs", "materialize-and-sort",
+        ):
+            assert term in text, (
+                f"observability.md does not explain {term!r}"
+            )
+
+    def test_aggregate_bench_is_wired(self):
+        assert (REPO / "benchmarks" / "bench_aggregate.py").exists()
+        ci = (REPO / ".github" / "workflows" / "ci.yml").read_text()
+        assert "bench_aggregate.py" in ci

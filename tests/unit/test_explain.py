@@ -180,3 +180,67 @@ class TestTransactions:
             assert {row[0].strip(): row for row in analyzed}["select"][
                 4
             ] == len(ROWS)
+
+
+class TestAggregatePlans:
+    """Aggregate, DISTINCT and ORDER BY nodes carry their strategy and
+    its reason — the EXPLAIN surface of the statistics-driven choice."""
+
+    AGG = "SELECT k, COUNT(*), SUM(k) FROM r GROUP BY k"
+
+    def detail(self, db, sql, operator):
+        return {
+            row[0].strip(): row[1] for row in db.execute("EXPLAIN " + sql)
+        }[operator]
+
+    def test_aggregate_node_names_strategy_and_reason(self, db):
+        detail = self.detail(db, self.AGG, "aggregate")
+        assert "out=k,count(*),sum(k)" in detail
+        assert "group_by=k" in detail
+        if db.backend == "mutable":
+            assert detail.startswith("compressed [estimated groups")
+            assert "delta share" in detail
+        else:
+            # Decode-first scans have no compressed batches to fold.
+            assert detail.startswith(
+                "hash [scan decodes to values (no compressed batches)]"
+            )
+
+    def test_high_cardinality_group_explains_the_fallback(self):
+        db = Database()
+        db.execute("CREATE TABLE wide (k INT, s STRING)")
+        db.executemany(
+            "INSERT INTO wide VALUES (?, ?)",
+            [(i, f"s{i}") for i in range(300)],
+        )
+        db.compact("wide")
+        detail = {
+            row[0].strip(): row[1]
+            for row in db.execute(
+                "EXPLAIN SELECT s, COUNT(*) FROM wide GROUP BY s"
+            )
+        }["aggregate"]
+        assert detail.startswith("hash [estimated groups 300 > ceiling")
+
+    def test_distinct_node_names_the_enumeration(self, db):
+        detail = self.detail(db, "SELECT DISTINCT s FROM r", "distinct")
+        if db.backend == "mutable":
+            assert detail == "live-vid enumeration"
+        else:
+            assert detail == "streaming dedup"
+
+    def test_order_by_node_names_the_runs(self, db):
+        detail = self.detail(
+            db, "SELECT s FROM r ORDER BY s DESC", "order_by"
+        )
+        if db.backend == "mutable":
+            assert detail == "s DESC (dictionary-order presorted runs)"
+        else:
+            assert detail == "s DESC (materialize-and-sort)"
+
+    def test_analyze_aggregate_counts_match_the_select(self, db):
+        expected = db.execute(self.AGG)
+        rows = db.execute("EXPLAIN ANALYZE " + self.AGG)
+        by_operator = {row[0].strip(): row for row in rows}
+        assert by_operator["aggregate"][4] == len(expected)
+        assert by_operator["select"][4] == len(expected)

@@ -29,3 +29,17 @@ def test_table1_csv(tmp_path):
     assert "DROP TABLE" in text
     assert "0.001" in text
     assert text.splitlines()[0] == "operator,rows,D,C+I,M"
+
+
+def test_aggregate_json_roundtrip(tmp_path):
+    from repro.bench.exporters import aggregate_json, load_aggregate_json
+
+    payload = {
+        "benchmark": "aggregate",
+        "rows": 1000,
+        "min_speedup": 3.0,
+        "mutable": {"grouped_count": {"speedup": 4.5, "groups": 32}},
+    }
+    path = tmp_path / "BENCH_aggregate.json"
+    aggregate_json(payload, path)
+    assert load_aggregate_json(path) == payload
